@@ -1,0 +1,167 @@
+//! Microbenchmarks of the hot substrates: the event engine, the two
+//! routing-table designs the paper compares (Listing 3's BGP RIB vs
+//! Listing 5's VID table — "the routing table size reflects both the
+//! storage needs and the protocol processing time"), wire codecs, and the
+//! shared ECMP flow hash.
+//!
+//! ```text
+//! cargo bench -p dcn-bench --bench micro
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dcn_mrmtp::VidTable;
+use dcn_bgp::Rib;
+use dcn_sim::PortId;
+use dcn_wire::{
+    flow_hash, BgpMessage, BgpUpdate, IpAddr4, Ipv4Packet, MrmtpMsg, Prefix, Vid, IPPROTO_UDP,
+};
+
+/// Build a VID table like a top spine's in a large fabric: one VID per
+/// ToR across `racks` racks.
+fn vid_table(racks: u8) -> VidTable {
+    let mut t = VidTable::new();
+    for r in 0..racks {
+        let vid = Vid::from_components(&[11 + (r % 200), 1, 1]).unwrap();
+        t.install(vid, PortId((r % 8) as u16));
+    }
+    t
+}
+
+/// Build a BGP RIB like a tier-2 spine's: `racks` prefixes, 2 ECMP paths
+/// each, 3-hop AS paths.
+fn bgp_rib(racks: u8) -> Rib {
+    let mut rib = Rib::new();
+    for r in 0..racks {
+        let pfx = Prefix::new(IpAddr4::new(192, 168, 11 + (r % 200), 0), 24);
+        rib.ingest_advert(PortId(0), pfx, vec![64512, 64513, 65001 + r as u32], IpAddr4(0));
+        rib.ingest_advert(PortId(1), pfx, vec![64512, 64514, 65001 + r as u32], IpAddr4(0));
+    }
+    rib
+}
+
+fn table_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forwarding_lookup");
+    let vt = vid_table(64);
+    g.bench_function("vid_table_64_roots", |b| {
+        let mut r = 0u8;
+        b.iter(|| {
+            r = r.wrapping_add(17);
+            black_box(vt.vids_for(11 + (r % 64)))
+        })
+    });
+    let rib = bgp_rib(64);
+    g.bench_function("bgp_rib_lpm_64_prefixes", |b| {
+        let mut r = 0u8;
+        b.iter(|| {
+            r = r.wrapping_add(17);
+            black_box(rib.lookup(IpAddr4::new(192, 168, 11 + (r % 64), 7)))
+        })
+    });
+    g.finish();
+}
+
+fn table_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_update");
+    g.bench_function("vid_table_remove_and_reinstall", |b| {
+        let mut vt = vid_table(64);
+        b.iter(|| {
+            vt.remove_via(11, PortId(3));
+            vt.install(Vid::from_components(&[11, 1, 1]).unwrap(), PortId(3));
+        })
+    });
+    g.bench_function("bgp_rib_withdraw_and_readvertise", |b| {
+        let mut rib = bgp_rib(64);
+        let pfx = Prefix::new(IpAddr4::new(192, 168, 11, 0), 24);
+        b.iter(|| {
+            rib.ingest_withdraw(PortId(0), pfx);
+            rib.ingest_advert(PortId(0), pfx, vec![64512, 64513, 65001], IpAddr4(0));
+        })
+    });
+    g.finish();
+}
+
+fn wire_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let update = BgpMessage::Update(BgpUpdate {
+        withdrawn: vec![Prefix::new(IpAddr4::new(192, 168, 11, 0), 24)],
+        as_path: vec![64512, 64513, 65001],
+        next_hop: Some(IpAddr4::new(172, 16, 0, 1)),
+        nlri: vec![
+            Prefix::new(IpAddr4::new(192, 168, 12, 0), 24),
+            Prefix::new(IpAddr4::new(192, 168, 13, 0), 24),
+        ],
+    });
+    let update_bytes = update.encode();
+    g.bench_function("bgp_update_encode", |b| b.iter(|| black_box(&update).encode()));
+    g.bench_function("bgp_update_decode", |b| {
+        b.iter(|| BgpMessage::decode(black_box(&update_bytes)).unwrap())
+    });
+    let data = MrmtpMsg::Data {
+        src: Vid::root(11),
+        dst: Vid::root(14),
+        flow: 7,
+        payload: vec![0xAB; 128],
+    };
+    let data_bytes = data.encode();
+    g.bench_function("mrmtp_data_encode", |b| b.iter(|| black_box(&data).encode()));
+    g.bench_function("mrmtp_data_decode", |b| {
+        b.iter(|| MrmtpMsg::decode(black_box(&data_bytes)).unwrap())
+    });
+    let ip = Ipv4Packet::new(
+        IpAddr4::new(192, 168, 11, 1),
+        IpAddr4::new(192, 168, 14, 1),
+        IPPROTO_UDP,
+        vec![0; 100],
+    );
+    let ip_bytes = ip.encode();
+    g.bench_function("ipv4_encode_with_checksum", |b| b.iter(|| black_box(&ip).encode()));
+    g.bench_function("ipv4_decode_with_checksum", |b| {
+        b.iter(|| Ipv4Packet::decode(black_box(&ip_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecmp");
+    g.bench_function("flow_hash_5tuple", |b| {
+        let mut sp = 0u16;
+        b.iter(|| {
+            sp = sp.wrapping_add(1);
+            black_box(flow_hash(
+                IpAddr4::new(192, 168, 11, 1),
+                IpAddr4::new(192, 168, 14, 1),
+                IPPROTO_UDP,
+                sp,
+                6000,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    use dcn_experiments::{build_sim, Stack};
+    use dcn_sim::time::secs;
+    use dcn_topology::ClosParams;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("mrmtp_2pod_5s_warmup", |b| {
+        b.iter(|| {
+            let mut built = build_sim(ClosParams::two_pod(), Stack::Mrmtp, 42, &[]);
+            built.sim.run_until(secs(5));
+            black_box(built.sim.events_processed())
+        })
+    });
+    g.bench_function("bgp_2pod_5s_warmup", |b| {
+        b.iter(|| {
+            let mut built = build_sim(ClosParams::two_pod(), Stack::BgpEcmp, 42, &[]);
+            built.sim.run_until(secs(5));
+            black_box(built.sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(micro, table_lookup, table_update, wire_codecs, hashing, engine_throughput);
+criterion_main!(micro);

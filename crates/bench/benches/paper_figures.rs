@@ -1,0 +1,188 @@
+//! One Criterion bench group per paper figure. Each group first *prints*
+//! the figure's full table (the reproduction artifact), then benchmarks a
+//! representative scenario so regressions in the protocol engines or the
+//! emulator show up as timing changes.
+//!
+//! ```text
+//! cargo bench -p dcn-bench --bench paper_figures
+//! ```
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dcn_experiments::figures;
+use dcn_experiments::{run, Scenario, Stack, TrafficDir};
+use dcn_topology::{ClosParams, FailureCase};
+
+fn quick<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn fig4_convergence(c: &mut Criterion) {
+    let cells = figures::failure_matrix(TrafficDir::None, 42);
+    println!("\n{}", figures::fig4_convergence(&cells).render());
+    let mut g = quick(c, "fig4_convergence");
+    for stack in Stack::ALL {
+        g.bench_function(stack.label(), |b| {
+            b.iter(|| {
+                run(Scenario::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1))
+                    .convergence_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5_blast_radius(c: &mut Criterion) {
+    let cells = figures::failure_matrix(TrafficDir::None, 42);
+    println!("\n{}", figures::fig5_blast_radius(&cells).render());
+    let mut g = quick(c, "fig5_blast_radius");
+    g.bench_function("mrmtp_4pod_tc1", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
+                .blast_radius
+        })
+    });
+    g.bench_function("bgp_4pod_tc1", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::four_pod(), Stack::BgpEcmp).failing(FailureCase::Tc1))
+                .blast_radius
+        })
+    });
+    g.finish();
+}
+
+fn fig6_control_overhead(c: &mut Criterion) {
+    let cells = figures::failure_matrix(TrafficDir::None, 42);
+    println!("\n{}", figures::fig6_control_overhead(&cells).render());
+    let mut g = quick(c, "fig6_control_overhead");
+    g.bench_function("mrmtp_2pod_tc1", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
+                .control_bytes
+        })
+    });
+    g.finish();
+}
+
+fn fig7_loss_near(c: &mut Criterion) {
+    let cells = figures::failure_matrix(TrafficDir::NearToFar, 42);
+    println!("\n{}", figures::fig_packet_loss(&cells, true).render());
+    let mut g = quick(c, "fig7_loss_near");
+    g.bench_function("mrmtp_tc2_with_traffic", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+                .failing(FailureCase::Tc2)
+                .with_traffic(TrafficDir::NearToFar))
+            .loss
+        })
+    });
+    g.finish();
+}
+
+fn fig8_loss_far(c: &mut Criterion) {
+    let cells = figures::failure_matrix(TrafficDir::FarToNear, 42);
+    println!("\n{}", figures::fig_packet_loss(&cells, false).render());
+    let mut g = quick(c, "fig8_loss_far");
+    g.bench_function("bgp_tc3_with_traffic", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::two_pod(), Stack::BgpEcmp)
+                .failing(FailureCase::Tc3)
+                .with_traffic(TrafficDir::FarToNear))
+            .loss
+        })
+    });
+    g.finish();
+}
+
+fn fig9_keepalive(c: &mut Criterion) {
+    println!("\n{}", figures::fig9_keepalive(42).render());
+    println!("{}", figures::fig1_stack_comparison(42).render());
+    let mut g = quick(c, "fig9_keepalive_steady_state");
+    for stack in Stack::ALL {
+        g.bench_function(stack.label(), |b| {
+            b.iter(|| dcn_experiments::scenario::run_steady_state(ClosParams::two_pod(), stack, 42))
+        });
+    }
+    g.finish();
+}
+
+fn listings(c: &mut Criterion) {
+    println!("\n{}", figures::config_comparison().render());
+    println!("{}", figures::table_size_comparison(42).render());
+    let mut g = quick(c, "listings_config_generation");
+    let fabric = dcn_topology::Fabric::build(ClosParams::four_pod());
+    let addr = dcn_topology::Addressing::new(&fabric);
+    g.bench_function("bgp_full_fabric_config", |b| {
+        b.iter(|| dcn_topology::ConfigStats::for_bgp(&fabric, &addr, true))
+    });
+    g.bench_function("mrmtp_full_fabric_config", |b| {
+        b.iter(|| dcn_topology::ConfigStats::for_mrmtp(&fabric))
+    });
+    g.finish();
+}
+
+fn scale_sweep(c: &mut Criterion) {
+    println!("\n{}", figures::scale_sweep(&[2, 4, 6], 42).render());
+    let mut g = quick(c, "scale_sweep");
+    g.bench_function("mrmtp_8pod_tc1", |b| {
+        b.iter(|| {
+            run(Scenario::new(ClosParams::scaled(8), Stack::Mrmtp).failing(FailureCase::Tc1))
+                .blast_radius
+        })
+    });
+    g.finish();
+}
+
+fn extensions(c: &mut Criterion) {
+    println!("\n{}", dcn_experiments::ablations::ablation_slow_to_accept(42).render());
+    println!("{}", dcn_experiments::ablations::ablation_loss_holddown(42).render());
+    println!("{}", dcn_experiments::ablations::sweep_mrmtp_hello(42).render());
+    println!("{}", dcn_experiments::ablations::sweep_bfd_interval(42).render());
+    println!("{}", dcn_experiments::extended_failures::extended_failure_figure(42).render());
+    println!("{}", figures::encap_overhead_figure(42).render());
+    println!("{}", figures::tier_comparison(42).render());
+    let mut g = quick(c, "extensions");
+    g.bench_function("four_tier_mrmtp_warmup", |b| {
+        b.iter(|| {
+            use dcn_sim::time::secs;
+            let mut built = dcn_experiments::build_four_tier_sim(
+                dcn_topology::FourTierParams::small(),
+                Stack::Mrmtp,
+                42,
+                &[],
+            );
+            built.sim.run_until(secs(3));
+            built.sim.events_processed()
+        })
+    });
+    g.bench_function("flap_storm_damped", |b| {
+        b.iter(|| {
+            dcn_experiments::ablations::flap_storm(3, 4, dcn_sim::time::millis(80), 11)
+                .route_changes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures_bench,
+    fig4_convergence,
+    fig5_blast_radius,
+    fig6_control_overhead,
+    fig7_loss_near,
+    fig8_loss_far,
+    fig9_keepalive,
+    listings,
+    scale_sweep,
+    extensions
+);
+criterion_main!(figures_bench);

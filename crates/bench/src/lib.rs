@@ -1,0 +1,8 @@
+//! # dcn-bench
+//!
+//! Criterion benchmark definitions live under `benches/`:
+//!
+//! * `paper_figures` — one group per paper figure; prints each figure's
+//!   reproduction table before benchmarking a representative scenario.
+//! * `micro` — substrate microbenchmarks: VID-table vs BGP-RIB lookups
+//!   and updates, wire codecs, flow hashing, engine throughput.

@@ -1,0 +1,108 @@
+//! BGP router configuration (the programmatic form of Listing 1).
+
+use dcn_sim::time::{millis, secs, Duration};
+use dcn_sim::PortId;
+use dcn_wire::{IpAddr4, Prefix};
+
+/// One eBGP neighbor, bound to the point-to-point link on `port`.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerConfig {
+    pub port: PortId,
+    pub local_ip: IpAddr4,
+    pub peer_ip: IpAddr4,
+    pub peer_asn: u32,
+}
+
+impl PeerConfig {
+    /// Deterministic active/passive role: the lower address initiates the
+    /// TCP connection (avoids the RFC 4271 collision dance).
+    pub fn is_active(&self) -> bool {
+        self.local_ip < self.peer_ip
+    }
+}
+
+/// Full configuration of one BGP router.
+#[derive(Clone, Debug)]
+pub struct BgpConfig {
+    pub name: String,
+    pub asn: u32,
+    pub router_id: u32,
+    /// Paper: `timers bgp 1 3`.
+    pub keepalive_interval: Duration,
+    pub hold_time: Duration,
+    /// Enable per-session BFD (the paper's third stack).
+    pub bfd: bool,
+    /// Paper: `transmit-interval 100` (ms).
+    pub bfd_tx_interval: Duration,
+    pub peers: Vec<PeerConfig>,
+    /// Prefixes originated locally (a ToR's rack subnet).
+    pub originate: Vec<Prefix>,
+    /// ToR only: the rack subnet and its server→port map.
+    pub rack_subnet: Option<Prefix>,
+    pub host_ports: Vec<(IpAddr4, PortId)>,
+    /// Idle-to-connect backoff.
+    pub connect_retry: Duration,
+}
+
+impl BgpConfig {
+    /// A router with the paper's timer settings and no peers yet.
+    pub fn new(name: impl Into<String>, asn: u32, router_id: u32) -> BgpConfig {
+        BgpConfig {
+            name: name.into(),
+            asn,
+            router_id,
+            keepalive_interval: secs(1),
+            hold_time: secs(3),
+            bfd: false,
+            bfd_tx_interval: millis(100),
+            peers: Vec::new(),
+            originate: Vec::new(),
+            rack_subnet: None,
+            host_ports: Vec::new(),
+            connect_retry: secs(1),
+        }
+    }
+
+    pub fn with_bfd(mut self) -> BgpConfig {
+        self.bfd = true;
+        self
+    }
+
+    pub fn peer(mut self, p: PeerConfig) -> BgpConfig {
+        self.peers.push(p);
+        self
+    }
+
+    pub fn originating(mut self, prefix: Prefix) -> BgpConfig {
+        self.originate.push(prefix);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_role_is_lower_address() {
+        let p = PeerConfig {
+            port: PortId(0),
+            local_ip: IpAddr4::new(172, 16, 0, 1),
+            peer_ip: IpAddr4::new(172, 16, 0, 2),
+            peer_asn: 64512,
+        };
+        assert!(p.is_active());
+        let q = PeerConfig { local_ip: p.peer_ip, peer_ip: p.local_ip, ..p };
+        assert!(!q.is_active());
+    }
+
+    #[test]
+    fn default_timers_match_listing1() {
+        let c = BgpConfig::new("T-1", 64512, 1);
+        assert_eq!(c.keepalive_interval, secs(1));
+        assert_eq!(c.hold_time, secs(3));
+        assert_eq!(c.bfd_tx_interval, millis(100));
+        assert!(!c.bfd);
+        assert!(BgpConfig::new("x", 1, 2).with_bfd().bfd);
+    }
+}

@@ -1,0 +1,704 @@
+//! The BGP/ECMP(/BFD) router protocol.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use dcn_sim::time::{millis, Duration, Time};
+use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind};
+use dcn_tcp::{TcpConn, TcpEvent};
+use dcn_bfd::{BfdEvent, BfdSession};
+use dcn_wire::{
+    flow_hash_of, BgpMessage, BgpUpdate, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr,
+    Prefix, TcpSegment, UdpDatagram, BFD_CTRL_PORT, BGP_PORT, IPPROTO_TCP, IPPROTO_UDP,
+};
+
+use crate::config::BgpConfig;
+use crate::rib::{Rib, RibChange};
+
+const TOKEN_TICK: u64 = 1;
+/// Housekeeping cadence: fine enough for BFD's 100 ms transmit interval.
+const TICK: Duration = millis(20);
+
+/// Session FSM (condensed from RFC 4271: Connect/Active collapse into
+/// `TcpPending` because roles are deterministic).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Fsm {
+    Idle,
+    TcpPending,
+    OpenSent,
+    OpenConfirm,
+    Established,
+}
+
+struct Peer {
+    cfg: crate::config::PeerConfig,
+    asn_ok: bool,
+    tcp: TcpConn,
+    fsm: Fsm,
+    rx_buf: Vec<u8>,
+    hold_deadline: Time,
+    keepalive_due: Time,
+    connect_at: Time,
+    bfd: Option<BfdSession>,
+}
+
+/// Counters for tests and the harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BgpStats {
+    pub opens_sent: u64,
+    pub keepalives_sent: u64,
+    pub updates_sent: u64,
+    pub updates_received: u64,
+    pub sessions_established: u64,
+    pub sessions_lost: u64,
+    pub data_forwarded: u64,
+    pub data_delivered: u64,
+    pub data_dropped: u64,
+}
+
+/// A BGP router bound to one emulated node.
+pub struct BgpRouter {
+    cfg: BgpConfig,
+    rib: Rib,
+    peers: Vec<Peer>,
+    /// port → index into `peers` (one neighbor per fabric link).
+    port_peer: BTreeMap<PortId, usize>,
+    /// Adj-RIB-Out: what we last advertised to each peer.
+    adj_out: BTreeMap<PortId, BTreeMap<Prefix, Vec<u32>>>,
+    stats: BgpStats,
+}
+
+impl BgpRouter {
+    pub fn new(cfg: BgpConfig) -> BgpRouter {
+        let mut rib = Rib::new();
+        for &p in &cfg.originate {
+            rib.add_local(p);
+        }
+        if let Some(rack) = cfg.rack_subnet {
+            // Rack subnet is connected (and originated into BGP).
+            if let Some(&(_, port)) = cfg.host_ports.first() {
+                rib.add_connected(rack, port, IpAddr4(rack.addr.0 | 254));
+            }
+        }
+        let mut peers = Vec::new();
+        let mut port_peer = BTreeMap::new();
+        for (i, &pc) in cfg.peers.iter().enumerate() {
+            rib.add_connected(
+                Prefix::new(IpAddr4(pc.local_ip.0 & 0xFFFF_FF00), 24),
+                pc.port,
+                pc.local_ip,
+            );
+            let ephemeral = 40000 + (pc.local_ip.0.min(pc.peer_ip.0) & 0x0FFF) as u16;
+            let isn = cfg.router_id ^ (i as u32) << 8;
+            let tcp = if pc.is_active() {
+                TcpConn::new(ephemeral, BGP_PORT, isn)
+            } else {
+                TcpConn::new(BGP_PORT, ephemeral, isn)
+            };
+            port_peer.insert(pc.port, peers.len());
+            peers.push(Peer {
+                cfg: pc,
+                asn_ok: false,
+                tcp,
+                fsm: Fsm::Idle,
+                rx_buf: Vec::new(),
+                hold_deadline: 0,
+                keepalive_due: 0,
+                connect_at: 0,
+                bfd: cfg
+                    .bfd
+                    .then(|| BfdSession::new(cfg.router_id ^ pc.port.0 as u32)
+                        .with_tx_interval(cfg.bfd_tx_interval)),
+            });
+        }
+        BgpRouter { cfg, rib, peers, port_peer, adj_out: BTreeMap::new(), stats: BgpStats::default() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    pub fn asn(&self) -> u32 {
+        self.cfg.asn
+    }
+
+    pub fn stats(&self) -> BgpStats {
+        self.stats
+    }
+
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// Established-session count (convergence checks in tests).
+    pub fn established_sessions(&self) -> usize {
+        self.peers.iter().filter(|p| p.fsm == Fsm::Established).count()
+    }
+
+    /// Render the kernel-style routing table (Listing 3).
+    pub fn render_table(&self) -> String {
+        self.rib.render(|port| {
+            self.port_peer
+                .get(&port)
+                .map(|&i| self.peers[i].cfg.peer_ip)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Frame emission
+    // ------------------------------------------------------------------
+
+    fn send_ip(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        proto: u8,
+        src: IpAddr4,
+        dst: IpAddr4,
+        payload: Vec<u8>,
+        class: FrameClass,
+    ) {
+        let pkt = Ipv4Packet::new(src, dst, proto, payload);
+        let frame = EthernetFrame {
+            dst: MacAddr::for_node_port(ctx.node().0, port.0), // p2p: any unicast works
+            src: MacAddr::for_node_port(ctx.node().0, port.0),
+            ethertype: EtherType::Ipv4,
+            payload: pkt.encode(),
+        };
+        ctx.send(port, frame.encode(), class);
+    }
+
+    fn emit_segments(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        peer_idx: usize,
+        segments: Vec<TcpSegment>,
+        class: FrameClass,
+    ) {
+        let (port, src, dst) = {
+            let p = &self.peers[peer_idx];
+            (p.cfg.port, p.cfg.local_ip, p.cfg.peer_ip)
+        };
+        for seg in segments {
+            // Classify transport-level frames independent of the app
+            // class: empty payloads are handshake/acks.
+            let c = if seg.payload.is_empty() {
+                if seg.flags.contains(dcn_wire::TcpFlags::SYN)
+                    || seg.flags.contains(dcn_wire::TcpFlags::RST)
+                {
+                    FrameClass::Session
+                } else {
+                    FrameClass::Ack
+                }
+            } else {
+                class
+            };
+            self.send_ip(ctx, port, IPPROTO_TCP, src, dst, seg.encode(), c);
+        }
+    }
+
+    fn send_bgp(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, msg: &BgpMessage) {
+        let class = match msg {
+            BgpMessage::Keepalive => FrameClass::Keepalive,
+            BgpMessage::Update(_) => FrameClass::Update,
+            _ => FrameClass::Session,
+        };
+        match msg {
+            BgpMessage::Keepalive => self.stats.keepalives_sent += 1,
+            BgpMessage::Update(_) => self.stats.updates_sent += 1,
+            BgpMessage::Open { .. } => self.stats.opens_sent += 1,
+            _ => {}
+        }
+        let bytes = msg.encode();
+        let now = ctx.now();
+        let out = self.peers[peer_idx].tcp.send(&bytes, now);
+        self.emit_segments(ctx, peer_idx, out.segments, class);
+    }
+
+    // ------------------------------------------------------------------
+    // Export policy
+    // ------------------------------------------------------------------
+
+    /// The AS path we would advertise for `prefix` to `peer`, or None.
+    fn export_path(&self, prefix: Prefix, peer_idx: usize) -> Option<Vec<u32>> {
+        let peer = &self.peers[peer_idx];
+        if self.rib.is_local(prefix) {
+            return Some(vec![self.cfg.asn]);
+        }
+        let best = self.rib.best(prefix)?;
+        // Sender-side loop check: a path through the peer's own AS would
+        // be discarded on arrival anyway.
+        if best.as_path.contains(&peer.cfg.peer_asn) || best.peer_port == peer.cfg.port {
+            return None;
+        }
+        let mut path = Vec::with_capacity(best.as_path.len() + 1);
+        path.push(self.cfg.asn);
+        path.extend_from_slice(&best.as_path);
+        Some(path)
+    }
+
+    /// Re-run the export policy for `prefixes` toward every established
+    /// peer, emitting batched UPDATEs where the Adj-RIB-Out changed.
+    fn reexport(&mut self, ctx: &mut Ctx<'_>, prefixes: &[Prefix]) {
+        for peer_idx in 0..self.peers.len() {
+            if self.peers[peer_idx].fsm != Fsm::Established {
+                continue;
+            }
+            let port = self.peers[peer_idx].cfg.port;
+            let mut withdrawn = Vec::new();
+            let mut adverts: BTreeMap<Vec<u32>, Vec<Prefix>> = BTreeMap::new();
+            for &pfx in prefixes {
+                let export = self.export_path(pfx, peer_idx);
+                let out = self.adj_out.entry(port).or_default();
+                match export {
+                    Some(path) => {
+                        if out.get(&pfx) != Some(&path) {
+                            out.insert(pfx, path.clone());
+                            adverts.entry(path).or_default().push(pfx);
+                        }
+                    }
+                    None => {
+                        if out.remove(&pfx).is_some() {
+                            withdrawn.push(pfx);
+                        }
+                    }
+                }
+            }
+            let next_hop = self.peers[peer_idx].cfg.local_ip;
+            let mut first = true;
+            for (path, nlri) in adverts {
+                let msg = BgpMessage::Update(BgpUpdate {
+                    withdrawn: if first { std::mem::take(&mut withdrawn) } else { Vec::new() },
+                    as_path: path,
+                    next_hop: Some(next_hop),
+                    nlri,
+                });
+                first = false;
+                self.send_bgp(ctx, peer_idx, &msg);
+            }
+            if !withdrawn.is_empty() {
+                let msg = BgpMessage::Update(BgpUpdate { withdrawn, ..Default::default() });
+                self.send_bgp(ctx, peer_idx, &msg);
+            }
+        }
+    }
+
+    fn trace_changes(&mut self, ctx: &mut Ctx<'_>, changes: &[(Prefix, RibChange)]) {
+        for &(pfx, change) in changes {
+            let kind = match change {
+                RibChange::Gained => RouteChangeKind::Install,
+                RibChange::Changed | RibChange::Lost => RouteChangeKind::Withdraw,
+                RibChange::Unchanged => continue,
+            };
+            ctx.trace_route_change(kind, pfx.addr.0 as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Session lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_established(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize) {
+        self.stats.sessions_established += 1;
+        let now = ctx.now();
+        {
+            let p = &mut self.peers[peer_idx];
+            p.fsm = Fsm::Established;
+            p.keepalive_due = now + self.cfg.keepalive_interval;
+            p.hold_deadline = now + self.cfg.hold_time;
+        }
+        ctx.trace_proto("bgp_established", self.peers[peer_idx].cfg.port.0 as u64);
+        // Initial table dump: everything exportable.
+        let mut prefixes = self.rib.local_prefixes().to_vec();
+        prefixes.extend(self.rib.learned_prefixes());
+        // reexport skips non-established peers, so temporarily narrow to
+        // just this one by running the standard path (cheap at DCN scale).
+        self.reexport(ctx, &prefixes);
+    }
+
+    fn session_down(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, reason: &'static str) {
+        let was_active = self.peers[peer_idx].fsm != Fsm::Idle;
+        let port = self.peers[peer_idx].cfg.port;
+        if was_active {
+            self.stats.sessions_lost += 1;
+            ctx.trace_proto(reason, port.0 as u64);
+        }
+        let now = ctx.now();
+        let rst = self.peers[peer_idx].tcp.reset(now);
+        self.emit_segments(ctx, peer_idx, rst.segments, FrameClass::Session);
+        {
+            let p = &mut self.peers[peer_idx];
+            p.fsm = Fsm::Idle;
+            p.rx_buf.clear();
+            p.asn_ok = false;
+            p.connect_at = now + self.cfg.connect_retry + ctx.rand_below(millis(200));
+            if let Some(b) = p.bfd.as_mut() {
+                b.force_down();
+            }
+        }
+        self.adj_out.remove(&port);
+        let changes = self.rib.drop_peer(port);
+        if !changes.is_empty() {
+            self.trace_changes(ctx, &changes);
+            let prefixes: Vec<Prefix> = changes.iter().map(|(p, _)| *p).collect();
+            self.reexport(ctx, &prefixes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message processing
+    // ------------------------------------------------------------------
+
+    fn on_bgp_bytes(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, bytes: &[u8]) {
+        self.peers[peer_idx].rx_buf.extend_from_slice(bytes);
+        loop {
+            let (msg, used) = match BgpMessage::decode(&self.peers[peer_idx].rx_buf) {
+                Ok(ok) => ok,
+                Err(dcn_wire::WireError::Truncated) => break,
+                Err(_) => {
+                    // Protocol error: NOTIFICATION + teardown.
+                    let note = BgpMessage::Notification { code: 1, subcode: 0 };
+                    self.send_bgp(ctx, peer_idx, &note);
+                    self.session_down(ctx, peer_idx, "bgp_msg_error");
+                    return;
+                }
+            };
+            self.peers[peer_idx].rx_buf.drain(..used);
+            self.peers[peer_idx].hold_deadline = ctx.now() + self.cfg.hold_time;
+            match msg {
+                BgpMessage::Open { asn, .. } => {
+                    if asn as u32 != self.peers[peer_idx].cfg.peer_asn {
+                        let note = BgpMessage::Notification { code: 2, subcode: 2 };
+                        self.send_bgp(ctx, peer_idx, &note);
+                        self.session_down(ctx, peer_idx, "bgp_bad_asn");
+                        return;
+                    }
+                    self.peers[peer_idx].asn_ok = true;
+                    self.send_bgp(ctx, peer_idx, &BgpMessage::Keepalive);
+                    if self.peers[peer_idx].fsm == Fsm::OpenSent {
+                        self.peers[peer_idx].fsm = Fsm::OpenConfirm;
+                    }
+                }
+                BgpMessage::Keepalive => {
+                    if self.peers[peer_idx].fsm == Fsm::OpenConfirm {
+                        self.on_established(ctx, peer_idx);
+                    }
+                }
+                BgpMessage::Update(update) => {
+                    self.stats.updates_received += 1;
+                    self.on_update(ctx, peer_idx, update);
+                }
+                BgpMessage::Notification { .. } => {
+                    self.session_down(ctx, peer_idx, "bgp_notification");
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_update(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, update: BgpUpdate) {
+        let port = self.peers[peer_idx].cfg.port;
+        let mut changes = Vec::new();
+        for pfx in update.withdrawn {
+            let c = self.rib.ingest_withdraw(port, pfx);
+            if c != RibChange::Unchanged {
+                changes.push((pfx, c));
+            }
+        }
+        if !update.nlri.is_empty() && !update.as_path.contains(&self.cfg.asn) {
+            let nh = update.next_hop.unwrap_or(self.peers[peer_idx].cfg.peer_ip);
+            for pfx in update.nlri {
+                let c = self.rib.ingest_advert(port, pfx, update.as_path.clone(), nh);
+                if c != RibChange::Unchanged {
+                    changes.push((pfx, c));
+                }
+            }
+        }
+        if !changes.is_empty() {
+            self.trace_changes(ctx, &changes);
+            let prefixes: Vec<Prefix> = changes.iter().map(|(p, _)| *p).collect();
+            self.reexport(ctx, &prefixes);
+        }
+    }
+
+    fn on_tcp_segment(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, seg: &TcpSegment) {
+        let now = ctx.now();
+        let out = self.peers[peer_idx].tcp.on_segment(seg, now);
+        // Data segments emitted during handshake completion carry queued
+        // table dumps: class Update.
+        self.emit_segments(ctx, peer_idx, out.segments, FrameClass::Update);
+        for ev in &out.events {
+            match ev {
+                TcpEvent::Established => {
+                    let open = BgpMessage::Open {
+                        asn: self.cfg.asn as u16,
+                        hold_time_secs: (self.cfg.hold_time / dcn_sim::time::SECONDS) as u16,
+                        router_id: self.cfg.router_id,
+                    };
+                    self.peers[peer_idx].fsm = Fsm::OpenSent;
+                    self.peers[peer_idx].hold_deadline = now + self.cfg.hold_time;
+                    self.send_bgp(ctx, peer_idx, &open);
+                }
+                TcpEvent::Closed => {
+                    self.session_down(ctx, peer_idx, "tcp_closed");
+                    return;
+                }
+            }
+        }
+        if !out.delivered.is_empty() {
+            let bytes = out.delivered;
+            self.on_bgp_bytes(ctx, peer_idx, &bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    fn forward_data(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+        if let Some(rack) = self.cfg.rack_subnet {
+            if rack.contains(pkt.dst) {
+                if let Some(&(_, port)) = self.cfg.host_ports.iter().find(|(ip, _)| *ip == pkt.dst)
+                {
+                    let frame = EthernetFrame {
+                        dst: MacAddr::for_node_port(ctx.node().0, port.0),
+                        src: MacAddr::for_node_port(ctx.node().0, port.0),
+                        ethertype: EtherType::Ipv4,
+                        payload: pkt.encode(),
+                    };
+                    self.stats.data_delivered += 1;
+                    ctx.send(port, frame.encode(), FrameClass::Data);
+                } else {
+                    self.stats.data_dropped += 1;
+                }
+                return;
+            }
+        }
+        if pkt.ttl <= 1 {
+            self.stats.data_dropped += 1;
+            return;
+        }
+        let Some((_, members)) = self.rib.lookup(pkt.dst) else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let hash = flow_hash_of(&pkt);
+        let port = members[dcn_wire::ecmp_index(hash, members.len())].peer_port;
+        let mut out = pkt;
+        out.ttl -= 1;
+        let frame = EthernetFrame {
+            dst: MacAddr::for_node_port(ctx.node().0, port.0),
+            src: MacAddr::for_node_port(ctx.node().0, port.0),
+            ethertype: EtherType::Ipv4,
+            payload: out.encode(),
+        };
+        self.stats.data_forwarded += 1;
+        ctx.send(port, frame.encode(), FrameClass::Data);
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for peer_idx in 0..self.peers.len() {
+            let port = self.peers[peer_idx].cfg.port;
+            if !ctx.port(port).up {
+                continue; // carrier handling killed these sessions already
+            }
+            // Connection management.
+            if self.peers[peer_idx].fsm == Fsm::Idle && now >= self.peers[peer_idx].connect_at {
+                let active = self.peers[peer_idx].cfg.is_active();
+                self.peers[peer_idx].fsm = Fsm::TcpPending;
+                self.peers[peer_idx].hold_deadline = now + self.cfg.hold_time * 4;
+                if active {
+                    let out = self.peers[peer_idx].tcp.connect(now);
+                    self.emit_segments(ctx, peer_idx, out.segments, FrameClass::Session);
+                } else {
+                    self.peers[peer_idx].tcp.listen();
+                }
+            }
+            // TCP retransmission.
+            let out = self.peers[peer_idx].tcp.tick(now);
+            self.emit_segments(ctx, peer_idx, out.segments, FrameClass::Session);
+            for ev in &out.events {
+                if *ev == TcpEvent::Closed {
+                    self.session_down(ctx, peer_idx, "tcp_retx_exhausted");
+                }
+            }
+            // Keepalives and hold timer.
+            let fsm = self.peers[peer_idx].fsm;
+            if fsm == Fsm::Established && now >= self.peers[peer_idx].keepalive_due {
+                self.peers[peer_idx].keepalive_due = now + self.cfg.keepalive_interval;
+                self.send_bgp(ctx, peer_idx, &BgpMessage::Keepalive);
+            }
+            if matches!(fsm, Fsm::OpenSent | Fsm::OpenConfirm | Fsm::Established | Fsm::TcpPending)
+                && now > self.peers[peer_idx].hold_deadline
+            {
+                self.session_down(ctx, peer_idx, "bgp_hold_expired");
+                continue;
+            }
+            // BFD.
+            if let Some(mut bfd) = self.peers[peer_idx].bfd.take() {
+                let (pkt, event) = bfd.tick(now);
+                self.peers[peer_idx].bfd = Some(bfd);
+                if let Some(pkt) = pkt {
+                    let (src, dst) = {
+                        let c = &self.peers[peer_idx].cfg;
+                        (c.local_ip, c.peer_ip)
+                    };
+                    let udp = UdpDatagram::new(49152, BFD_CTRL_PORT, pkt.encode());
+                    self.send_ip(ctx, port, IPPROTO_UDP, src, dst, udp.encode(), FrameClass::Keepalive);
+                }
+                if event == Some(BfdEvent::SessionDown)
+                    && self.peers[peer_idx].fsm == Fsm::Established
+                {
+                    self.session_down(ctx, peer_idx, "bfd_down");
+                }
+            }
+        }
+        ctx.set_timer(TICK, TOKEN_TICK);
+    }
+}
+
+impl Protocol for BgpRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let jitter = ctx.rand_below(millis(5));
+        ctx.set_timer(TICK + jitter, TOKEN_TICK);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
+        let Ok(eth) = EthernetFrame::decode(frame) else { return };
+        if eth.ethertype != EtherType::Ipv4 {
+            return; // BGP fabrics ignore MR-MTP frames and vice versa
+        }
+        let Ok(pkt) = Ipv4Packet::decode(&eth.payload) else { return };
+        // Control traffic addressed to our side of this link?
+        if let Some(&peer_idx) = self.port_peer.get(&port) {
+            if pkt.dst == self.peers[peer_idx].cfg.local_ip {
+                match pkt.protocol {
+                    IPPROTO_TCP => {
+                        if let Ok(seg) = TcpSegment::decode(&pkt.payload) {
+                            self.on_tcp_segment(ctx, peer_idx, &seg);
+                        }
+                    }
+                    IPPROTO_UDP => {
+                        if let Ok(udp) = UdpDatagram::decode(&pkt.payload) {
+                            if udp.dst_port == BFD_CTRL_PORT {
+                                if let Ok(bp) = dcn_wire::BfdPacket::decode(&udp.payload) {
+                                    let now = ctx.now();
+                                    if let Some(mut bfd) = self.peers[peer_idx].bfd.take() {
+                                        let (reply, event) = bfd.on_packet(&bp, now);
+                                        self.peers[peer_idx].bfd = Some(bfd);
+                                        if let Some(r) = reply {
+                                            let (src, dst) = {
+                                                let c = &self.peers[peer_idx].cfg;
+                                                (c.local_ip, c.peer_ip)
+                                            };
+                                            let udp =
+                                                UdpDatagram::new(49152, BFD_CTRL_PORT, r.encode());
+                                            self.send_ip(
+                                                ctx,
+                                                port,
+                                                IPPROTO_UDP,
+                                                src,
+                                                dst,
+                                                udp.encode(),
+                                                FrameClass::Keepalive,
+                                            );
+                                        }
+                                        if event == Some(BfdEvent::SessionDown)
+                                            && self.peers[peer_idx].fsm == Fsm::Established
+                                        {
+                                            self.session_down(ctx, peer_idx, "bfd_down");
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                return;
+            }
+        }
+        // Otherwise: transit data.
+        self.forward_data(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_TICK {
+            self.tick(ctx);
+        }
+    }
+
+    fn on_port_down(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        // FRR's interface tracking: carrier loss kills the session at
+        // once — no waiting for timers on the local side.
+        if let Some(&peer_idx) = self.port_peer.get(&port) {
+            self.session_down(ctx, peer_idx, "carrier_down");
+        }
+    }
+
+    fn on_port_up(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        if let Some(&peer_idx) = self.port_peer.get(&port) {
+            let now = ctx.now();
+            self.peers[peer_idx].connect_at = now + self.cfg.connect_retry;
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeerConfig;
+
+    fn cfg() -> BgpConfig {
+        BgpConfig::new("T-1", 64512, 0x0A000001).peer(PeerConfig {
+            port: PortId(0),
+            local_ip: IpAddr4::new(172, 16, 0, 1),
+            peer_ip: IpAddr4::new(172, 16, 0, 2),
+            peer_asn: 64513,
+        })
+    }
+
+    #[test]
+    fn new_router_is_idle_with_connected_routes() {
+        let r = BgpRouter::new(cfg());
+        assert_eq!(r.established_sessions(), 0);
+        assert_eq!(r.rib().route_count(), 1, "connected /24 of the peer link");
+        assert_eq!(r.asn(), 64512);
+        assert_eq!(r.name(), "T-1");
+    }
+
+    #[test]
+    fn export_path_prepends_own_asn_and_filters_loops() {
+        let mut r = BgpRouter::new(cfg());
+        r.rib.add_local(Prefix::new(IpAddr4::new(192, 168, 11, 0), 24));
+        let local = r
+            .export_path(Prefix::new(IpAddr4::new(192, 168, 11, 0), 24), 0)
+            .unwrap();
+        assert_eq!(local, vec![64512]);
+        // A learned path through the peer's AS must not be exported back.
+        let p = Prefix::new(IpAddr4::new(192, 168, 12, 0), 24);
+        r.rib.ingest_advert(PortId(0), p, vec![64513, 65002], IpAddr4(0));
+        assert_eq!(r.export_path(p, 0), None);
+    }
+
+    #[test]
+    fn originated_prefixes_land_in_rib_as_local() {
+        let rack = Prefix::new(IpAddr4::new(192, 168, 11, 0), 24);
+        let c = cfg().originating(rack);
+        let r = BgpRouter::new(c);
+        assert!(r.rib().is_local(rack));
+    }
+}

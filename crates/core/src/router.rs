@@ -1,0 +1,786 @@
+//! The MR-MTP router: tree construction, failure handling, forwarding.
+//!
+//! ## Loss-update semantics (reproducing the paper's Fig. 5 accounting)
+//!
+//! When a router loses a tree root downward (its port of acquisition died
+//! or a lower neighbor reported the loss), it removes the affected own
+//! VIDs and floods a `Lost` update to its remaining neighbors. Routers
+//! receiving a `Lost` from a *lower* neighbor do the same — they are the
+//! "spines along the way (that) only forward the update message" of the
+//! paper: identity-VID removal is not a destination-routing change.
+//!
+//! Routers receiving `Lost` from *upper* neighbors hold the reports down
+//! briefly (2 ms) so reports from parallel uplinks aggregate, then decide:
+//!
+//! * **partial upward loss** (some uplinks still reach the root): install
+//!   negative-reachability entries for the reporting ports — this *is* a
+//!   destination-routing change and is what the blast-radius metric
+//!   counts;
+//! * **total upward loss** (every uplink reported): nothing to
+//!   discriminate — propagate the loss to the tier below and store
+//!   nothing.
+//!
+//! This pair of rules yields exactly the paper's numbers: 3/1 updated
+//! routers in the 2-PoD fabric and 7/3 in the 4-PoD fabric for failures
+//! at TC1/TC2 and TC3/TC4 respectively.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dcn_sim::time::{millis, Duration, Time};
+use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind};
+use dcn_wire::{
+    flow_hash_of, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, MrmtpMsg, Vid,
+};
+
+use crate::config::MrmtpConfig;
+use crate::neighbor::{NeighborTable, RxOutcome};
+use crate::reliable::ReliableTx;
+use crate::vid_table::VidTable;
+
+/// Periodic housekeeping timer token.
+const TOKEN_TICK: u64 = 1;
+/// Loss-aggregation hold-down timer token.
+const TOKEN_HOLDDOWN: u64 = 2;
+
+/// Housekeeping granularity: hellos, dead sweeps and retransmissions are
+/// checked on this cadence (well under the 50 ms hello interval).
+const TICK: Duration = millis(5);
+
+/// Per-port window of recently processed reliable-message sequence
+/// numbers (dedupes retransmissions).
+const SEEN_SEQ_WINDOW: usize = 64;
+
+/// Counters exposed for tests, examples and the experiment harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterStats {
+    pub hellos_sent: u64,
+    pub advertises_sent: u64,
+    pub joins_sent: u64,
+    pub offers_sent: u64,
+    pub updates_sent: u64,
+    pub updates_received: u64,
+    pub data_forwarded: u64,
+    pub data_delivered: u64,
+    pub data_dropped: u64,
+    pub negatives_installed: u64,
+    pub negatives_cleared: u64,
+}
+
+/// An MR-MTP router bound to one emulated node.
+pub struct MrmtpRouter {
+    cfg: MrmtpConfig,
+    /// ToR root VID (None on spines).
+    my_root: Option<Vid>,
+    table: VidTable,
+    nbr: NeighborTable,
+    rel: ReliableTx,
+    /// Roots offered to each child port (propagation targets for loss
+    /// updates heading down the meshed trees).
+    offered: BTreeMap<PortId, BTreeSet<u8>>,
+    /// Recently processed (port, seq) pairs, ring per port.
+    seen_seq: BTreeMap<PortId, VecDeque<u16>>,
+    /// Aggregating upper-loss reports: root → reporting up-ports.
+    pending_upper_loss: BTreeMap<u8, BTreeSet<PortId>>,
+    holddown_armed: bool,
+    /// Roots this router itself declared lost downward (suppresses echo
+    /// processing of its own flood).
+    self_lost: BTreeSet<u8>,
+    /// Roots known unreachable through every uplink (total upward loss).
+    upper_lost: BTreeSet<u8>,
+    /// Rack-facing ports (ToR only): server address → port.
+    host_ports: Vec<(IpAddr4, PortId)>,
+    last_advertise: Time,
+    started: bool,
+    stats: RouterStats,
+}
+
+impl MrmtpRouter {
+    /// Create a router for a node with `ports` ports.
+    pub fn new(cfg: MrmtpConfig, ports: usize) -> MrmtpRouter {
+        let my_root = cfg.tor.as_ref().map(|t| Vid::root(t.derive_vid()));
+        let host_ports = cfg.tor.as_ref().map(|t| t.host_ports.clone()).unwrap_or_default();
+        let nbr = NeighborTable::new(ports, cfg.timers.dead_interval, cfg.timers.accept_hellos);
+        MrmtpRouter {
+            cfg,
+            my_root,
+            table: VidTable::new(),
+            nbr,
+            rel: ReliableTx::new(),
+            offered: BTreeMap::new(),
+            seen_seq: BTreeMap::new(),
+            pending_upper_loss: BTreeMap::new(),
+            holddown_armed: false,
+            self_lost: BTreeSet::new(),
+            upper_lost: BTreeSet::new(),
+            host_ports,
+            last_advertise: 0,
+            started: false,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// This router's tier.
+    pub fn tier(&self) -> u8 {
+        self.cfg.tier
+    }
+
+    /// The ToR's root VID, if this is a ToR.
+    pub fn root_vid(&self) -> Option<Vid> {
+        self.my_root
+    }
+
+    /// The VID table (harness inspection).
+    pub fn vid_table(&self) -> &VidTable {
+        &self.table
+    }
+
+    /// Neighbor liveness (harness inspection).
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.nbr
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Router name from configuration.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Render the VID table in the paper's Listing 5 layout.
+    pub fn render_table(&self) -> String {
+        self.table.render()
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission helpers
+    // ------------------------------------------------------------------
+
+    fn is_host_port(&self, port: PortId) -> bool {
+        self.host_ports.iter().any(|&(_, p)| p == port)
+    }
+
+    /// Router-facing connected ports.
+    fn router_ports<'c>(&self, ctx: &Ctx<'c>) -> Vec<PortId> {
+        (0..ctx.port_count() as u16)
+            .map(PortId)
+            .filter(|&p| ctx.port(p).connected && !self.is_host_port(p))
+            .collect()
+    }
+
+    fn send_msg(&mut self, ctx: &mut Ctx<'_>, port: PortId, msg: &MrmtpMsg, class: FrameClass) {
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_node_port(ctx.node().0, port.0),
+            ethertype: EtherType::Mrmtp,
+            payload: msg.encode(),
+        };
+        self.nbr.note_tx(port, ctx.now());
+        ctx.send(port, frame.encode(), class);
+    }
+
+    /// Send a reliable (acknowledged, retransmitted) message.
+    fn send_reliable(&mut self, ctx: &mut Ctx<'_>, port: PortId, msg: MrmtpMsg, class: FrameClass) {
+        let seq = match &msg {
+            MrmtpMsg::Offer { seq, .. }
+            | MrmtpMsg::Lost { seq, .. }
+            | MrmtpMsg::Recovered { seq, .. } => *seq,
+            _ => unreachable!("only offers and updates are reliable"),
+        };
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_node_port(ctx.node().0, port.0),
+            ethertype: EtherType::Mrmtp,
+            payload: msg.encode(),
+        }
+        .encode();
+        self.nbr.note_tx(port, ctx.now());
+        ctx.send(port, frame.clone(), class);
+        self.rel
+            .track(port, seq, frame, class, ctx.now(), self.cfg.timers.retransmit_interval);
+    }
+
+    fn advertise_on(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        let vids = if let Some(root) = self.my_root {
+            vec![root]
+        } else {
+            self.table.primary_vids()
+        };
+        if vids.is_empty() {
+            return;
+        }
+        let tier = self.cfg.tier;
+        self.stats.advertises_sent += 1;
+        self.send_msg(ctx, port, &MrmtpMsg::Advertise { tier, vids }, FrameClass::Session);
+    }
+
+    fn advertise_all(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_advertise = ctx.now();
+        for port in self.router_ports(ctx) {
+            if ctx.port(port).up {
+                self.advertise_on(ctx, port);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tree construction
+    // ------------------------------------------------------------------
+
+    fn on_advertise(&mut self, ctx: &mut Ctx<'_>, port: PortId, tier: u8, vids: &[Vid]) {
+        self.nbr.set_tier(port, tier);
+        if tier + 1 != self.cfg.tier {
+            return; // not a potential parent
+        }
+        // Join if the parent offers any tree we don't already hold via
+        // this port.
+        let wants = vids
+            .iter()
+            .any(|v| !self.table.ports_for(v.root_id()).any(|p| p == port));
+        if wants {
+            let my_tier = self.cfg.tier;
+            self.stats.joins_sent += 1;
+            self.send_msg(ctx, port, &MrmtpMsg::Join { tier: my_tier }, FrameClass::Session);
+        }
+    }
+
+    fn on_join(&mut self, ctx: &mut Ctx<'_>, port: PortId, tier: u8) {
+        self.nbr.set_tier(port, tier);
+        if tier != self.cfg.tier + 1 {
+            return; // only upper-tier devices join our trees
+        }
+        // Derive one child VID per tree we hold, appending this port's
+        // 1-based number (paper §III-B).
+        let mut vids = Vec::new();
+        let mut roots = BTreeSet::new();
+        if let Some(root) = self.my_root {
+            if let Ok(child) = root.child(port.label()) {
+                roots.insert(root.root_id());
+                vids.push(child);
+            }
+        }
+        for v in self.table.primary_vids() {
+            if let Ok(child) = v.child(port.label()) {
+                roots.insert(v.root_id());
+                vids.push(child);
+            }
+        }
+        if vids.is_empty() {
+            return;
+        }
+        self.offered.insert(port, roots);
+        let seq = self.rel.alloc_seq();
+        self.stats.offers_sent += 1;
+        self.send_reliable(ctx, port, MrmtpMsg::Offer { seq, vids }, FrameClass::Session);
+    }
+
+    fn on_offer(&mut self, ctx: &mut Ctx<'_>, port: PortId, seq: u16, vids: &[Vid]) {
+        // Offers come from parents (one tier below).
+        self.nbr.set_tier(port, self.cfg.tier - 1);
+        self.send_msg(ctx, port, &MrmtpMsg::Accept { seq }, FrameClass::Session);
+        if self.already_seen(port, seq) {
+            return;
+        }
+        let mut regained = Vec::new();
+        let mut changed = false;
+        for &vid in vids {
+            let was_absent = self.table.install(vid, port);
+            changed = true;
+            ctx.trace_proto("vid_install", vid.root_id() as u64);
+            if was_absent {
+                let root = vid.root_id();
+                self.upper_lost.remove(&root);
+                if self.self_lost.remove(&root) {
+                    regained.push(root);
+                }
+            }
+        }
+        if changed {
+            // Propagate the enlarged tree upward immediately.
+            self.advertise_all(ctx);
+        }
+        if !regained.is_empty() {
+            // Tell everyone (except the parent that restored us) that the
+            // roots are reachable again, clearing negative entries.
+            self.flood_update(ctx, &regained, port, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// Flood a `Lost` (or `Recovered`) update for `roots` to all live
+    /// router neighbors except `except`.
+    fn flood_update(&mut self, ctx: &mut Ctx<'_>, roots: &[u8], except: PortId, lost: bool) {
+        for port in self.router_ports(ctx) {
+            if port == except || !ctx.port(port).up || !self.nbr.is_up(port) {
+                continue;
+            }
+            let seq = self.rel.alloc_seq();
+            let msg = if lost {
+                MrmtpMsg::Lost { seq, roots: roots.to_vec() }
+            } else {
+                MrmtpMsg::Recovered { seq, roots: roots.to_vec() }
+            };
+            self.stats.updates_sent += 1;
+            self.send_reliable(ctx, port, msg, FrameClass::Update);
+        }
+    }
+
+    /// Flood to live neighbors at a specific tier only.
+    fn flood_update_to_tier(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        roots: &[u8],
+        tier: u8,
+        lost: bool,
+    ) {
+        let targets: Vec<PortId> = self.nbr.up_ports_at_tier(tier).collect();
+        for port in targets {
+            if !ctx.port(port).up {
+                continue;
+            }
+            let seq = self.rel.alloc_seq();
+            let msg = if lost {
+                MrmtpMsg::Lost { seq, roots: roots.to_vec() }
+            } else {
+                MrmtpMsg::Recovered { seq, roots: roots.to_vec() }
+            };
+            self.stats.updates_sent += 1;
+            self.send_reliable(ctx, port, msg, FrameClass::Update);
+        }
+    }
+
+    /// A neighbor is gone (carrier loss or missed hello).
+    fn neighbor_down(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        self.rel.drop_port(port);
+        self.offered.remove(&port);
+        ctx.trace_proto("neighbor_down", port.0 as u64);
+        // Which tree roots die with this port?
+        let mut lost = Vec::new();
+        for root in self.table.roots_via_port(port) {
+            if self.table.remove_via(root, port) {
+                ctx.trace_proto("vid_remove", root as u64);
+                lost.push(root);
+            }
+        }
+        if !lost.is_empty() {
+            for &r in &lost {
+                self.self_lost.insert(r);
+            }
+            self.flood_update(ctx, &lost, port, true);
+        }
+    }
+
+    fn already_seen(&mut self, port: PortId, seq: u16) -> bool {
+        let ring = self.seen_seq.entry(port).or_default();
+        if ring.contains(&seq) {
+            return true;
+        }
+        ring.push_back(seq);
+        if ring.len() > SEEN_SEQ_WINDOW {
+            ring.pop_front();
+        }
+        false
+    }
+
+    fn on_lost(&mut self, ctx: &mut Ctx<'_>, port: PortId, seq: u16, roots: &[u8]) {
+        self.send_msg(ctx, port, &MrmtpMsg::UpdateAck { seq }, FrameClass::Ack);
+        if self.already_seen(port, seq) {
+            return;
+        }
+        self.stats.updates_received += 1;
+        let from_tier = self.nbr.tier(port);
+        if from_tier == Some(self.cfg.tier.wrapping_sub(1)) {
+            // From a lower neighbor: our VIDs through it died.
+            let mut fully_lost = Vec::new();
+            for &root in roots {
+                if self.table.remove_via(root, port) {
+                    ctx.trace_proto("vid_remove", root as u64);
+                    self.self_lost.insert(root);
+                    fully_lost.push(root);
+                }
+            }
+            if !fully_lost.is_empty() {
+                self.flood_update(ctx, &fully_lost, port, true);
+            }
+        } else if from_tier == Some(self.cfg.tier + 1) {
+            // From an upper neighbor: aggregate before deciding between
+            // negative entries and downward propagation.
+            let mut any = false;
+            for &root in roots {
+                if self.table.has_root(root)
+                    || self.my_root.map(|v| v.root_id()) == Some(root)
+                    || self.self_lost.contains(&root)
+                {
+                    continue; // we route this root downward (or declared
+                              // the loss ourselves): uplink state is moot
+                }
+                self.pending_upper_loss.entry(root).or_default().insert(port);
+                any = true;
+            }
+            if any && !self.holddown_armed {
+                self.holddown_armed = true;
+                ctx.set_timer(self.cfg.timers.loss_holddown, TOKEN_HOLDDOWN);
+            }
+        }
+        // Updates from unknown-tier neighbors are acknowledged but not
+        // acted on (we have no topology context for them yet).
+    }
+
+    fn on_holddown(&mut self, ctx: &mut Ctx<'_>) {
+        self.holddown_armed = false;
+        let pending = std::mem::take(&mut self.pending_upper_loss);
+        let upper_tier = self.cfg.tier + 1;
+        for (root, reported) in pending {
+            let ups: BTreeSet<PortId> = self.nbr.up_ports_at_tier(upper_tier).collect();
+            // Total upward loss when every uplink has reported — in this
+            // hold-down round or in an earlier one (a previously
+            // installed negative entry is an older report; without this,
+            // staggered dead timers upstream would leave the tier below
+            // forever uninformed).
+            let total = !ups.is_empty()
+                && ups
+                    .iter()
+                    .all(|p| reported.contains(p) || self.table.is_negative(root, *p));
+            if total {
+                // No uplink reaches this root: hand the loss down; there
+                // is nothing to discriminate locally.
+                self.upper_lost.insert(root);
+                ctx.trace_proto("upper_loss_total", root as u64);
+                if self.cfg.tier > 1 {
+                    self.flood_update_to_tier(ctx, &[root], self.cfg.tier - 1, true);
+                }
+            } else {
+                // Partial loss: rule the reporting uplinks out. This is
+                // the destination-routing change the paper's blast-radius
+                // metric counts.
+                for p in reported {
+                    if self.table.add_negative(root, p) {
+                        self.stats.negatives_installed += 1;
+                        ctx.trace_route_change(RouteChangeKind::Withdraw, root as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_recovered(&mut self, ctx: &mut Ctx<'_>, port: PortId, seq: u16, roots: &[u8]) {
+        self.send_msg(ctx, port, &MrmtpMsg::UpdateAck { seq }, FrameClass::Ack);
+        if self.already_seen(port, seq) {
+            return;
+        }
+        self.stats.updates_received += 1;
+        let from_tier = self.nbr.tier(port);
+        if from_tier == Some(self.cfg.tier.wrapping_sub(1)) {
+            // A parent regained trees: re-join so it re-offers our VIDs.
+            let my_tier = self.cfg.tier;
+            self.stats.joins_sent += 1;
+            self.send_msg(ctx, port, &MrmtpMsg::Join { tier: my_tier }, FrameClass::Session);
+        } else if from_tier == Some(self.cfg.tier + 1) {
+            let mut forward_down = Vec::new();
+            for &root in roots {
+                if self.table.clear_negative(root, port) {
+                    self.stats.negatives_cleared += 1;
+                    ctx.trace_route_change(RouteChangeKind::Install, root as u64);
+                }
+                if self.upper_lost.remove(&root) {
+                    forward_down.push(root);
+                }
+            }
+            if !forward_down.is_empty() && self.cfg.tier > 1 {
+                self.flood_update_to_tier(ctx, &forward_down, self.cfg.tier - 1, false);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Choose the output port for traffic to `root` with flow hash
+    /// `flow`. Downward VID-table entries win; otherwise hash across live
+    /// uplinks, honoring negative entries.
+    fn route_for(&self, ctx: &Ctx<'_>, root: u8, flow: u16) -> Option<PortId> {
+        let mut down: Vec<PortId> = self
+            .table
+            .vids_for(root)
+            .iter()
+            .map(|o| o.port)
+            .filter(|&p| ctx.port(p).up && self.nbr.is_up(p) && !self.table.is_negative(root, p))
+            .collect();
+        if !down.is_empty() {
+            down.sort_unstable();
+            return Some(down[dcn_wire::ecmp_index(flow as u64, down.len())]);
+        }
+        if self.upper_lost.contains(&root) {
+            return None;
+        }
+        let mut ups: Vec<PortId> = self
+            .nbr
+            .up_ports_at_tier(self.cfg.tier + 1)
+            .filter(|&p| ctx.port(p).up && !self.table.is_negative(root, p))
+            .collect();
+        if ups.is_empty() {
+            return None;
+        }
+        ups.sort_unstable();
+        Some(ups[dcn_wire::ecmp_index(flow as u64, ups.len())])
+    }
+
+    /// An IP packet arrived from a rack port (ToR ingress).
+    fn on_host_ip(&mut self, ctx: &mut Ctx<'_>, frame: &EthernetFrame) {
+        let Some(my_root) = self.my_root else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let Ok(pkt) = Ipv4Packet::decode(&frame.payload) else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let rack = self.cfg.tor.as_ref().expect("ToR has rack config").rack_subnet;
+        if rack.contains(pkt.dst) {
+            // Intra-rack: bounce to the right server port.
+            self.deliver_to_host(ctx, &pkt, frame.payload.clone());
+            return;
+        }
+        // Derive the destination ToR VID from the destination address
+        // (paper §III-D) and encapsulate.
+        let dst_root = pkt.dst.third_octet();
+        let flow = (flow_hash_of(&pkt) & 0xFFFF) as u16;
+        let msg = MrmtpMsg::Data {
+            src: my_root,
+            dst: Vid::root(dst_root),
+            flow,
+            payload: frame.payload.clone(),
+        };
+        match self.route_for(ctx, dst_root, flow) {
+            Some(port) => {
+                self.stats.data_forwarded += 1;
+                self.send_msg(ctx, port, &msg, FrameClass::Data);
+            }
+            None => self.stats.data_dropped += 1,
+        }
+    }
+
+    fn deliver_to_host(&mut self, ctx: &mut Ctx<'_>, pkt: &Ipv4Packet, ip_bytes: Vec<u8>) {
+        let Some(&(_, port)) = self.host_ports.iter().find(|(ip, _)| *ip == pkt.dst) else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let out = EthernetFrame {
+            dst: MacAddr::for_node_port(ctx.node().0, port.0), // host accepts any
+            src: MacAddr::for_node_port(ctx.node().0, port.0),
+            ethertype: EtherType::Ipv4,
+            payload: ip_bytes,
+        };
+        self.stats.data_delivered += 1;
+        ctx.send(port, out.encode(), FrameClass::Data);
+    }
+
+    /// An encapsulated data frame arrived from the fabric.
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, raw_frame: &[u8], dst: Vid, flow: u16, payload: &[u8]) {
+        let root = dst.root_id();
+        if self.my_root.map(|v| v.root_id()) == Some(root) {
+            // Terminal ToR: de-encapsulate and hand to the server.
+            match Ipv4Packet::decode(payload) {
+                Ok(pkt) => self.deliver_to_host(ctx, &pkt, payload.to_vec()),
+                Err(_) => self.stats.data_dropped += 1,
+            }
+            return;
+        }
+        match self.route_for(ctx, root, flow) {
+            Some(port) => {
+                // Forward the original frame bytes unchanged (the MR-MTP
+                // header needs no rewriting hop to hop).
+                self.stats.data_forwarded += 1;
+                self.nbr.note_tx(port, ctx.now());
+                ctx.send(port, raw_frame.to_vec(), FrameClass::Data);
+            }
+            None => self.stats.data_dropped += 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Quick-to-Detect: sweep silent neighbors.
+        for port in self.nbr.sweep_dead(now) {
+            self.neighbor_down(ctx, port);
+        }
+        // Retransmit unacknowledged reliable messages.
+        let retx = self.cfg.timers.retransmit_interval;
+        for (port, frame, class) in self.rel.due(now, retx) {
+            if ctx.port(port).up {
+                self.nbr.note_tx(port, now);
+                ctx.send(port, frame, class);
+            }
+        }
+        // Hellos on idle links only (every MR-MTP frame is a keep-alive).
+        let hello_due = self.cfg.timers.hello_interval;
+        for port in self.router_ports(ctx) {
+            if ctx.port(port).up && now.saturating_sub(self.nbr.last_tx(port)) >= hello_due {
+                self.stats.hellos_sent += 1;
+                self.send_msg(ctx, port, &MrmtpMsg::Hello, FrameClass::Keepalive);
+            }
+        }
+        // Periodic re-advertisement backstop.
+        if now.saturating_sub(self.last_advertise) >= self.cfg.timers.advertise_interval {
+            self.advertise_all(ctx);
+        }
+        ctx.set_timer(TICK, TOKEN_TICK);
+    }
+}
+
+impl Protocol for MrmtpRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = true;
+        // Small deterministic jitter decorrelates router timers.
+        let jitter = ctx.rand_below(millis(1));
+        ctx.set_timer(TICK + jitter, TOKEN_TICK);
+        self.advertise_all(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
+        let Ok(eth) = EthernetFrame::decode(frame) else {
+            return;
+        };
+        match eth.ethertype {
+            EtherType::Ipv4 if self.is_host_port(port) => {
+                self.on_host_ip(ctx, &eth);
+                return;
+            }
+            EtherType::Mrmtp => {}
+            _ => return,
+        }
+        let Ok(msg) = MrmtpMsg::decode(&eth.payload) else {
+            return;
+        };
+        // Every frame is a keep-alive; Slow-to-Accept may suppress
+        // protocol processing while a flapping neighbor re-proves itself.
+        let outcome = self.nbr.note_rx(port, ctx.now());
+        match outcome {
+            RxOutcome::SuppressedByDamping => return,
+            RxOutcome::CameUp => {
+                ctx.trace_proto("neighbor_up", port.0 as u64);
+                // Give the neighbor a chance to (re)join our trees.
+                self.advertise_on(ctx, port);
+            }
+            RxOutcome::Still => {}
+        }
+        match msg {
+            MrmtpMsg::Hello => {}
+            MrmtpMsg::Advertise { tier, vids } => self.on_advertise(ctx, port, tier, &vids),
+            MrmtpMsg::Join { tier } => self.on_join(ctx, port, tier),
+            MrmtpMsg::Offer { seq, vids } => self.on_offer(ctx, port, seq, &vids),
+            MrmtpMsg::Accept { seq } => {
+                self.rel.ack(port, seq);
+            }
+            MrmtpMsg::UpdateAck { seq } => {
+                self.rel.ack(port, seq);
+            }
+            MrmtpMsg::Lost { seq, roots } => self.on_lost(ctx, port, seq, &roots),
+            MrmtpMsg::Recovered { seq, roots } => self.on_recovered(ctx, port, seq, &roots),
+            MrmtpMsg::Data { dst, flow, payload, .. } => {
+                self.on_data(ctx, frame, dst, flow, &payload)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_TICK => self.tick(ctx),
+            TOKEN_HOLDDOWN => self.on_holddown(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_port_down(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        if self.nbr.set_carrier(port, false) {
+            self.neighbor_down(ctx, port);
+        } else {
+            self.rel.drop_port(port);
+        }
+    }
+
+    fn on_port_up(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        self.nbr.set_carrier(port, true);
+        // Start proving liveness to the neighbor immediately; tree
+        // re-join happens after Slow-to-Accept completes.
+        if !self.is_host_port(port) {
+            self.stats.hellos_sent += 1;
+            self.send_msg(ctx, port, &MrmtpMsg::Hello, FrameClass::Keepalive);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MrmtpTimers, TorConfig};
+    use dcn_wire::Prefix;
+
+    fn tor_cfg(vid: u8) -> MrmtpConfig {
+        MrmtpConfig::tor(
+            format!("L-{vid}"),
+            TorConfig {
+                rack_subnet: Prefix::new(IpAddr4::new(192, 168, vid, 0), 24),
+                host_ports: vec![(IpAddr4::new(192, 168, vid, 1), PortId(2))],
+            },
+        )
+    }
+
+    #[test]
+    fn tor_root_vid_is_derived() {
+        let r = MrmtpRouter::new(tor_cfg(11), 3);
+        assert_eq!(r.root_vid(), Some(Vid::root(11)));
+        assert_eq!(r.tier(), 1);
+        assert!(r.is_host_port(PortId(2)));
+        assert!(!r.is_host_port(PortId(0)));
+    }
+
+    #[test]
+    fn spine_has_no_root() {
+        let r = MrmtpRouter::new(MrmtpConfig::spine("S-1-1", 2), 4);
+        assert_eq!(r.root_vid(), None);
+        assert_eq!(r.tier(), 2);
+        assert_eq!(r.vid_table().own_entry_count(), 0);
+    }
+
+    #[test]
+    fn seen_seq_window_dedupes_and_bounds() {
+        let mut r = MrmtpRouter::new(MrmtpConfig::spine("S", 2), 2);
+        assert!(!r.already_seen(PortId(0), 5));
+        assert!(r.already_seen(PortId(0), 5));
+        // Different port: independent window.
+        assert!(!r.already_seen(PortId(1), 5));
+        // Fill beyond the window: the oldest entry is forgotten.
+        for s in 100..(100 + SEEN_SEQ_WINDOW as u16 + 1) {
+            assert!(!r.already_seen(PortId(0), s));
+        }
+        assert!(!r.already_seen(PortId(0), 5), "evicted after window overflow");
+    }
+
+    #[test]
+    fn timers_default_to_paper_values() {
+        let r = MrmtpRouter::new(tor_cfg(11), 3);
+        let t: MrmtpTimers = r.cfg.timers;
+        assert_eq!(t.hello_interval, millis(50));
+        assert_eq!(t.dead_interval, millis(100));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests on MR-MTP's core data structures: VID-table invariants
+//! and the Quick-to-Detect / Slow-to-Accept neighbor state machine.
+
+use proptest::prelude::*;
+
+use dcn_mrmtp::{NeighborState, NeighborTable, VidTable};
+use dcn_sim::PortId;
+use dcn_wire::Vid;
+
+fn arb_vid() -> impl Strategy<Value = Vid> {
+    proptest::collection::vec(1u8..=40, 1..=4)
+        .prop_map(|c| Vid::from_components(&c).expect("depth ok"))
+}
+
+#[derive(Clone, Debug)]
+enum TableOp {
+    Install(Vid, u16),
+    RemoveVia(u8, u16),
+    AddNeg(u8, u16),
+    ClearNeg(u8, u16),
+    ClearPort(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (arb_vid(), 0u16..4).prop_map(|(v, p)| TableOp::Install(v, p)),
+        (1u8..=40, 0u16..4).prop_map(|(r, p)| TableOp::RemoveVia(r, p)),
+        (1u8..=40, 0u16..4).prop_map(|(r, p)| TableOp::AddNeg(r, p)),
+        (1u8..=40, 0u16..4).prop_map(|(r, p)| TableOp::ClearNeg(r, p)),
+        (0u16..4).prop_map(TableOp::ClearPort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any operation sequence, the table's internal accounting is
+    /// consistent: entry counts match enumerations, every stored VID is
+    /// keyed under its own root, and negatives never go negative.
+    #[test]
+    fn vid_table_invariants_hold_under_any_ops(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let mut t = VidTable::new();
+        for op in ops {
+            match op {
+                TableOp::Install(v, p) => { t.install(v, PortId(p)); }
+                TableOp::RemoveVia(r, p) => { t.remove_via(r, PortId(p)); }
+                TableOp::AddNeg(r, p) => { t.add_negative(r, PortId(p)); }
+                TableOp::ClearNeg(r, p) => { t.clear_negative(r, PortId(p)); }
+                TableOp::ClearPort(p) => { t.clear_negatives_on_port(PortId(p)); }
+            }
+            // Invariant: every vid listed for root r has root_id() == r.
+            let roots: Vec<u8> = t.roots().collect();
+            let mut total = 0;
+            for r in roots {
+                for own in t.vids_for(r) {
+                    prop_assert_eq!(own.vid.root_id(), r);
+                    total += 1;
+                }
+                prop_assert!(!t.vids_for(r).is_empty(), "no empty root buckets");
+            }
+            prop_assert_eq!(t.own_entry_count(), total);
+            // primary_vids yields exactly one per root.
+            prop_assert_eq!(t.primary_vids().len(), t.roots().count());
+            // approx_bytes is consistent with counts.
+            prop_assert!(t.approx_bytes() >= t.own_entry_count());
+        }
+    }
+
+    /// remove_via returns "fully lost" exactly when the root disappears.
+    #[test]
+    fn remove_via_full_loss_semantics(vids in proptest::collection::vec((arb_vid(), 0u16..3), 1..10)) {
+        let mut t = VidTable::new();
+        for (v, p) in &vids {
+            t.install(*v, PortId(*p));
+        }
+        let roots: Vec<u8> = t.roots().collect();
+        for r in roots {
+            let ports: Vec<PortId> = t.ports_for(r).collect();
+            for (i, port) in ports.iter().enumerate() {
+                let fully = t.remove_via(r, *port);
+                prop_assert_eq!(fully, i + 1 == ports.len(),
+                    "full loss only on the last port");
+            }
+            prop_assert!(!t.has_root(r));
+        }
+    }
+
+    /// Slow-to-Accept: a down neighbor never becomes usable with fewer
+    /// than `accept` timely hellos, regardless of the hello schedule.
+    #[test]
+    fn slow_to_accept_needs_n_timely_hellos(
+        gaps in proptest::collection::vec(1u64..300, 1..20),
+        accept in 2u32..5,
+    ) {
+        let dead = 100u64;
+        let mut t = NeighborTable::new(1, dead, accept);
+        t.note_rx(PortId(0), 0);
+        // Kill it.
+        t.sweep_dead(1_000_000);
+        prop_assert_eq!(t.state(PortId(0)), NeighborState::Down);
+        let mut now = 1_000_000;
+        let mut timely_run = 0u32;
+        for gap in gaps {
+            now += gap;
+            let came_up = matches!(
+                t.note_rx(PortId(0), now),
+                dcn_mrmtp::neighbor::RxOutcome::CameUp
+            );
+            if gap <= dead { timely_run += 1 } else { timely_run = 1 }
+            if came_up {
+                prop_assert!(timely_run >= accept,
+                    "came up after only {timely_run} timely hellos (need {accept})");
+                return Ok(());
+            } else {
+                prop_assert!(timely_run < accept, "should have come up by now");
+            }
+        }
+    }
+
+    /// Quick-to-Detect: sweeps kill exactly the neighbors silent past the
+    /// dead interval.
+    #[test]
+    fn sweep_kills_only_silent_neighbors(last_rx in proptest::collection::vec(0u64..1000, 1..8),
+                                         sweep_at in 0u64..2000) {
+        let dead = 100;
+        let mut t = NeighborTable::new(last_rx.len(), dead, 3);
+        for (i, &rx) in last_rx.iter().enumerate() {
+            t.note_rx(PortId(i as u16), rx);
+        }
+        let killed = t.sweep_dead(sweep_at);
+        for (i, &rx) in last_rx.iter().enumerate() {
+            let should_die = sweep_at.saturating_sub(rx) > dead;
+            prop_assert_eq!(killed.contains(&PortId(i as u16)), should_die);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dcn-experiments — the reproduction harness
+//!
+//! Everything needed to regenerate the paper's evaluation (§VII): build a
+//! folded-Clos fabric running one of the three protocol stacks, pin a
+//! monitored flow onto the failure chain, inject the TC1–TC4 interface
+//! failures, and extract the metrics of Figs. 4–10 and Listings 1–5.
+//!
+//! Entry points:
+//! * [`scenario::Scenario`] / [`scenario::run`] — one experiment.
+//! * [`figures`] — one function per paper figure, returning printable
+//!   tables (these are what the benches and examples call).
+//! * [`parallel::run_matrix`] — fan a scenario list out over worker
+//!   threads (the emulator itself is deterministic and single-threaded;
+//!   scenarios are embarrassingly parallel).
+//! * [`replicate`] — the paper's multi-run averaging (mean [min–max]
+//!   across seeds).
+//! * [`ablations`] — quantify Slow-to-Accept, the loss hold-down, and
+//!   the §IX timer trade-offs by switching each off or sweeping it.
+//! * [`extended_failures`] — §IX's extended cases: node crashes and
+//!   multi-point failures.
+
+pub mod ablations;
+pub mod extended_failures;
+pub mod fabric;
+pub mod figures;
+pub mod flows;
+pub mod parallel;
+pub mod replicate;
+pub mod scenario;
+pub mod table;
+
+pub use fabric::{build_fabric_sim, build_four_tier_sim, build_sim, build_sim_tuned, BuiltSim, Stack, StackTuning};
+pub use scenario::{run, run_scenario_tuned, Scenario, ScenarioResult, Timing, TrafficDir};

@@ -1,0 +1,85 @@
+//! Parallel scenario execution.
+//!
+//! Each emulation run is deterministic and single-threaded; the
+//! experiment matrix (topology × stack × failure case × direction) is
+//! embarrassingly parallel. Scenarios fan out over a crossbeam scoped
+//! pool; results return in input order.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::scenario::{run, Scenario, ScenarioResult};
+
+/// Run all scenarios, using up to `threads` workers (0 = one per
+/// available CPU). Results are in the same order as the input.
+pub fn run_matrix_with(scenarios: Vec<Scenario>, threads: usize) -> Vec<ScenarioResult> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
+    if workers <= 1 {
+        return scenarios.into_iter().map(run).collect();
+    }
+    let (tx, rx) = channel::unbounded::<(usize, Scenario)>();
+    for item in scenarios.into_iter().enumerate() {
+        tx.send(item).expect("queue send");
+    }
+    drop(tx);
+    let results: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new(vec![None; n]);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                while let Ok((idx, scenario)) = rx.recv() {
+                    let result = run(scenario);
+                    results.lock()[idx] = Some(result);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every scenario produced a result"))
+        .collect()
+}
+
+/// [`run_matrix_with`] using one worker per CPU.
+pub fn run_matrix(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    run_matrix_with(scenarios, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Stack;
+    use dcn_topology::{ClosParams, FailureCase};
+
+    #[test]
+    fn parallel_results_match_serial_order() {
+        let scenarios: Vec<Scenario> = [FailureCase::Tc3, FailureCase::Tc4]
+            .into_iter()
+            .map(|tc| Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(tc))
+            .collect();
+        let parallel = run_matrix_with(scenarios.clone(), 2);
+        let serial = run_matrix_with(scenarios, 1);
+        assert_eq!(parallel.len(), 2);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.blast_radius, s.blast_radius, "determinism across threads");
+            assert_eq!(p.control_bytes, s.control_bytes);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        assert!(run_matrix(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! One experiment: fabric × stack × failure × traffic → metrics.
+
+use dcn_metrics::{
+    blast_radius, class_breakdown, control_overhead_bytes, convergence_time, keepalive_stats,
+    update_frames, KeepaliveStats,
+};
+use dcn_sim::time::{as_millis_f64, millis, secs, Duration, Time};
+use dcn_topology::{ClosParams, FailureCase};
+use dcn_traffic::{LossReport, SendSpec, TrafficHost};
+
+use crate::fabric::{build_sim_tuned, BuiltSim, Stack, StackTuning};
+use crate::flows::pin_flow;
+
+/// Traffic placement relative to the failure chain (the paper's Figs. 7
+/// and 8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficDir {
+    /// No traffic (pure control-plane experiment).
+    None,
+    /// Sender close to the failure points: rack 11 → rack 14 (Fig. 7).
+    NearToFar,
+    /// Sender away from the failure points: rack 14 → rack 11 (Fig. 8).
+    FarToNear,
+}
+
+/// Experiment timeline. Defaults mirror the paper's procedure: let the
+/// fabric converge, start traffic, fail an interface mid-stream, keep
+/// measuring until well past the slowest stack's recovery (BGP's 3 s hold
+/// timer), then let in-flight traffic drain.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Cold start → converged fabric.
+    pub warmup: Duration,
+    /// Traffic runs this long before the failure.
+    pub traffic_lead: Duration,
+    /// Measurement window after the failure.
+    pub post_failure: Duration,
+    /// Extra drain after traffic stops.
+    pub drain: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            warmup: secs(5),
+            traffic_lead: secs(2),
+            post_failure: secs(6),
+            drain: secs(1),
+        }
+    }
+}
+
+impl Timing {
+    pub fn traffic_start(&self) -> Time {
+        self.warmup
+    }
+    pub fn failure_at(&self) -> Time {
+        self.warmup + self.traffic_lead
+    }
+    pub fn traffic_stop(&self) -> Time {
+        self.failure_at() + self.post_failure
+    }
+    pub fn end(&self) -> Time {
+        self.traffic_stop() + self.drain
+    }
+}
+
+/// A full experiment description.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    pub params: ClosParams,
+    pub stack: Stack,
+    pub failure: Option<FailureCase>,
+    pub traffic: TrafficDir,
+    pub seed: u64,
+    pub timing: Timing,
+}
+
+impl Scenario {
+    pub fn new(params: ClosParams, stack: Stack) -> Scenario {
+        Scenario {
+            params,
+            stack,
+            failure: None,
+            traffic: TrafficDir::None,
+            seed: 42,
+            timing: Timing::default(),
+        }
+    }
+
+    pub fn failing(mut self, tc: FailureCase) -> Scenario {
+        self.failure = Some(tc);
+        self
+    }
+
+    pub fn with_traffic(mut self, dir: TrafficDir) -> Scenario {
+        self.traffic = dir;
+        self
+    }
+
+    pub fn seeded(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything measured from one run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Fig. 4: failure → last update activity, in milliseconds.
+    pub convergence_ms: Option<f64>,
+    /// Fig. 5: routers whose destination-routing state changed.
+    pub blast_radius: usize,
+    /// Fig. 6: layer-2 bytes of update messages after the failure.
+    pub control_bytes: u64,
+    pub update_frames: u64,
+    /// Figs. 7–8: receiver-side loss analysis (when traffic ran).
+    pub loss: Option<LossReport>,
+    /// Figs. 9–10: steady-state keep-alive traffic (pre-traffic window).
+    pub keepalive: KeepaliveStats,
+    /// Per-class (frames, bytes) over the post-failure window.
+    pub breakdown: Vec<(&'static str, u64, u64)>,
+}
+
+/// Run one scenario to completion with the paper's default timers.
+pub fn run(s: Scenario) -> ScenarioResult {
+    run_scenario_tuned(s, StackTuning::default())
+}
+
+/// [`run`] with protocol-timer overrides (ablation studies).
+pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
+    let timing = s.timing;
+    // Traffic setup. The monitored flow is pinned to the failure chain
+    // exactly as the paper's test design requires (§VI-D).
+    let mut senders = Vec::new();
+    let fabric_probe = dcn_topology::Fabric::build(s.params);
+    let addr_probe = dcn_topology::Addressing::new(&fabric_probe);
+    let near_tor = fabric_probe.tor(0, 0);
+    let far_tor = fabric_probe.tor(1, s.params.tors_per_pod - 1);
+    let near_ip = addr_probe.server_addr(near_tor, 0).expect("near server");
+    let far_ip = addr_probe.server_addr(far_tor, 0).expect("far server");
+    let widths = [s.params.spines_per_pod, s.params.uplinks_per_spine];
+    let (src_node, dst_node, src_ip, dst_ip) = match s.traffic {
+        TrafficDir::None => (0, 0, near_ip, far_ip),
+        TrafficDir::NearToFar => (
+            fabric_probe.server(0, 0, 0),
+            fabric_probe.server(1, s.params.tors_per_pod - 1, 0),
+            near_ip,
+            far_ip,
+        ),
+        TrafficDir::FarToNear => (
+            fabric_probe.server(1, s.params.tors_per_pod - 1, 0),
+            fabric_probe.server(0, 0, 0),
+            far_ip,
+            near_ip,
+        ),
+    };
+    if s.traffic != TrafficDir::None {
+        let (sp, dp) = pin_flow(src_ip, dst_ip, &widths);
+        let mut spec = SendSpec::new(dst_ip, timing.traffic_start(), timing.traffic_stop());
+        spec.src_port = sp;
+        spec.dst_port = dp;
+        senders.push((src_node, spec));
+    }
+
+    let mut built: BuiltSim = build_sim_tuned(s.params, s.stack, s.seed, &senders, tuning);
+
+    // Phase 1: warmup.
+    built.sim.run_until(timing.warmup);
+    // Steady-state keep-alive window: the last 2 s of warmup.
+    let ka_window = (timing.warmup.saturating_sub(secs(2)), timing.warmup);
+
+    // Phase 2: failure injection (if any) and measurement.
+    let failure_at = timing.failure_at();
+    if let Some(tc) = s.failure {
+        built.inject_failure(tc, failure_at);
+    }
+    built.sim.run_until(timing.end());
+
+    // Metrics extraction.
+    let trace = built.sim.trace();
+    let keepalive = keepalive_stats(trace, ka_window.0, ka_window.1);
+    let (convergence_ms, blast, control, frames) = if s.failure.is_some() {
+        (
+            convergence_time(trace, failure_at).map(as_millis_f64),
+            blast_radius(trace, failure_at),
+            control_overhead_bytes(trace, failure_at, None),
+            update_frames(trace, failure_at),
+        )
+    } else {
+        (None, 0, 0, 0)
+    };
+    let breakdown = class_breakdown(trace, failure_at, None)
+        .into_iter()
+        .map(|(k, (f, b))| (k, f, b))
+        .collect();
+    let loss = (s.traffic != TrafficDir::None).then(|| {
+        let sent = built.host(src_node).sent();
+        built
+            .sim
+            .node_as::<TrafficHost>(built.node(dst_node))
+            .expect("receiver host")
+            .report(sent)
+    });
+
+    ScenarioResult {
+        convergence_ms,
+        blast_radius: blast,
+        control_bytes: control,
+        update_frames: frames,
+        loss,
+        keepalive,
+        breakdown,
+    }
+}
+
+/// Convenience: a quick steady-state run (no failure) for keep-alive
+/// analysis, with a shorter timeline.
+pub fn run_steady_state(params: ClosParams, stack: Stack, seed: u64) -> ScenarioResult {
+    let mut s = Scenario::new(params, stack).seeded(seed);
+    s.timing = Timing {
+        warmup: secs(5),
+        traffic_lead: millis(1),
+        post_failure: millis(1),
+        drain: millis(1),
+    };
+    run(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::FailureCase;
+
+    #[test]
+    fn mrmtp_tc4_scenario_end_to_end() {
+        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+            .failing(FailureCase::Tc4)
+            .with_traffic(TrafficDir::NearToFar);
+        let r = run(s);
+        assert_eq!(r.blast_radius, 1, "Fig. 5: one router updates");
+        let c = r.convergence_ms.expect("updates flowed");
+        assert!(c < 50.0, "carrier-detected failure converges fast: {c} ms");
+        assert!(r.control_bytes > 0);
+        let loss = r.loss.unwrap();
+        assert!(loss.sent > 2000, "≈333 pkt/s for 8 s: {}", loss.sent);
+        // TC4 silently kills the S1_1 → S2_1 hop the flow rides; S1_1
+        // needs its 100 ms dead timer to reroute, so the flow loses up to
+        // a dead-interval's worth of packets (the paper's TC2/TC4 story).
+        let lost = loss.lost();
+        assert!(
+            (1..=40).contains(&lost),
+            "dead-timer-bounded loss expected: {loss:?}"
+        );
+    }
+
+    #[test]
+    fn steady_state_has_keepalives_but_no_updates() {
+        let r = run_steady_state(ClosParams::two_pod(), Stack::Mrmtp, 3);
+        assert!(r.keepalive.frames > 100);
+        assert_eq!(r.keepalive.avg_frame_len, 60.0, "1-byte hellos padded to 60");
+        assert!(r.convergence_ms.is_none());
+    }
+}

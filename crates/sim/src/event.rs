@@ -1,0 +1,126 @@
+//! The event queue.
+//!
+//! A binary heap keyed on `(time, sequence)` gives a total, deterministic
+//! order: events scheduled earlier in wall-clock-of-scheduling order win
+//! ties. The sequence number is assigned by the engine at insertion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{NodeId, PortId};
+use crate::time::Time;
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+pub enum Event {
+    /// A frame arrives at `node`/`port`.
+    Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
+    /// A protocol timer fires at `node`.
+    Timer { node: NodeId, token: u64 },
+    /// Failure injection: take `node`'s interface `port` down (carrier
+    /// event delivered to `node` only).
+    AdminPortDown { node: NodeId, port: PortId },
+    /// Recovery injection: bring the interface back.
+    AdminPortUp { node: NodeId, port: PortId },
+    /// Carrier notification delivered to the interface owner after the
+    /// configured detection latency.
+    Carrier { node: NodeId, port: PortId, up: bool },
+    /// Start a node (delivers `on_start`). Scheduled by the builder.
+    Start { node: NodeId },
+}
+
+pub(crate) struct Scheduled {
+    pub time: Time,
+    pub seq: u64,
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    #[allow(dead_code)] // used by tests and kept for debugging
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::default();
+        q.push(10, Event::Timer { node: NodeId(0), token: 1 });
+        q.push(5, Event::Timer { node: NodeId(0), token: 2 });
+        q.push(10, Event::Timer { node: NodeId(0), token: 3 });
+        q.push(5, Event::Timer { node: NodeId(0), token: 4 });
+
+        let order: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer { token, .. } => (s.time, token),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![(5, 2), (5, 4), (10, 1), (10, 3)]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, Event::Timer { node: NodeId(1), token: 0 });
+        q.push(7, Event::Timer { node: NodeId(1), token: 0 });
+        assert_eq!(q.peek_time(), Some(7));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Point-to-point links.
+//!
+//! All links in a folded-Clos DCN are point-to-point fiber; the paper
+//! relies on this (e.g. MR-MTP addresses frames to ff:ff:ff:ff:ff:ff and
+//! still reaches exactly one device). A link connects two (node, port)
+//! endpoints and has a propagation delay and a bandwidth. Each endpoint
+//! interface can be administratively failed independently; a frame is
+//! delivered only if **both** interfaces are up for the entire flight,
+//! which we approximate by checking both at transmit time and the receiver
+//! at delivery time.
+
+use crate::node::{NodeId, PortId};
+use crate::time::{Duration, Time, MICROS};
+
+/// Identifies a link in the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Physical characteristics of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Line rate in bits per second (used for serialization delay).
+    pub bandwidth_bps: u64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        // Intra-DC fiber: ~5 µs propagation (1 km equivalent), 10 GbE.
+        LinkSpec { propagation: 5 * MICROS, bandwidth_bps: 10_000_000_000 }
+    }
+}
+
+impl LinkSpec {
+    /// Serialization delay of a frame of `wire_len` bytes at line rate.
+    #[inline]
+    pub fn serialization(&self, wire_len: u32) -> Duration {
+        (wire_len as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps
+    }
+}
+
+/// One side of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct Endpoint {
+    pub node: NodeId,
+    pub port: PortId,
+}
+
+/// Internal link state.
+#[derive(Debug)]
+pub struct Link {
+    pub spec: LinkSpec,
+    pub a: Endpoint,
+    pub b: Endpoint,
+    /// Administrative state of the `a`-side interface.
+    pub a_up: bool,
+    /// Administrative state of the `b`-side interface.
+    pub b_up: bool,
+    /// Earliest time each direction's transmitter is free again (FIFO
+    /// serialization). Index 0 = a→b, 1 = b→a.
+    pub tx_free: [Time; 2],
+}
+
+impl Link {
+    pub fn new(spec: LinkSpec, a: Endpoint, b: Endpoint) -> Self {
+        Link { spec, a, b, a_up: true, b_up: true, tx_free: [0, 0] }
+    }
+
+    /// Is the physical link able to carry frames (both NICs up)?
+    #[inline]
+    pub fn carries(&self) -> bool {
+        self.a_up && self.b_up
+    }
+
+    /// The endpoint opposite `node`.
+    pub fn peer_of(&self, node: NodeId) -> Endpoint {
+        if self.a.node == node {
+            self.b
+        } else {
+            debug_assert_eq!(self.b.node, node);
+            self.a
+        }
+    }
+
+    /// Direction index for a transmission originating at `node`.
+    #[inline]
+    pub fn dir_from(&self, node: NodeId) -> usize {
+        usize::from(self.a.node != node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_is_len_over_rate() {
+        let s = LinkSpec { propagation: 0, bandwidth_bps: 1_000_000_000 };
+        // 125 bytes at 1 Gb/s = 1 µs.
+        assert_eq!(s.serialization(125), MICROS);
+        // 10 GbE default: 60-byte frame = 48 ns.
+        assert_eq!(LinkSpec::default().serialization(60), 48);
+    }
+
+    #[test]
+    fn peer_and_direction() {
+        let l = Link::new(
+            LinkSpec::default(),
+            Endpoint { node: NodeId(1), port: PortId(0) },
+            Endpoint { node: NodeId(2), port: PortId(3) },
+        );
+        assert_eq!(l.peer_of(NodeId(1)).node, NodeId(2));
+        assert_eq!(l.peer_of(NodeId(2)).port, PortId(0));
+        assert_eq!(l.dir_from(NodeId(1)), 0);
+        assert_eq!(l.dir_from(NodeId(2)), 1);
+        assert!(l.carries());
+    }
+}

@@ -1,0 +1,220 @@
+//! Node identities, the [`Protocol`] trait implemented by every emulated
+//! device (routers, servers), and the [`Ctx`] handle through which a
+//! protocol interacts with the engine during a callback.
+
+use std::any::Any;
+
+use crate::rng::DetRng;
+use crate::time::{Duration, Time};
+use crate::trace::{FrameClass, RouteChangeKind, TraceEvent};
+
+/// Identifies a node (device) in the emulated fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a port (interface) local to one node. Port indices are dense
+/// and assigned in wiring order; protocols derive the paper's 1-based "port
+/// numbers" (used in VID derivation) as `PortId.0 + 1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 1-based port label used by MR-MTP VID derivation ("appending the
+    /// port number on which the request arrived").
+    #[inline]
+    pub fn label(self) -> u8 {
+        (self.0 + 1) as u8
+    }
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "eth{}", self.0)
+    }
+}
+
+/// Deferred effects produced by a protocol callback; the engine applies
+/// them after the callback returns, keeping borrows simple and execution
+/// order deterministic.
+#[derive(Debug)]
+pub enum Action {
+    /// Transmit `frame` out of `port`. `class` is metadata for tracing only;
+    /// it never affects delivery.
+    Send {
+        port: PortId,
+        frame: Vec<u8>,
+        class: FrameClass,
+    },
+    /// Deliver `on_timer(token)` back to this node after `delay`.
+    Timer { delay: Duration, token: u64 },
+    /// Record a trace event attributed to this node.
+    Trace(TraceEvent),
+}
+
+/// Per-port view handed to protocols: whether the local interface is
+/// administratively up and whether anything is wired to it.
+#[derive(Clone, Copy, Debug)]
+pub struct PortView {
+    pub connected: bool,
+    /// Local interface state. `false` after a failure has been injected on
+    /// this side of the link.
+    pub up: bool,
+}
+
+/// The callback context. Everything a protocol may do during a callback
+/// goes through this handle.
+pub struct Ctx<'a> {
+    pub(crate) now: Time,
+    pub(crate) node: NodeId,
+    pub(crate) ports: &'a [PortView],
+    pub(crate) out: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut DetRng,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The node this callback is running on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports on this node.
+    #[inline]
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Local state of a port.
+    #[inline]
+    pub fn port(&self, port: PortId) -> PortView {
+        self.ports[port.index()]
+    }
+
+    /// Iterate over all connected ports.
+    pub fn connected_ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.connected)
+            .map(|(i, _)| PortId(i as u16))
+    }
+
+    /// Transmit a frame. Frames sent on a down or unconnected port are
+    /// counted in the trace (the NIC driver accepted them) but silently
+    /// dropped by the engine, mirroring a real kernel's behaviour with a
+    /// carrier-less interface.
+    pub fn send(&mut self, port: PortId, frame: Vec<u8>, class: FrameClass) {
+        self.out.push(Action::Send { port, frame, class });
+    }
+
+    /// Arm a one-shot timer. There is deliberately no cancellation: stale
+    /// fires are cheap and protocols validate tokens against their own
+    /// state, which keeps the engine simple and the event order obvious.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.out.push(Action::Timer { delay, token });
+    }
+
+    /// Record that this node changed destination-forwarding state. This is
+    /// the event the blast-radius metric counts (see DESIGN.md §5).
+    pub fn trace_route_change(&mut self, kind: RouteChangeKind, detail: u64) {
+        let ev = TraceEvent::RouteChange {
+            time: self.now,
+            node: self.node,
+            kind,
+            detail,
+        };
+        self.out.push(Action::Trace(ev));
+    }
+
+    /// Record a protocol-specific event (used for convergence bookkeeping
+    /// and debugging; tags are static strings so tracing stays allocation
+    /// free on the hot path).
+    pub fn trace_proto(&mut self, tag: &'static str, info: u64) {
+        let ev = TraceEvent::Proto {
+            time: self.now,
+            node: self.node,
+            tag,
+            info,
+        };
+        self.out.push(Action::Trace(ev));
+    }
+
+    /// Deterministic per-node pseudo-randomness (used e.g. for ECMP hash
+    /// seeds and timer jitter).
+    #[inline]
+    pub fn rand_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    #[inline]
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.rng.below(bound)
+    }
+}
+
+/// A protocol instance bound to one emulated node.
+///
+/// Implementations exist for MR-MTP routers (`dcn-mrmtp`), BGP/ECMP(/BFD)
+/// routers (`dcn-bgp`) and traffic-generating servers (`dcn-traffic`).
+pub trait Protocol: Send {
+    /// Called once at the node's start time (time zero unless staggered).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]);
+
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// The local interface `port` lost carrier (failure injected on this
+    /// side). The remote side of the link gets **no** callback.
+    fn on_port_down(&mut self, _ctx: &mut Ctx<'_>, _port: PortId) {}
+
+    /// The local interface `port` regained carrier.
+    fn on_port_up(&mut self, _ctx: &mut Ctx<'_>, _port: PortId) {}
+
+    /// Downcasting hook so the harness can inspect routing tables after a
+    /// run (`sim.node_as::<MrmtpRouter>(id)`).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting hook.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_labels_are_one_based() {
+        assert_eq!(PortId(0).label(), 1);
+        assert_eq!(PortId(3).label(), 4);
+        assert_eq!(format!("{}", PortId(2)), "eth2");
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+    }
+}

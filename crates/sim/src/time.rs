@@ -1,0 +1,74 @@
+//! Simulated time.
+//!
+//! Time is a monotonically increasing nanosecond counter starting at zero.
+//! All protocol timers in the reproduction (MR-MTP 50 ms hello, BGP 1 s
+//! keepalive, BFD 100 ms transmit interval, …) are expressed in these units.
+
+/// Absolute simulated time in nanoseconds since the start of the run.
+pub type Time = u64;
+
+/// A span of simulated time in nanoseconds.
+pub type Duration = u64;
+
+/// One nanosecond.
+pub const NANOS: Duration = 1;
+/// One microsecond.
+pub const MICROS: Duration = 1_000;
+/// One millisecond.
+pub const MILLIS: Duration = 1_000_000;
+/// One second.
+pub const SECONDS: Duration = 1_000_000_000;
+
+/// Convert a simulated [`Time`] or [`Duration`] to fractional milliseconds.
+///
+/// The paper reports convergence times in milliseconds; this is the
+/// conversion used everywhere results are rendered.
+#[inline]
+pub fn as_millis_f64(t: Time) -> f64 {
+    t as f64 / MILLIS as f64
+}
+
+/// Convert a simulated [`Time`] or [`Duration`] to fractional seconds.
+#[inline]
+pub fn as_secs_f64(t: Time) -> f64 {
+    t as f64 / SECONDS as f64
+}
+
+/// Build a duration from integer milliseconds.
+#[inline]
+pub const fn millis(ms: u64) -> Duration {
+    ms * MILLIS
+}
+
+/// Build a duration from integer microseconds.
+#[inline]
+pub const fn micros(us: u64) -> Duration {
+    us * MICROS
+}
+
+/// Build a duration from integer seconds.
+#[inline]
+pub const fn secs(s: u64) -> Duration {
+    s * SECONDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(1000 * NANOS, MICROS);
+        assert_eq!(1000 * MICROS, MILLIS);
+        assert_eq!(1000 * MILLIS, SECONDS);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(millis(50), 50 * MILLIS);
+        assert_eq!(micros(7), 7 * MICROS);
+        assert_eq!(secs(3), 3 * SECONDS);
+        assert!((as_millis_f64(millis(1500)) - 1500.0).abs() < 1e-9);
+        assert!((as_secs_f64(secs(2)) - 2.0).abs() < 1e-12);
+    }
+}

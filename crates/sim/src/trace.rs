@@ -1,0 +1,194 @@
+//! Simulation tracing.
+//!
+//! The paper's measurement pipeline captured frames with tshark and parsed
+//! router logs; this module is its emulated equivalent. Every frame
+//! transmission and every routing-state change lands in a [`Trace`], from
+//! which `dcn-metrics` computes convergence time, blast radius, control
+//! overhead and keep-alive overhead.
+
+use crate::node::{NodeId, PortId};
+use crate::time::Time;
+
+/// Classification of a transmitted frame. Purely observational — the
+/// engine delivers all classes identically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameClass {
+    /// Hello/keepalive traffic: MR-MTP 1-byte hellos, BGP KEEPALIVEs, BFD
+    /// control packets in steady state.
+    Keepalive,
+    /// Routing updates disseminated after a topology change: BGP UPDATE
+    /// messages, MR-MTP lost-root/recover notifications. This is what the
+    /// paper's Fig. 6 control-overhead metric sums.
+    Update,
+    /// Session management: BGP OPEN/NOTIFICATION, TCP handshake/teardown,
+    /// MR-MTP tree construction (advertise/join/offer/accept).
+    Session,
+    /// Reliability acknowledgements: TCP pure ACKs, MR-MTP update ACKs.
+    Ack,
+    /// End-host application traffic (the sequenced generator packets).
+    Data,
+}
+
+/// What kind of destination-forwarding state changed at a router.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RouteChangeKind {
+    /// A route/ECMP member was withdrawn or a negative-reachability entry
+    /// was installed.
+    Withdraw,
+    /// A route was (re)installed or a negative entry cleared.
+    Install,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A frame left `node` on `port`. `wire_len` is the layer-2 length
+    /// on a physical wire (minimum 60 bytes, no FCS); `capture_len` is the
+    /// unpadded frame length, which is what tshark reports on the paper's
+    /// virtualized testbed NICs (virtio does not pad short frames).
+    FrameSent {
+        time: Time,
+        node: NodeId,
+        port: PortId,
+        wire_len: u32,
+        capture_len: u32,
+        class: FrameClass,
+    },
+    /// Failure injection: the interface owner's carrier dropped.
+    PortDown { time: Time, node: NodeId, port: PortId },
+    /// Recovery injection: carrier restored.
+    PortUp { time: Time, node: NodeId, port: PortId },
+    /// A router changed destination-forwarding state (blast radius).
+    RouteChange {
+        time: Time,
+        node: NodeId,
+        kind: RouteChangeKind,
+        detail: u64,
+    },
+    /// Protocol-specific annotation (convergence bookkeeping, debugging).
+    Proto {
+        time: Time,
+        node: NodeId,
+        tag: &'static str,
+        info: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp of the event.
+    pub fn time(&self) -> Time {
+        match self {
+            TraceEvent::FrameSent { time, .. }
+            | TraceEvent::PortDown { time, .. }
+            | TraceEvent::PortUp { time, .. }
+            | TraceEvent::RouteChange { time, .. }
+            | TraceEvent::Proto { time, .. } => *time,
+        }
+    }
+
+    /// Node the event is attributed to.
+    pub fn node(&self) -> NodeId {
+        match self {
+            TraceEvent::FrameSent { node, .. }
+            | TraceEvent::PortDown { node, .. }
+            | TraceEvent::PortUp { node, .. }
+            | TraceEvent::RouteChange { node, .. }
+            | TraceEvent::Proto { node, .. } => *node,
+        }
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s for one simulation run.
+#[derive(Default, Debug)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace { events: Vec::with_capacity(4096), enabled: true }
+    }
+
+    /// A trace that drops everything (for microbenchmarks where tracing
+    /// overhead would pollute timings).
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), enabled: false }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events in time order (the engine appends them in
+    /// dispatch order, which is time order).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events at or after `t0`.
+    pub fn events_since(&self, t0: Time) -> impl Iterator<Item = &TraceEvent> {
+        // Events are appended in nondecreasing time order; binary search
+        // for the cut point.
+        let idx = self.events.partition_point(|e| e.time() < t0);
+        self.events[idx..].iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all events before `t0` (used to keep long warm-up phases from
+    /// bloating memory in sweep experiments).
+    pub fn discard_before(&mut self, t0: Time) {
+        let idx = self.events.partition_point(|e| e.time() < t0);
+        self.events.drain(..idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Time) -> TraceEvent {
+        TraceEvent::Proto { time: t, node: NodeId(0), tag: "t", info: 0 }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.push(ev(5));
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn events_since_uses_partition_point() {
+        let mut tr = Trace::enabled();
+        for t in [1u64, 2, 2, 5, 9] {
+            tr.push(ev(t));
+        }
+        assert_eq!(tr.events_since(0).count(), 5);
+        assert_eq!(tr.events_since(2).count(), 4);
+        assert_eq!(tr.events_since(3).count(), 2);
+        assert_eq!(tr.events_since(10).count(), 0);
+    }
+
+    #[test]
+    fn discard_before_trims_prefix() {
+        let mut tr = Trace::enabled();
+        for t in [1u64, 2, 3, 4] {
+            tr.push(ev(t));
+        }
+        tr.discard_before(3);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.events()[0].time(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal JSON value and pretty-printer.
+//!
+//! Only the MR-MTP configuration file (the paper's Listing 2) is emitted
+//! as JSON, and `serde_json` is not in the sanctioned offline dependency
+//! set, so this hand-rolled emitter covers exactly what we need: objects
+//! with ordered keys, arrays, and strings/numbers with standard escaping.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    Str(String),
+    Num(i64),
+    Bool(bool),
+    Arr(Vec<Json>),
+    /// Ordered key/value pairs (insertion order preserved — configuration
+    /// files read better that way).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Render with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Short arrays of scalars render on one line (matches the
+                // look of the paper's listing).
+                let scalar = items.iter().all(|i| matches!(i, Json::Str(_) | Json::Num(_)));
+                if scalar {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        pad(out, indent + 1);
+                        item.write(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    pad(out, indent);
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    let _ = write!(out, "\"{k}\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Num(42).pretty(), "42");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::str("eth3").pretty(), "\"eth3\"");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(Json::str("a\"b\\c\nd").pretty(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").pretty(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn scalar_arrays_inline() {
+        let j = Json::arr([Json::str("L-1-1"), Json::str("L-1-2")]);
+        assert_eq!(j.pretty(), r#"["L-1-1", "L-1-2"]"#);
+        assert_eq!(Json::arr([]).pretty(), "[]");
+    }
+
+    #[test]
+    fn nested_object_renders_indented() {
+        let j = Json::obj(vec![
+            ("topology", Json::obj(vec![("leaves", Json::arr([Json::str("L-1-1")]))])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"topology\": {"));
+        assert!(s.contains("  \"leaves\": [\"L-1-1\"]"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn array_of_objects_is_multiline() {
+        let j = Json::arr([Json::obj(vec![("a", Json::Num(1))]), Json::obj(vec![])]);
+        let s = j.pretty();
+        assert!(s.starts_with("[\n"));
+        assert!(s.contains("{}"));
+    }
+}

@@ -1,0 +1,367 @@
+//! # dcn-traffic — sequenced traffic generator and receiver analyzer
+//!
+//! Reproduces the paper's custom-built traffic generator: a sender emits
+//! back-to-back UDP packets carrying sequence numbers; the receiver-side
+//! analyzer counts lost, duplicated and out-of-sequence packets. Every
+//! server in the emulation runs a [`TrafficHost`], which can act as
+//! sender, receiver, or both.
+//!
+//! The generator's 5-tuple is configurable so the experiment harness can
+//! pin the monitored flow onto the paper's failure chain
+//! (ToR₁₁ → S1_1 → S2_1) under both MR-MTP's and ECMP's flow hashing.
+
+use std::any::Any;
+
+use dcn_sim::time::{millis, Duration, Time};
+use dcn_sim::{Ctx, FrameClass, PortId, Protocol};
+use dcn_wire::{
+    EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, IPPROTO_UDP,
+};
+
+/// Magic marker identifying generator packets (so stray traffic never
+/// pollutes the analysis).
+pub const TRAFFIC_MAGIC: u32 = 0x7261_FF1C;
+
+/// What a sender should transmit.
+#[derive(Clone, Copy, Debug)]
+pub struct SendSpec {
+    pub dst: IpAddr4,
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Inter-packet gap (the paper sent back-to-back; we pace at a
+    /// configurable rate so loss counts scale with outage duration).
+    pub interval: Duration,
+    /// Stop after this many packets (u64::MAX = until `stop_at`).
+    pub count: u64,
+    pub start_at: Time,
+    pub stop_at: Time,
+    /// UDP payload length including the 12-byte header (magic + seq).
+    pub payload_len: usize,
+}
+
+impl SendSpec {
+    pub fn new(dst: IpAddr4, start_at: Time, stop_at: Time) -> SendSpec {
+        SendSpec {
+            dst,
+            src_port: 5000,
+            dst_port: 6000,
+            interval: millis(3), // ≈333 pkt/s
+            count: u64::MAX,
+            start_at,
+            stop_at,
+            payload_len: 100,
+        }
+    }
+}
+
+/// Receiver-side analysis, in the terms the paper reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LossReport {
+    /// Packets the sender transmitted.
+    pub sent: u64,
+    /// Packets that arrived (including duplicates).
+    pub arrived: u64,
+    /// Distinct sequence numbers seen.
+    pub unique: u64,
+    /// Arrivals of already-seen sequence numbers.
+    pub duplicates: u64,
+    /// Arrivals with a sequence number below the highest already seen.
+    pub out_of_order: u64,
+}
+
+impl LossReport {
+    /// Packets lost = sent but never seen.
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.unique)
+    }
+
+    /// Loss ratio in [0, 1].
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost() as f64 / self.sent as f64
+        }
+    }
+}
+
+/// A server that can generate and/or analyze sequenced traffic.
+pub struct TrafficHost {
+    ip: IpAddr4,
+    spec: Option<SendSpec>,
+    next_seq: u64,
+    sent: u64,
+    /// Bitmap of received sequence numbers (senders count from 0).
+    seen: Vec<u64>,
+    arrived: u64,
+    duplicates: u64,
+    out_of_order: u64,
+    max_seen: Option<u64>,
+}
+
+const TOKEN_SEND: u64 = 1;
+
+impl TrafficHost {
+    pub fn new(ip: IpAddr4) -> TrafficHost {
+        TrafficHost {
+            ip,
+            spec: None,
+            next_seq: 0,
+            sent: 0,
+            seen: Vec::new(),
+            arrived: 0,
+            duplicates: 0,
+            out_of_order: 0,
+            max_seen: None,
+        }
+    }
+
+    /// Configure this host as a sender (do this before the simulation
+    /// delivers `on_start`, i.e. before the first `run_until`).
+    pub fn with_send(mut self, spec: SendSpec) -> TrafficHost {
+        self.spec = Some(spec);
+        self
+    }
+
+    pub fn ip(&self) -> IpAddr4 {
+        self.ip
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// The receiver-side report; `sent` must come from the sending host.
+    pub fn report(&self, sent: u64) -> LossReport {
+        LossReport {
+            sent,
+            arrived: self.arrived,
+            unique: self.seen.iter().map(|w| w.count_ones() as u64).sum(),
+            duplicates: self.duplicates,
+            out_of_order: self.out_of_order,
+        }
+    }
+
+    fn mark_seen(&mut self, seq: u64) -> bool {
+        let (word, bit) = ((seq / 64) as usize, seq % 64);
+        if self.seen.len() <= word {
+            self.seen.resize(word + 1, 0);
+        }
+        let newly = self.seen[word] & (1 << bit) == 0;
+        self.seen[word] |= 1 << bit;
+        newly
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>) {
+        let spec = self.spec.expect("emit requires a send spec");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent += 1;
+        let mut payload = Vec::with_capacity(spec.payload_len.max(12));
+        payload.extend_from_slice(&TRAFFIC_MAGIC.to_be_bytes());
+        payload.extend_from_slice(&seq.to_be_bytes());
+        payload.resize(spec.payload_len.max(12), 0);
+        let udp = UdpDatagram::new(spec.src_port, spec.dst_port, payload);
+        let pkt = Ipv4Packet::new(self.ip, spec.dst, IPPROTO_UDP, udp.encode());
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_node_port(ctx.node().0, 0),
+            ethertype: EtherType::Ipv4,
+            payload: pkt.encode(),
+        };
+        ctx.send(PortId(0), frame.encode(), FrameClass::Data);
+    }
+
+    /// Test/analysis entry point: process one raw Ethernet frame as if it
+    /// had arrived on the wire.
+    pub fn ingest_frame(&mut self, frame: &[u8]) {
+        let Ok(eth) = EthernetFrame::decode(frame) else { return };
+        if eth.ethertype != EtherType::Ipv4 {
+            return;
+        }
+        let Ok(pkt) = Ipv4Packet::decode(&eth.payload) else { return };
+        if pkt.dst != self.ip || pkt.protocol != IPPROTO_UDP {
+            return;
+        }
+        let Ok(udp) = UdpDatagram::decode(&pkt.payload) else { return };
+        if udp.payload.len() < 12 {
+            return;
+        }
+        let magic = u32::from_be_bytes(udp.payload[0..4].try_into().unwrap());
+        if magic != TRAFFIC_MAGIC {
+            return;
+        }
+        let seq = u64::from_be_bytes(udp.payload[4..12].try_into().unwrap());
+        self.arrived += 1;
+        if self.mark_seen(seq) {
+            if let Some(max) = self.max_seen {
+                if seq < max {
+                    self.out_of_order += 1;
+                }
+            }
+        } else {
+            self.duplicates += 1;
+        }
+        self.max_seen = Some(self.max_seen.map_or(seq, |m| m.max(seq)));
+    }
+}
+
+impl Protocol for TrafficHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(spec) = self.spec {
+            ctx.set_timer(spec.start_at.saturating_sub(ctx.now()), TOKEN_SEND);
+        }
+    }
+
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+        self.ingest_frame(frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOKEN_SEND {
+            return;
+        }
+        let Some(spec) = self.spec else { return };
+        let now = ctx.now();
+        if now < spec.start_at || now >= spec.stop_at || self.sent >= spec.count {
+            return;
+        }
+        self.emit(ctx);
+        if self.sent < spec.count {
+            ctx.set_timer(spec.interval, TOKEN_SEND);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::link::LinkSpec;
+    use dcn_sim::SimBuilder;
+
+    /// Two hosts wired back to back: everything sent is received.
+    #[test]
+    fn direct_link_delivery_and_report() {
+        let a_ip = IpAddr4::new(10, 0, 0, 1);
+        let b_ip = IpAddr4::new(10, 0, 0, 2);
+        let mut spec = SendSpec::new(b_ip, 0, millis(100));
+        spec.interval = millis(1);
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node("a", Box::new(TrafficHost::new(a_ip).with_send(spec)));
+        let c = b.add_node("b", Box::new(TrafficHost::new(b_ip)));
+        b.add_link(a, c, LinkSpec::default());
+        let mut sim = b.build();
+        sim.run_until(millis(200));
+        let sent = sim.node_as::<TrafficHost>(a).unwrap().sent();
+        assert!(sent >= 99, "≈100 packets at 1 ms: {sent}");
+        let report = sim.node_as::<TrafficHost>(c).unwrap().report(sent);
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.out_of_order, 0);
+        assert_eq!(report.arrived, sent);
+        assert!(report.loss_ratio() < 1e-9);
+    }
+
+    #[test]
+    fn loss_counts_gap_packets() {
+        let mut h = TrafficHost::new(IpAddr4(1));
+        for s in [0u64, 1, 5] {
+            assert!(h.mark_seen(s));
+        }
+        h.arrived = 3;
+        let r = h.report(6);
+        assert_eq!(r.unique, 3);
+        assert_eq!(r.lost(), 3);
+        assert!((r.loss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_bitmap() {
+        let mut h = TrafficHost::new(IpAddr4::new(10, 0, 0, 9));
+        assert!(h.mark_seen(4));
+        assert!(!h.mark_seen(4), "duplicate detected");
+        assert!(h.mark_seen(2), "older but new");
+        assert!(h.mark_seen(1000), "bitmap grows");
+    }
+
+    #[test]
+    fn sender_respects_count_and_window() {
+        let b_ip = IpAddr4::new(10, 0, 0, 2);
+        let mut spec = SendSpec::new(b_ip, millis(10), millis(1000));
+        spec.interval = millis(1);
+        spec.count = 5;
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node(
+            "a",
+            Box::new(TrafficHost::new(IpAddr4::new(10, 0, 0, 1)).with_send(spec)),
+        );
+        let c = b.add_node("b", Box::new(TrafficHost::new(b_ip)));
+        b.add_link(a, c, LinkSpec::default());
+        let mut sim = b.build();
+        sim.run_until(millis(500));
+        assert_eq!(sim.node_as::<TrafficHost>(a).unwrap().sent(), 5);
+        let r = sim.node_as::<TrafficHost>(c).unwrap().report(5);
+        assert_eq!(r.unique, 5);
+    }
+
+    #[test]
+    fn foreign_and_malformed_packets_are_ignored() {
+        let ip = IpAddr4::new(10, 0, 0, 2);
+        let mut h = TrafficHost::new(ip);
+        // Wrong magic.
+        let udp = UdpDatagram::new(1, 2, vec![0; 20]);
+        let pkt = Ipv4Packet::new(IpAddr4(9), ip, IPPROTO_UDP, udp.encode());
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr([2; 6]),
+            ethertype: EtherType::Ipv4,
+            payload: pkt.encode(),
+        };
+        h.ingest_frame(&frame.encode());
+        // Wrong destination.
+        let pkt2 = Ipv4Packet::new(IpAddr4(9), IpAddr4(77), IPPROTO_UDP, udp.encode());
+        let frame2 = EthernetFrame { payload: pkt2.encode(), ..frame.clone() };
+        h.ingest_frame(&frame2.encode());
+        // Truncated garbage.
+        h.ingest_frame(&[1, 2, 3]);
+        assert_eq!(h.report(0).arrived, 0);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_counted() {
+        let ip = IpAddr4::new(10, 0, 0, 2);
+        let mut h = TrafficHost::new(ip);
+        let mk = |seq: u64| {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&TRAFFIC_MAGIC.to_be_bytes());
+            payload.extend_from_slice(&seq.to_be_bytes());
+            let udp = UdpDatagram::new(1, 2, payload);
+            let pkt = Ipv4Packet::new(IpAddr4(9), ip, IPPROTO_UDP, udp.encode());
+            EthernetFrame {
+                dst: MacAddr::BROADCAST,
+                src: MacAddr([2; 6]),
+                ethertype: EtherType::Ipv4,
+                payload: pkt.encode(),
+            }
+            .encode()
+        };
+        for seq in [0u64, 2, 1, 3, 3] {
+            h.ingest_frame(&mk(seq));
+        }
+        let r = h.report(4);
+        assert_eq!(r.arrived, 5);
+        assert_eq!(r.unique, 4);
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.out_of_order, 1, "seq 1 arrived after 2");
+        assert_eq!(r.lost(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Decode errors.
+
+use std::fmt;
+
+/// Errors produced when decoding wire formats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Buffer ended before the format was complete.
+    Truncated,
+    /// A version field had an unsupported value.
+    BadVersion(u8),
+    /// A type/discriminant field had an unknown value.
+    BadType(u8),
+    /// A length field disagreed with the actual buffer.
+    BadLength { expected: usize, got: usize },
+    /// A checksum failed verification.
+    BadChecksum,
+    /// A field exceeded the limits this implementation supports
+    /// (e.g. a VID deeper than [`crate::VID_MAX_LEN`] tiers).
+    TooLong,
+    /// A well-formed but semantically invalid value (e.g. prefix length
+    /// above 32).
+    Invalid,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadType(t) => write!(f, "unknown type {t:#x}"),
+            WireError::BadLength { expected, got } => {
+                write!(f, "bad length: expected {expected}, got {got}")
+            }
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::TooLong => write!(f, "field exceeds implementation limit"),
+            WireError::Invalid => write!(f, "semantically invalid value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,83 @@
+//! UDP datagrams (carrier for BFD and for the traffic generator).
+
+use crate::error::WireError;
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram. The checksum field is emitted as zero ("no checksum"),
+/// which is legal for IPv4 and what matters here is the byte count, not
+/// end-to-end integrity (the emulator does not corrupt frames).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UdpDatagram {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+        UdpDatagram { src_port, dst_port, payload }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (UDP_HEADER_LEN + self.payload.len()) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum: not used over the emulator
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<UdpDatagram, WireError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return Err(WireError::BadLength { expected: len, got: buf.len() });
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: buf[UDP_HEADER_LEN..len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram::new(49152, 3784, vec![1, 2, 3, 4]);
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(UdpDatagram::decode(&[0; 7]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn inconsistent_length_rejected() {
+        let mut bytes = UdpDatagram::new(1, 2, vec![0; 4]).encode();
+        bytes[5] = 200; // claims 200 bytes
+        assert!(matches!(
+            UdpDatagram::decode(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_padding_trimmed() {
+        let mut bytes = UdpDatagram::new(1, 2, vec![7; 3]).encode();
+        bytes.extend_from_slice(&[0; 40]);
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap().payload, vec![7; 3]);
+    }
+}

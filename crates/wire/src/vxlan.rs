@@ -1,0 +1,95 @@
+//! VXLAN encapsulation (RFC 7348).
+//!
+//! The paper's §III-A assumes VXLAN for inter-rack VM communication: VM
+//! traffic rides in an outer IP header carrying the *server* addresses,
+//! which is what MR-MTP's ToR VID derivation operates on. This module
+//! provides the 8-byte VXLAN header (over UDP/4789) so the overlay can be
+//! demonstrated end to end (see the `vxlan_overlay` example).
+
+use crate::error::WireError;
+
+/// VXLAN's well-known UDP destination port.
+pub const VXLAN_PORT: u16 = 4789;
+
+/// VXLAN header length.
+pub const VXLAN_HEADER_LEN: usize = 8;
+
+/// A VXLAN header: the I flag plus a 24-bit network identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VxlanHeader {
+    /// VXLAN Network Identifier (24 bits).
+    pub vni: u32,
+}
+
+impl VxlanHeader {
+    pub fn new(vni: u32) -> VxlanHeader {
+        assert!(vni < (1 << 24), "VNI is 24 bits");
+        VxlanHeader { vni }
+    }
+
+    /// Encode header followed by the inner Ethernet frame.
+    pub fn encapsulate(&self, inner_frame: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(VXLAN_HEADER_LEN + inner_frame.len());
+        out.push(0x08); // flags: I bit set
+        out.extend_from_slice(&[0, 0, 0]); // reserved
+        let vni = self.vni << 8;
+        out.extend_from_slice(&vni.to_be_bytes());
+        out.extend_from_slice(inner_frame);
+        out
+    }
+
+    /// Decode a VXLAN payload into (header, inner frame bytes).
+    pub fn decapsulate(buf: &[u8]) -> Result<(VxlanHeader, &[u8]), WireError> {
+        if buf.len() < VXLAN_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] & 0x08 == 0 {
+            return Err(WireError::Invalid); // I flag must be set
+        }
+        let vni = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) >> 8;
+        Ok((VxlanHeader { vni }, &buf[VXLAN_HEADER_LEN..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = VxlanHeader::new(0xABCDE);
+        let inner = vec![1u8, 2, 3, 4];
+        let bytes = h.encapsulate(&inner);
+        assert_eq!(bytes.len(), VXLAN_HEADER_LEN + 4);
+        let (d, rest) = VxlanHeader::decapsulate(&bytes).unwrap();
+        assert_eq!(d, h);
+        assert_eq!(rest, &inner[..]);
+    }
+
+    #[test]
+    fn missing_i_flag_rejected() {
+        let mut bytes = VxlanHeader::new(7).encapsulate(&[]);
+        bytes[0] = 0;
+        assert_eq!(VxlanHeader::decapsulate(&bytes), Err(WireError::Invalid));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(VxlanHeader::decapsulate(&[8, 0, 0]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn oversized_vni_rejected() {
+        let _ = VxlanHeader::new(1 << 24);
+    }
+
+    #[test]
+    fn vni_boundaries() {
+        for vni in [0u32, 1, (1 << 24) - 1] {
+            let b = VxlanHeader::new(vni).encapsulate(&[9]);
+            let (h, _) = VxlanHeader::decapsulate(&b).unwrap();
+            assert_eq!(h.vni, vni);
+        }
+    }
+}

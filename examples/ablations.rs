@@ -1,0 +1,17 @@
+//! Quantify the design choices the paper motivates qualitatively:
+//! Slow-to-Accept dampening under interface flapping, the loss-report
+//! hold-down behind the Fig. 5 blast-radius numbers, and the §IX timer
+//! trade-offs for both MR-MTP and BFD.
+//!
+//! ```text
+//! cargo run --release --example ablations
+//! ```
+
+use dcn_experiments::ablations;
+
+fn main() {
+    println!("{}", ablations::ablation_slow_to_accept(42).render());
+    println!("{}", ablations::ablation_loss_holddown(42).render());
+    println!("{}", ablations::sweep_mrmtp_hello(42).render());
+    println!("{}", ablations::sweep_bfd_interval(42).render());
+}

@@ -1,0 +1,16 @@
+//! Reproduce the paper's configuration and routing-table listings
+//! (§VII-G/H): per-router FRR-style BGP configuration vs the single
+//! MR-MTP JSON file, and the converged tables at representative routers.
+//!
+//! ```text
+//! cargo run --release --example config_and_tables
+//! ```
+
+use dcn_experiments::figures;
+
+fn main() {
+    println!("{}", figures::render_listings(42));
+    println!();
+    println!("{}", figures::config_comparison().render());
+    println!("{}", figures::table_size_comparison(42).render());
+}

@@ -1,0 +1,156 @@
+//! Reproduce the paper's Figs. 9–10: what keep-alive traffic looks like
+//! on one link under each stack — hex dumps of the representative frames
+//! (as Wireshark showed them) plus a measured capture summary from the
+//! emulator, including MR-MTP's hello *suppression* when data traffic
+//! flows (every MR-MTP frame doubles as a keep-alive).
+//!
+//! ```text
+//! cargo run --release --example keepalive_capture
+//! ```
+
+use dcn_experiments::{build_sim, Stack};
+use dcn_sim::time::secs;
+use dcn_sim::{FrameClass, NodeId, PortId, TraceEvent};
+use dcn_topology::ClosParams;
+use dcn_traffic::SendSpec;
+use dcn_wire::{
+    BfdPacket, BfdState, BgpMessage, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr,
+    MrmtpMsg, TcpFlags, TcpSegment, UdpDatagram, BFD_CTRL_PORT, IPPROTO_TCP, IPPROTO_UDP,
+};
+
+fn hexdump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        out.push_str(&format!("  {:04x}  ", i * 16));
+        for b in chunk {
+            out.push_str(&format!("{b:02x} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    // ---- Fig. 10: the MR-MTP keep-alive frame. ----
+    let hello = EthernetFrame {
+        dst: MacAddr::BROADCAST,
+        src: MacAddr::for_node_port(3, 0),
+        ethertype: EtherType::Mrmtp,
+        payload: MrmtpMsg::Hello.encode(),
+    };
+    let bytes = hello.encode();
+    println!("Fig. 10 — MR-MTP keep-alive (EtherType 0x8850, broadcast dst, 1-byte payload 0x06)");
+    println!("  capture length {} B, on-wire {} B", bytes.len(), hello.wire_len());
+    print!("{}", hexdump(&bytes));
+
+    // ---- Fig. 9: one BFD control frame and one BGP keepalive frame. ----
+    let bfd = BfdPacket {
+        state: BfdState::Up,
+        poll: false,
+        final_: false,
+        detect_mult: 3,
+        my_discriminator: 0x11,
+        your_discriminator: 0x22,
+        desired_min_tx_us: 100_000,
+        required_min_rx_us: 100_000,
+    };
+    let udp = UdpDatagram::new(49152, BFD_CTRL_PORT, bfd.encode());
+    let ip = Ipv4Packet::new(
+        IpAddr4::new(172, 16, 0, 1),
+        IpAddr4::new(172, 16, 0, 2),
+        IPPROTO_UDP,
+        udp.encode(),
+    );
+    let bfd_frame = EthernetFrame {
+        dst: MacAddr::for_node_port(1, 0),
+        src: MacAddr::for_node_port(2, 0),
+        ethertype: EtherType::Ipv4,
+        payload: ip.encode(),
+    };
+    println!("\nFig. 9 — BFD control frame (UDP/3784): {} B", bfd_frame.encode().len());
+    print!("{}", hexdump(&bfd_frame.encode()));
+
+    let ka = BgpMessage::Keepalive.encode();
+    let seg = TcpSegment {
+        src_port: 40000,
+        dst_port: 179,
+        seq: 1,
+        ack: 1,
+        flags: TcpFlags::PSH | TcpFlags::ACK,
+        window: 65535,
+        ts_val: 100,
+        ts_ecr: 99,
+        payload: ka,
+    };
+    let ip = Ipv4Packet::new(
+        IpAddr4::new(172, 16, 0, 1),
+        IpAddr4::new(172, 16, 0, 2),
+        IPPROTO_TCP,
+        seg.encode(),
+    );
+    let bgp_frame = EthernetFrame {
+        dst: MacAddr::for_node_port(1, 0),
+        src: MacAddr::for_node_port(2, 0),
+        ethertype: EtherType::Ipv4,
+        payload: ip.encode(),
+    };
+    println!("\nFig. 9 — BGP KEEPALIVE over TCP (with timestamps): {} B", bgp_frame.encode().len());
+    print!("{}", hexdump(&bgp_frame.encode()));
+
+    // ---- Measured: capture summaries on the ToR₁₁ ↔ S1_1 link. ----
+    for stack in Stack::ALL {
+        capture_summary(stack, false);
+    }
+    // MR-MTP with active data traffic crossing the monitored link: hellos
+    // are suppressed because data frames count as keep-alives.
+    capture_summary(Stack::Mrmtp, true);
+}
+
+fn capture_summary(stack: Stack, with_traffic: bool) {
+    let params = ClosParams::two_pod();
+    let fabric = dcn_topology::Fabric::build(params);
+    let addr = dcn_topology::Addressing::new(&fabric);
+    let mut senders = Vec::new();
+    if with_traffic {
+        // Pin the flow through ToR₁₁ → S1_1.
+        let src_ip = addr.server_addr(fabric.tor(0, 0), 0).unwrap();
+        let dst_ip = addr.server_addr(fabric.tor(1, 1), 0).unwrap();
+        let (sp, dp) = dcn_experiments::flows::pin_flow(src_ip, dst_ip, &[2, 2]);
+        let mut spec = SendSpec::new(dst_ip, secs(3), secs(5));
+        spec.src_port = sp;
+        spec.dst_port = dp;
+        senders.push((fabric.server(0, 0, 0), spec));
+    }
+    let mut built = build_sim(params, stack, 42, &senders);
+    built.sim.run_until(secs(5));
+    // Count keep-alive frames leaving ToR₁₁'s first uplink in [3 s, 5 s).
+    let tor = built.fabric.tor(0, 0);
+    let (mut frames, mut bytes) = (0u64, 0u64);
+    for ev in built.sim.trace().events_since(secs(3)) {
+        if let TraceEvent::FrameSent { time, node, port, wire_len, class, .. } = ev {
+            if *time < secs(5)
+                && *node == NodeId(tor as u32)
+                && *port == PortId(0)
+                && *class == FrameClass::Keepalive
+            {
+                frames += 1;
+                bytes += *wire_len as u64;
+            }
+        }
+    }
+    println!(
+        "\ncapture on ToR₁₁→S1_1, 2 s window, {}{}: {} keep-alive frames, {} B \
+         ({:.1} frames/s)",
+        stack.label(),
+        if with_traffic { " + data traffic" } else { "" },
+        frames,
+        bytes,
+        frames as f64 / 2.0
+    );
+    if with_traffic {
+        println!(
+            "  → MR-MTP suppressed its hellos: the ≈333 pkt/s data stream keeps the \
+             neighbor alive for free (paper §IV-B)."
+        );
+    }
+}

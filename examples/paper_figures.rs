@@ -1,0 +1,32 @@
+//! Regenerate every figure of the paper's evaluation section in one run.
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+//!
+//! Runs the full failure matrix ({2,4}-PoD × {MR-MTP, BGP/ECMP,
+//! BGP/ECMP/BFD} × TC1–TC4) twice (near- and far-sender traffic), plus
+//! the steady-state keep-alive capture and the configuration/table-size
+//! comparisons. Scenarios fan out over all CPUs; expect a few seconds.
+
+use dcn_experiments::figures;
+use dcn_experiments::TrafficDir;
+
+fn main() {
+    let seed = 42;
+    eprintln!("running failure matrix (near-sender traffic)…");
+    let near = figures::failure_matrix(TrafficDir::NearToFar, seed);
+    eprintln!("running failure matrix (far-sender traffic)…");
+    let far = figures::failure_matrix(TrafficDir::FarToNear, seed);
+
+    println!("{}", figures::fig1_stack_comparison(seed).render());
+    println!("{}", figures::fig4_convergence(&near).render());
+    println!("{}", figures::fig5_blast_radius(&near).render());
+    println!("{}", figures::fig6_control_overhead(&near).render());
+    println!("{}", figures::fig_packet_loss(&near, true).render());
+    println!("{}", figures::fig_packet_loss(&far, false).render());
+    println!("{}", figures::fig9_keepalive(seed).render());
+    println!("{}", figures::config_comparison().render());
+    println!("{}", figures::table_size_comparison(seed).render());
+    println!("{}", figures::encap_overhead_figure(seed).render());
+}

@@ -1,0 +1,28 @@
+//! The paper's §IX future work, done: scale the DCN beyond 4 PoDs (the
+//! FABRIC reservation limit) and watch how convergence, blast radius and
+//! control overhead trend for MR-MTP vs BGP/ECMP.
+//!
+//! ```text
+//! cargo run --release --example scale_study [max_pods]
+//! ```
+
+use dcn_experiments::figures;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let pods: Vec<usize> = (1..=max / 2).map(|i| i * 2).collect();
+    eprintln!("sweeping PoD counts {pods:?} (failure at TC1, parallel runs)…");
+    let fig = figures::scale_sweep(&pods, 42);
+    println!("{}", fig.render());
+    eprintln!("comparing tier counts…");
+    println!("{}", figures::tier_comparison(42).render());
+    println!(
+        "Reading: MR-MTP's convergence stays pinned to its 100 ms dead timer and its\n\
+         blast radius grows only with the ToR count, while BGP's withdraw cascade\n\
+         touches a growing share of the fabric — the trend the paper extrapolates\n\
+         in §VII-C and §VIII."
+    );
+}

@@ -1,0 +1,173 @@
+//! The paper's §III-A overlay assumption, demonstrated end to end: VM
+//! traffic is VXLAN-encapsulated by the server (VTEP), the outer IP
+//! header carries *server* addresses, and MR-MTP derives the destination
+//! ToR VID from that outer header — VM addressing never touches the
+//! fabric.
+//!
+//! ```text
+//! cargo run --release --example vxlan_overlay
+//! ```
+
+use std::any::Any;
+
+use dcn_sim::time::secs;
+use dcn_sim::{Ctx, FrameClass, NodeId, PortId, Protocol};
+use dcn_topology::ClosParams;
+use dcn_wire::{
+    EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, VxlanHeader,
+    IPPROTO_UDP, VXLAN_PORT,
+};
+
+/// A server acting as a VXLAN tunnel endpoint for one resident VM.
+struct Vtep {
+    server_ip: IpAddr4,
+    vm_ip: IpAddr4,
+    vni: u32,
+    /// (peer server, peer VM) to send one message to, and when.
+    send: Option<(IpAddr4, IpAddr4, u64)>,
+    received: Vec<(u32, IpAddr4, Vec<u8>)>, // (vni, inner src VM, payload)
+}
+
+impl Protocol for Vtep {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((_, _, at)) = self.send {
+            ctx.set_timer(at, 1);
+        }
+    }
+
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+        // Outer: Ethernet / IPv4(server) / UDP(4789) / VXLAN / inner
+        // Ethernet / IPv4(VM) / payload.
+        let Ok(eth) = EthernetFrame::decode(frame) else { return };
+        if eth.ethertype != EtherType::Ipv4 {
+            return;
+        }
+        let Ok(outer) = Ipv4Packet::decode(&eth.payload) else { return };
+        if outer.dst != self.server_ip || outer.protocol != IPPROTO_UDP {
+            return;
+        }
+        let Ok(udp) = UdpDatagram::decode(&outer.payload) else { return };
+        if udp.dst_port != VXLAN_PORT {
+            return;
+        }
+        let Ok((vxlan, inner_frame)) = VxlanHeader::decapsulate(&udp.payload) else { return };
+        let Ok(inner_eth) = EthernetFrame::decode(inner_frame) else { return };
+        let Ok(inner_ip) = Ipv4Packet::decode(&inner_eth.payload) else { return };
+        if inner_ip.dst == self.vm_ip && vxlan.vni == self.vni {
+            self.received.push((vxlan.vni, inner_ip.src, inner_ip.payload));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let Some((peer_server, peer_vm, _)) = self.send else { return };
+        // Inner: the VM's own frame.
+        let inner_ip = Ipv4Packet::new(self.vm_ip, peer_vm, IPPROTO_UDP, {
+            let payload = b"hello from the overlay".to_vec();
+            UdpDatagram::new(1111, 2222, payload).encode()
+        });
+        let inner_frame = EthernetFrame {
+            dst: MacAddr([0x0A; 6]),
+            src: MacAddr([0x0B; 6]),
+            ethertype: EtherType::Ipv4,
+            payload: inner_ip.encode(),
+        };
+        // Outer: VTEP to VTEP, server addressing — what the ToR sees.
+        let vxlan = VxlanHeader::new(self.vni).encapsulate(&inner_frame.encode());
+        let udp = UdpDatagram::new(53000, VXLAN_PORT, vxlan);
+        let outer = Ipv4Packet::new(self.server_ip, peer_server, IPPROTO_UDP, udp.encode());
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_node_port(ctx.node().0, 0),
+            ethertype: EtherType::Ipv4,
+            payload: outer.encode(),
+        };
+        ctx.send(PortId(0), frame.encode(), FrameClass::Data);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn main() {
+    let params = ClosParams::two_pod();
+    let fabric = dcn_topology::Fabric::build(params);
+    let addr = dcn_topology::Addressing::new(&fabric);
+    let src_server = addr.server_addr(fabric.tor(0, 0), 0).unwrap();
+    let dst_server = addr.server_addr(fabric.tor(1, 1), 0).unwrap();
+    let vm_a = IpAddr4::new(10, 99, 0, 1);
+    let vm_b = IpAddr4::new(10, 99, 0, 2);
+    let vni = 4242;
+
+    let mut b = dcn_sim::SimBuilder::new(42);
+    for (i, node) in fabric.nodes.iter().enumerate() {
+        let proto: Box<dyn Protocol> = match node.role {
+            dcn_topology::Role::Server { pod, tor_idx, idx } => {
+                let tor = fabric.tor(pod, tor_idx);
+                let ip = addr.server_addr(tor, idx).unwrap();
+                let send = (ip == src_server).then_some((dst_server, vm_b, secs(2)));
+                Box::new(Vtep {
+                    server_ip: ip,
+                    vm_ip: if ip == src_server { vm_a } else { vm_b },
+                    vni,
+                    send,
+                    received: Vec::new(),
+                })
+            }
+            _ => {
+                // Routers: the standard MR-MTP construction (the harness
+                // builds whole fabrics with stock traffic hosts, so wire
+                // the custom VTEP servers by hand here).
+                use dcn_mrmtp::{MrmtpConfig, MrmtpRouter, TorConfig};
+                let cfg = match node.role {
+                    dcn_topology::Role::Tor { .. } => {
+                        let rack = addr.rack_subnet(i).unwrap();
+                        let mut host_ports = Vec::new();
+                        for (pi, pr) in fabric.ports[i].iter().enumerate() {
+                            if matches!(pr.kind, dcn_topology::PortKind::Host) {
+                                let s = host_ports.len();
+                                host_ports
+                                    .push((addr.server_addr(i, s).unwrap(), PortId(pi as u16)));
+                            }
+                        }
+                        MrmtpConfig::tor(node.name.clone(), TorConfig {
+                            rack_subnet: rack,
+                            host_ports,
+                        })
+                    }
+                    _ => MrmtpConfig::spine(node.name.clone(), node.tier),
+                };
+                Box::new(MrmtpRouter::new(cfg, fabric.ports[i].len()))
+            }
+        };
+        b.add_node(node.name.clone(), proto);
+    }
+    for &(x, y) in &fabric.links {
+        b.add_link(
+            NodeId(x as u32),
+            NodeId(y as u32),
+            dcn_sim::link::LinkSpec::default(),
+        );
+    }
+    let mut sim = b.build();
+    sim.run_until(secs(3));
+
+    let dst_node = fabric.server(1, 1, 0);
+    let vtep: &Vtep = sim.node_as(NodeId(dst_node as u32)).unwrap();
+    assert_eq!(vtep.received.len(), 1, "overlay packet must arrive");
+    let (got_vni, inner_src, payload) = &vtep.received[0];
+    println!("VXLAN overlay across the MR-MTP fabric:");
+    println!("  outer (what the fabric routed): {src_server} → {dst_server}");
+    println!("  VNI {got_vni}, inner VM flow {inner_src} → {vm_b}");
+    let udp = UdpDatagram::decode(payload).unwrap();
+    println!("  inner payload: {:?}", String::from_utf8_lossy(&udp.payload));
+    println!(
+        "\nThe ToR derived the destination VID from the OUTER header's third octet\n\
+         (192.168.{v}.0/24 → VID {v}), exactly as §III-A describes — VM addresses\n\
+         (10.99.0.0/16) never appear in any VID table.",
+        v = dst_server.third_octet()
+    );
+}

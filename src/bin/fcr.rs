@@ -1,0 +1,144 @@
+//! `fcr` — folded-clos-routing command line.
+//!
+//! A thin front end over `dcn-experiments` for running reproduction
+//! pieces without writing code:
+//!
+//! ```text
+//! fcr figures                      # regenerate every paper figure
+//! fcr scenario <stack> <tc> [near|far]   # one experiment, all metrics
+//! fcr listings                     # Listings 1/2/3/5 artifacts
+//! fcr sweep [max_pods]             # §IX PoD sweep + tier comparison
+//! fcr ablations                    # design-choice ablations
+//! fcr keepalive                    # Figs. 9–10 summary
+//! ```
+//!
+//! Stacks: `mrmtp`, `bgp`, `bgp-bfd`. Cases: `tc1`–`tc4`.
+
+use dcn_experiments::{ablations, figures, run, Scenario, Stack, TrafficDir};
+use dcn_topology::{ClosParams, FailureCase};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fcr <command>\n\
+         \n\
+         commands:\n\
+         \x20 figures                       regenerate every paper figure\n\
+         \x20 scenario <stack> <tc> [dir]   one experiment (stack: mrmtp|bgp|bgp-bfd;\n\
+         \x20                               tc: tc1..tc4; dir: near|far, default near)\n\
+         \x20 listings                      Listings 1/2/3/5 artifacts\n\
+         \x20 sweep [max_pods]              scalability sweep + tier comparison\n\
+         \x20 ablations                     design-choice ablations\n\
+         \x20 keepalive                     steady-state keep-alive summary\n\
+         \x20 extended                      whole-node/multi-point failures + encap overhead\n\
+         \x20 replicate [n]                 Fig. 4 averaged over n seeds"
+    );
+    std::process::exit(2);
+}
+
+fn parse_stack(s: &str) -> Stack {
+    match s {
+        "mrmtp" | "mtp" => Stack::Mrmtp,
+        "bgp" => Stack::BgpEcmp,
+        "bgp-bfd" | "bfd" => Stack::BgpEcmpBfd,
+        other => {
+            eprintln!("unknown stack {other:?} (mrmtp|bgp|bgp-bfd)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_tc(s: &str) -> FailureCase {
+    match s.to_ascii_lowercase().as_str() {
+        "tc1" => FailureCase::Tc1,
+        "tc2" => FailureCase::Tc2,
+        "tc3" => FailureCase::Tc3,
+        "tc4" => FailureCase::Tc4,
+        other => {
+            eprintln!("unknown failure case {other:?} (tc1..tc4)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = 42;
+    match args.first().map(String::as_str) {
+        Some("figures") => {
+            eprintln!("running failure matrices (this fans out over all CPUs)…");
+            let near = figures::failure_matrix(TrafficDir::NearToFar, seed);
+            let far = figures::failure_matrix(TrafficDir::FarToNear, seed);
+            println!("{}", figures::fig1_stack_comparison(seed).render());
+            println!("{}", figures::fig4_convergence(&near).render());
+            println!("{}", figures::fig5_blast_radius(&near).render());
+            println!("{}", figures::fig6_control_overhead(&near).render());
+            println!("{}", figures::fig_packet_loss(&near, true).render());
+            println!("{}", figures::fig_packet_loss(&far, false).render());
+            println!("{}", figures::fig9_keepalive(seed).render());
+            println!("{}", figures::config_comparison().render());
+            println!("{}", figures::table_size_comparison(seed).render());
+        }
+        Some("scenario") => {
+            let (Some(stack), Some(tc)) = (args.get(1), args.get(2)) else { usage() };
+            let dir = match args.get(3).map(String::as_str) {
+                Some("far") => TrafficDir::FarToNear,
+                _ => TrafficDir::NearToFar,
+            };
+            let r = run(
+                Scenario::new(ClosParams::two_pod(), parse_stack(stack))
+                    .failing(parse_tc(tc))
+                    .with_traffic(dir),
+            );
+            println!("convergence_ms   {}", r.convergence_ms.map(|v| format!("{v:.1}")).unwrap_or("-".into()));
+            println!("blast_radius     {}", r.blast_radius);
+            println!("control_bytes    {}", r.control_bytes);
+            println!("update_frames    {}", r.update_frames);
+            if let Some(l) = r.loss {
+                println!(
+                    "packet_loss      {} / {} ({:.2}%)  dup {}  ooo {}",
+                    l.lost(),
+                    l.sent,
+                    100.0 * l.loss_ratio(),
+                    l.duplicates,
+                    l.out_of_order
+                );
+            }
+            println!(
+                "keepalive        {:.0} B/s fabric-wide, {:.0} B/frame",
+                r.keepalive.bytes_per_sec, r.keepalive.avg_frame_len
+            );
+            println!("post-failure frame classes:");
+            for (class, frames, bytes) in &r.breakdown {
+                println!("  {class:<10} {frames:>8} frames  {bytes:>10} B");
+            }
+        }
+        Some("listings") => println!("{}", figures::render_listings(seed)),
+        Some("sweep") => {
+            let max: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+            let pods: Vec<usize> = (1..=max / 2).map(|i| i * 2).collect();
+            println!("{}", figures::scale_sweep(&pods, seed).render());
+            println!("{}", figures::tier_comparison(seed).render());
+        }
+        Some("extended") => {
+            println!("{}", dcn_experiments::extended_failures::extended_failure_figure(seed).render());
+            println!("{}", figures::encap_overhead_figure(seed).render());
+        }
+        Some("replicate") => {
+            let n: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+            let seeds: Vec<u64> = (1..=n).collect();
+            eprintln!("replicating Fig. 4 over {n} seeds…");
+            println!("{}", dcn_experiments::replicate::fig4_replicated(&seeds).render());
+        }
+        Some("ablations") => {
+            println!("{}", ablations::ablation_slow_to_accept(seed).render());
+            println!("{}", ablations::ablation_loss_holddown(seed).render());
+            println!("{}", ablations::sweep_mrmtp_hello(seed).render());
+            println!("{}", ablations::sweep_bfd_interval(seed).render());
+        }
+        Some("keepalive") => {
+            println!("{}", figures::fig9_keepalive(seed).render());
+            println!("{}", figures::fig1_stack_comparison(seed).render());
+        }
+        _ => usage(),
+    }
+}

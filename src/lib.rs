@@ -1,0 +1,1 @@
+pub use dcn_experiments as experiments;
