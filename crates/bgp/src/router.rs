@@ -54,6 +54,9 @@ pub struct BgpStats {
     pub data_forwarded: u64,
     pub data_delivered: u64,
     pub data_dropped: u64,
+    /// Frames that failed wire decoding (e.g. corrupted in flight) and
+    /// were dropped instead of processed.
+    pub malformed_frames_dropped: u64,
 }
 
 /// A BGP router bound to one emulated node.
@@ -130,6 +133,11 @@ impl BgpRouter {
         &self.rib
     }
 
+    /// The rack subnet this router serves directly (ToRs only).
+    pub fn rack_subnet(&self) -> Option<Prefix> {
+        self.cfg.rack_subnet
+    }
+
     /// Established-session count (convergence checks in tests).
     pub fn established_sessions(&self) -> usize {
         self.peers.iter().filter(|p| p.fsm == Fsm::Established).count()
@@ -148,6 +156,7 @@ impl BgpRouter {
     // Frame emission
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn send_ip(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -569,24 +578,39 @@ impl Protocol for BgpRouter {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
-        let Ok(eth) = EthernetFrame::decode(frame) else { return };
+        let Ok(eth) = EthernetFrame::decode(frame) else {
+            self.stats.malformed_frames_dropped += 1;
+            return;
+        };
         if eth.ethertype != EtherType::Ipv4 {
             return; // BGP fabrics ignore MR-MTP frames and vice versa
         }
-        let Ok(pkt) = Ipv4Packet::decode(&eth.payload) else { return };
+        let Ok(pkt) = Ipv4Packet::decode(&eth.payload) else {
+            self.stats.malformed_frames_dropped += 1;
+            return;
+        };
         // Control traffic addressed to our side of this link?
         if let Some(&peer_idx) = self.port_peer.get(&port) {
             if pkt.dst == self.peers[peer_idx].cfg.local_ip {
                 match pkt.protocol {
                     IPPROTO_TCP => {
-                        if let Ok(seg) = TcpSegment::decode(&pkt.payload) {
-                            self.on_tcp_segment(ctx, peer_idx, &seg);
+                        match TcpSegment::decode(&pkt.payload) {
+                            Ok(seg) => self.on_tcp_segment(ctx, peer_idx, &seg),
+                            Err(_) => self.stats.malformed_frames_dropped += 1,
                         }
                     }
                     IPPROTO_UDP => {
-                        if let Ok(udp) = UdpDatagram::decode(&pkt.payload) {
+                        let Ok(udp) = UdpDatagram::decode(&pkt.payload) else {
+                            self.stats.malformed_frames_dropped += 1;
+                            return;
+                        };
+                        {
                             if udp.dst_port == BFD_CTRL_PORT {
-                                if let Ok(bp) = dcn_wire::BfdPacket::decode(&udp.payload) {
+                                let Ok(bp) = dcn_wire::BfdPacket::decode(&udp.payload) else {
+                                    self.stats.malformed_frames_dropped += 1;
+                                    return;
+                                };
+                                {
                                     let now = ctx.now();
                                     if let Some(mut bfd) = self.peers[peer_idx].bfd.take() {
                                         let (reply, event) = bfd.on_packet(&bp, now);

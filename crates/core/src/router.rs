@@ -65,6 +65,9 @@ pub struct RouterStats {
     pub data_dropped: u64,
     pub negatives_installed: u64,
     pub negatives_cleared: u64,
+    /// Frames that failed wire decoding (e.g. corrupted in flight) and
+    /// were dropped instead of processed.
+    pub malformed_frames_dropped: u64,
 }
 
 /// An MR-MTP router bound to one emulated node.
@@ -376,6 +379,59 @@ impl MrmtpRouter {
         }
     }
 
+    /// A neighbor session just (re-)established. Lost/Recovered floods
+    /// are edge-triggered and only target live sessions, so any flood
+    /// that fired while this session was down is gone for good — both
+    /// sides would otherwise keep stale loss state forever (randomized
+    /// fault campaigns surface this as black holes that survive full
+    /// physical healing). Re-synchronize both directions:
+    ///
+    /// * Restored **uplink** (tier above): its pre-failure loss reports
+    ///   are stale evidence. Drop the negative entries attributed to it
+    ///   and optimistically clear total-loss markers; if a loss is still
+    ///   real, the uplink re-asserts it (the branch below, running on
+    ///   its side) and the hold-down machinery reinstates the state.
+    /// * Restored **downlink** (tier below, the flood target): re-send
+    ///   every loss this router still holds, so the neighbor's
+    ///   optimistic clearing converges back to the truth.
+    fn resync_after_rejoin(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        let Some(nbr_tier) = self.nbr.tier(port) else {
+            return; // cold start: no stale state to reconcile
+        };
+        if nbr_tier == self.cfg.tier + 1 {
+            for root in self.table.clear_negatives_on_port(port) {
+                self.stats.negatives_cleared += 1;
+                ctx.trace_route_change(RouteChangeKind::Install, root as u64);
+            }
+            let regained: Vec<u8> = std::mem::take(&mut self.upper_lost).into_iter().collect();
+            if !regained.is_empty() && self.cfg.tier > 1 {
+                self.flood_update_to_tier(ctx, &regained, self.cfg.tier - 1, false);
+            }
+        } else if nbr_tier + 1 == self.cfg.tier {
+            let mut lost: BTreeSet<u8> = self.upper_lost.clone();
+            let roots: Vec<u8> = self.table.roots().collect();
+            for root in roots {
+                if self
+                    .forwarding_candidates(root, |p| ctx.port(p).up)
+                    .is_empty()
+                {
+                    lost.insert(root);
+                }
+            }
+            if !lost.is_empty() {
+                let roots: Vec<u8> = lost.into_iter().collect();
+                let seq = self.rel.alloc_seq();
+                self.stats.updates_sent += 1;
+                self.send_reliable(
+                    ctx,
+                    port,
+                    MrmtpMsg::Lost { seq, roots },
+                    FrameClass::Update,
+                );
+            }
+        }
+    }
+
     fn already_seen(&mut self, port: PortId, seq: u16) -> bool {
         let ring = self.seen_seq.entry(port).or_default();
         if ring.contains(&seq) {
@@ -506,30 +562,51 @@ impl MrmtpRouter {
     /// `flow`. Downward VID-table entries win; otherwise hash across live
     /// uplinks, honoring negative entries.
     fn route_for(&self, ctx: &Ctx<'_>, root: u8, flow: u16) -> Option<PortId> {
+        self.forwarding_port(root, flow, |p| ctx.port(p).up)
+    }
+
+    /// Offline forwarding introspection for invariant checkers: the port
+    /// this router would choose for traffic to `root` with flow hash
+    /// `flow`, given externally-observed interface state. Mirrors the
+    /// data-plane decision exactly.
+    pub fn forwarding_port(
+        &self,
+        root: u8,
+        flow: u16,
+        port_up: impl Fn(PortId) -> bool,
+    ) -> Option<PortId> {
+        let c = self.forwarding_candidates(root, port_up);
+        if c.is_empty() {
+            None
+        } else {
+            Some(c[dcn_wire::ecmp_index(flow as u64, c.len())])
+        }
+    }
+
+    /// The sorted ECMP candidate set [`MrmtpRouter::forwarding_port`]
+    /// hashes over (empty when traffic to `root` would be dropped).
+    pub fn forwarding_candidates(&self, root: u8, port_up: impl Fn(PortId) -> bool) -> Vec<PortId> {
         let mut down: Vec<PortId> = self
             .table
             .vids_for(root)
             .iter()
             .map(|o| o.port)
-            .filter(|&p| ctx.port(p).up && self.nbr.is_up(p) && !self.table.is_negative(root, p))
+            .filter(|&p| port_up(p) && self.nbr.is_up(p) && !self.table.is_negative(root, p))
             .collect();
         if !down.is_empty() {
             down.sort_unstable();
-            return Some(down[dcn_wire::ecmp_index(flow as u64, down.len())]);
+            return down;
         }
         if self.upper_lost.contains(&root) {
-            return None;
+            return Vec::new();
         }
         let mut ups: Vec<PortId> = self
             .nbr
             .up_ports_at_tier(self.cfg.tier + 1)
-            .filter(|&p| ctx.port(p).up && !self.table.is_negative(root, p))
+            .filter(|&p| port_up(p) && !self.table.is_negative(root, p))
             .collect();
-        if ups.is_empty() {
-            return None;
-        }
         ups.sort_unstable();
-        Some(ups[dcn_wire::ecmp_index(flow as u64, ups.len())])
+        ups
     }
 
     /// An IP packet arrived from a rack port (ToR ingress).
@@ -540,9 +617,16 @@ impl MrmtpRouter {
         };
         let Ok(pkt) = Ipv4Packet::decode(&frame.payload) else {
             self.stats.data_dropped += 1;
+            self.stats.malformed_frames_dropped += 1;
             return;
         };
-        let rack = self.cfg.tor.as_ref().expect("ToR has rack config").rack_subnet;
+        // `my_root` is derived from the ToR config, so it is present here;
+        // still degrade to a drop rather than panicking mid-simulation.
+        let Some(tor) = self.cfg.tor.as_ref() else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let rack = tor.rack_subnet;
         if rack.contains(pkt.dst) {
             // Intra-rack: bounce to the right server port.
             self.deliver_to_host(ctx, &pkt, frame.payload.clone());
@@ -589,7 +673,10 @@ impl MrmtpRouter {
             // Terminal ToR: de-encapsulate and hand to the server.
             match Ipv4Packet::decode(payload) {
                 Ok(pkt) => self.deliver_to_host(ctx, &pkt, payload.to_vec()),
-                Err(_) => self.stats.data_dropped += 1,
+                Err(_) => {
+                    self.stats.data_dropped += 1;
+                    self.stats.malformed_frames_dropped += 1;
+                }
             }
             return;
         }
@@ -650,6 +737,7 @@ impl Protocol for MrmtpRouter {
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
         let Ok(eth) = EthernetFrame::decode(frame) else {
+            self.stats.malformed_frames_dropped += 1;
             return;
         };
         match eth.ethertype {
@@ -661,6 +749,7 @@ impl Protocol for MrmtpRouter {
             _ => return,
         }
         let Ok(msg) = MrmtpMsg::decode(&eth.payload) else {
+            self.stats.malformed_frames_dropped += 1;
             return;
         };
         // Every frame is a keep-alive; Slow-to-Accept may suppress
@@ -672,6 +761,7 @@ impl Protocol for MrmtpRouter {
                 ctx.trace_proto("neighbor_up", port.0 as u64);
                 // Give the neighbor a chance to (re)join our trees.
                 self.advertise_on(ctx, port);
+                self.resync_after_rejoin(ctx, port);
             }
             RxOutcome::Still => {}
         }

@@ -1,0 +1,176 @@
+//! Offline benchmarking shim.
+//!
+//! The build environment has no crates.io access, so this in-repo crate
+//! provides the subset of the real `criterion` API the workspace's
+//! benches use: `Criterion`, `benchmark_group` → `BenchmarkGroup` with
+//! `sample_size` / `measurement_time` / `warm_up_time` / `bench_function`
+//! / `finish`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is simple wall-clock sampling: each
+//! benchmark runs a warm-up, then `sample_size` timed batches, and
+//! reports mean / min / max per iteration to stdout.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as in real criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+pub mod measurement {
+    /// Marker measurement type; the shim only measures wall-clock time.
+    pub struct WallTime;
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        println!("\n## bench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c, M> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    settings: Settings,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: also calibrates how many iterations fit in a sample.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::ZERO;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1));
+        }
+
+        let samples = self.settings.sample_size;
+        let budget_per_sample = self.settings.measurement_time / samples as u32;
+        let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            times.push(b.elapsed / iters_per_sample as u32);
+        }
+
+        let mean = times.iter().sum::<Duration>() / samples as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({samples} samples x {iters_per_sample} iters)",
+            self.name
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.warm_up_time(Duration::from_millis(5));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+    }
+}

@@ -37,8 +37,7 @@ pub struct FlapResult {
 /// Subject the TC2 interface to `flaps` down/up cycles of `period` each
 /// and measure the churn, with the given Slow-to-Accept threshold.
 pub fn flap_storm(accept_hellos: u32, flaps: u32, period: Duration, seed: u64) -> FlapResult {
-    let mut timers = MrmtpTimers::default();
-    timers.accept_hellos = accept_hellos;
+    let timers = MrmtpTimers { accept_hellos, ..MrmtpTimers::default() };
     let tuning = StackTuning { mrmtp_timers: Some(timers), ..Default::default() };
     let mut built = build_sim_tuned(ClosParams::two_pod(), Stack::Mrmtp, seed, &[], tuning);
     built.sim.run_until(secs(2));
@@ -98,8 +97,7 @@ pub fn ablation_loss_holddown(seed: u64) -> Figure {
     let rows = [0u64, millis(2), millis(10)]
         .into_iter()
         .map(|hold| {
-            let mut timers = MrmtpTimers::default();
-            timers.loss_holddown = hold;
+            let timers = MrmtpTimers { loss_holddown: hold, ..MrmtpTimers::default() };
             let tuning = StackTuning { mrmtp_timers: Some(timers), ..Default::default() };
             let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
                 .failing(FailureCase::Tc1)
@@ -129,9 +127,11 @@ pub fn sweep_mrmtp_hello(seed: u64) -> Figure {
     let rows = [millis(25), millis(50), millis(100), millis(200)]
         .into_iter()
         .map(|hello| {
-            let mut timers = MrmtpTimers::default();
-            timers.hello_interval = hello;
-            timers.dead_interval = 2 * hello;
+            let timers = MrmtpTimers {
+                hello_interval: hello,
+                dead_interval: 2 * hello,
+                ..MrmtpTimers::default()
+            };
             let tuning = StackTuning { mrmtp_timers: Some(timers), ..Default::default() };
             let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
                 .failing(FailureCase::Tc1)

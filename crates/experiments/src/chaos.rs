@@ -1,0 +1,716 @@
+//! Chaos campaign engine (robustness harness).
+//!
+//! The paper's evaluation injects *scripted* failures (TC1–TC4). This
+//! module complements it with *randomized* fault schedules — link flaps
+//! with configurable dwell times, whole-node crashes with staggered
+//! recovery, and k-point concurrent failures — replayed against both the
+//! MR-MTP and BGP stacks while the wire is impaired (probabilistic frame
+//! loss, byte corruption, delay jitter). After every schedule heals and
+//! the fabric quiesces, four invariants are checked:
+//!
+//! 1. **No forwarding loops**: every ToR-pair × flow-sample walk over the
+//!    actual data-plane decision function terminates without revisiting a
+//!    node.
+//! 2. **No black holes**: a walk that dies (no forwarding entry) while
+//!    the destination is physically reachable over admin-up links is a
+//!    violation.
+//! 3. **Bounded re-convergence**: the last routing state change after the
+//!    final heal event must land within a configured bound.
+//! 4. **Determinism**: the same seed produces a bit-identical trace
+//!    digest on a second run.
+//!
+//! Every random draw — schedule generation *and* wire impairment — comes
+//! from seeded [`DetRng`] streams, so a violating seed is a complete,
+//! replayable reproduction recipe.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use dcn_sim::rng::DetRng;
+use dcn_sim::time::{Duration, Time, MICROS, MILLIS, SECONDS};
+use dcn_sim::{Impairment, NodeId, PortId};
+use dcn_topology::{ClosParams, Fabric, Role};
+use dcn_wire::{ecmp_index, flow_hash, IPPROTO_UDP};
+
+use crate::fabric::{build_sim, BuiltSim, Stack};
+use crate::figures::Figure;
+use crate::parallel::fan_out;
+
+/// Salt for the schedule-generation RNG stream (distinct from the
+/// engine's per-node and impairment streams).
+const SCHEDULE_SALT: u64 = 0x5C4E_D01E_FA17_5EED;
+
+/// Tunables for one chaos run. [`ChaosConfig::default`] matches the
+/// acceptance campaign: link flaps + a node crash + concurrent failures
+/// on a 2-PoD fabric with 1 % frame corruption.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Fabric under test.
+    pub params: ClosParams,
+    /// Number of single-link flap pairs (down then up) per schedule.
+    pub flaps: usize,
+    /// Number of whole-node crashes (all interfaces down, staggered
+    /// recovery) per schedule.
+    pub crashes: usize,
+    /// Size of the one concurrent k-point failure burst (0 disables it).
+    pub k_concurrent: usize,
+    /// Minimum flap dwell (time an interface stays down).
+    pub min_dwell: Duration,
+    /// Maximum flap dwell.
+    pub max_dwell: Duration,
+    /// Base downtime of a crashed node before its first port recovers.
+    pub crash_dwell: Duration,
+    /// Per-port random extra delay when a crashed node's ports recover.
+    pub recovery_stagger: Duration,
+    /// Wire impairment active during the fault window.
+    pub impairment: Impairment,
+    /// Protocol warm-up before the fault window opens.
+    pub warmup: Duration,
+    /// Length of the fault window. Every interface is healed by its end.
+    pub window: Duration,
+    /// Clean settle time after the window before invariants are checked.
+    pub settle: Duration,
+    /// Re-convergence bound: the last routing state change after the
+    /// final heal must land within this much time (must be < `settle`).
+    pub convergence_bound: Duration,
+    /// Flow samples walked per ToR pair when checking loop/black-hole
+    /// invariants (each sample varies the UDP source port).
+    pub flows_per_pair: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            params: ClosParams::two_pod(),
+            flaps: 6,
+            crashes: 1,
+            k_concurrent: 2,
+            min_dwell: 200 * MILLIS,
+            max_dwell: 1500 * MILLIS,
+            crash_dwell: 800 * MILLIS,
+            recovery_stagger: 400 * MILLIS,
+            impairment: Impairment {
+                loss_ppm: 2_000,       // 0.2 % frame loss
+                corrupt_ppm: 10_000,   // 1 % byte corruption
+                jitter: 20 * MICROS,
+            },
+            warmup: 5 * SECONDS,
+            window: 6 * SECONDS,
+            settle: 8 * SECONDS,
+            // BGP's worst legitimate post-heal sequence is a stale
+            // hold-timer expiry (3 s) followed by up to two connect
+            // retries (1 s each) before updates propagate; anything past
+            // 6 s means the fabric is not quiescing.
+            convergence_bound: 6 * SECONDS,
+            flows_per_pair: 4,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Instant the fault window closes and the last heals fire.
+    pub fn heal_at(&self) -> Time {
+        self.warmup + self.window
+    }
+
+    /// Instant the run ends and invariants are checked.
+    pub fn end_at(&self) -> Time {
+        self.heal_at() + self.settle
+    }
+}
+
+/// One administrative interface transition in a fault schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    pub at: Time,
+    pub node: usize,
+    pub port: usize,
+    pub up: bool,
+}
+
+/// A seeded, fully-healed fault schedule: a chronologically sorted list
+/// of interface transitions in which every interface taken down is back
+/// up by [`ChaosConfig::heal_at`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Generate the schedule for `seed` on `fabric`. Deterministic: the
+    /// same (seed, fabric, config) always yields the same schedule.
+    pub fn generate(seed: u64, fabric: &Fabric, cfg: &ChaosConfig) -> FaultSchedule {
+        let mut rng = DetRng::new(seed, SCHEDULE_SALT);
+        let start = cfg.warmup;
+        let heal_at = cfg.heal_at();
+        let span = cfg.window.saturating_sub(cfg.min_dwell).max(1);
+
+        // Router-to-router interfaces are the flap/k-point candidates;
+        // host-facing ports only go down when their whole node crashes.
+        let mut ifaces: Vec<(usize, usize)> = Vec::new();
+        for (n, node) in fabric.nodes.iter().enumerate() {
+            if !node.role.is_router() {
+                continue;
+            }
+            for (p, pr) in fabric.ports[n].iter().enumerate() {
+                if fabric.nodes[pr.peer].role.is_router() {
+                    ifaces.push((n, p));
+                }
+            }
+        }
+        let routers: Vec<usize> = fabric
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role.is_router())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut ev = Vec::new();
+        let dwell = |rng: &mut DetRng| {
+            cfg.min_dwell + rng.below(cfg.max_dwell.saturating_sub(cfg.min_dwell) + 1)
+        };
+
+        // Single-link flaps.
+        for _ in 0..cfg.flaps {
+            let (n, p) = ifaces[rng.below(ifaces.len() as u64) as usize];
+            let down_at = start + rng.below(span);
+            let up_at = (down_at + dwell(&mut rng)).min(heal_at);
+            ev.push(FaultEvent { at: down_at, node: n, port: p, up: false });
+            ev.push(FaultEvent { at: up_at, node: n, port: p, up: true });
+        }
+
+        // Whole-node crashes: every port down at once, staggered recovery.
+        for _ in 0..cfg.crashes {
+            let n = routers[rng.below(routers.len() as u64) as usize];
+            let crash_at = start + rng.below(span);
+            for p in 0..fabric.ports[n].len() {
+                let up_at = (crash_at
+                    + cfg.crash_dwell
+                    + rng.below(cfg.recovery_stagger + 1))
+                .min(heal_at);
+                ev.push(FaultEvent { at: crash_at, node: n, port: p, up: false });
+                ev.push(FaultEvent { at: up_at, node: n, port: p, up: true });
+            }
+        }
+
+        // One k-point concurrent burst: k distinct interfaces cut at the
+        // same instant, each healing independently.
+        if cfg.k_concurrent > 0 {
+            let burst_at = start + rng.below(span);
+            let mut picked = HashSet::new();
+            while picked.len() < cfg.k_concurrent.min(ifaces.len()) {
+                picked.insert(ifaces[rng.below(ifaces.len() as u64) as usize]);
+            }
+            let mut picked: Vec<_> = picked.into_iter().collect();
+            picked.sort_unstable();
+            for (n, p) in picked {
+                let up_at = (burst_at + dwell(&mut rng)).min(heal_at);
+                ev.push(FaultEvent { at: burst_at, node: n, port: p, up: false });
+                ev.push(FaultEvent { at: up_at, node: n, port: p, up: true });
+            }
+        }
+
+        ev.sort_by_key(|e| (e.at, e.node, e.port, e.up));
+
+        // Replay with the engine's dedup semantics to find interfaces
+        // still down at window close, and heal them. (Overlapping flaps
+        // on one interface can leave a later `up` as a no-op while an
+        // earlier `down` wins.)
+        let mut state: std::collections::HashMap<(usize, usize), bool> =
+            std::collections::HashMap::new();
+        for e in &ev {
+            let s = state.entry((e.node, e.port)).or_insert(true);
+            if *s != e.up {
+                *s = e.up;
+            }
+        }
+        for ((n, p), up) in state {
+            if !up {
+                ev.push(FaultEvent { at: heal_at, node: n, port: p, up: true });
+            }
+        }
+        ev.sort_by_key(|e| (e.at, e.node, e.port, e.up));
+        FaultSchedule { events: ev }
+    }
+
+    /// Number of distinct down transitions (the "fault count").
+    pub fn fault_count(&self) -> usize {
+        self.events.iter().filter(|e| !e.up).count()
+    }
+}
+
+/// Result of one chaos run (one seed × one stack).
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    pub seed: u64,
+    pub stack: Stack,
+    /// Down transitions injected by the schedule.
+    pub faults: usize,
+    /// Forwarding-loop violations found after quiescence.
+    pub loops: usize,
+    /// Black-hole violations (no route while physically reachable).
+    pub black_holes: usize,
+    /// ToR pairs that were physically unreachable at check time (should
+    /// be zero: every schedule is fully healed).
+    pub unreachable_pairs: usize,
+    /// Whether the last routing state change after the final heal landed
+    /// within [`ChaosConfig::convergence_bound`].
+    pub converged: bool,
+    /// Time of the last routing state change after the final heal
+    /// (`None` = the fabric was already quiet).
+    pub convergence: Option<Duration>,
+    /// Trace digest; equal digests across runs of the same seed certify
+    /// bit-identical execution.
+    pub digest: u64,
+    /// Whether a second same-seed run reproduced `digest` exactly.
+    pub deterministic: bool,
+    /// Corrupted/undecodable frames dropped by protocol parsers.
+    pub malformed_dropped: u64,
+    /// Frames the wire corrupted during the impairment window.
+    pub frames_corrupted: u64,
+    /// Frames the wire dropped outright during the impairment window.
+    pub frames_lost: u64,
+}
+
+impl ChaosRun {
+    /// Total invariant violations in this run.
+    pub fn violations(&self) -> usize {
+        self.loops
+            + self.black_holes
+            + self.unreachable_pairs
+            + usize::from(!self.converged)
+            + usize::from(!self.deterministic)
+    }
+}
+
+/// Execute one chaos run: warm up, open the impaired fault window, replay
+/// the schedule, heal, settle, then check every invariant.
+pub fn run_chaos(seed: u64, stack: Stack, cfg: &ChaosConfig) -> ChaosRun {
+    let (run, _) = run_chaos_once(seed, stack, cfg);
+    run
+}
+
+fn run_chaos_once(seed: u64, stack: Stack, cfg: &ChaosConfig) -> (ChaosRun, FaultSchedule) {
+    let mut built = build_sim(cfg.params, stack, seed, &[]);
+    let schedule = FaultSchedule::generate(seed, &built.fabric, cfg);
+
+    // Schedule every administrative transition up front; the engine's
+    // double-scheduling guard drops no-op transitions exactly the way
+    // the schedule replay predicted.
+    for e in &schedule.events {
+        let (node, port) = (NodeId(e.node as u32), PortId(e.port as u16));
+        if e.up {
+            built.sim.schedule_port_up(e.at, node, port);
+        } else {
+            built.sim.schedule_port_down(e.at, node, port);
+        }
+    }
+
+    // Warm up clean, impair the wire for the fault window, then clear
+    // the impairment just before the final heals so the settle period is
+    // a clean fabric.
+    let heal_at = cfg.heal_at();
+    built.sim.run_until(cfg.warmup);
+    built.sim.set_impairment_all(cfg.impairment);
+    built.sim.run_until(heal_at.saturating_sub(1));
+    built.sim.set_impairment_all(Impairment::none());
+    built.sim.run_until(cfg.end_at());
+
+    let convergence = dcn_metrics::last_state_change(built.sim.trace(), heal_at);
+    let converged = convergence.is_none_or(|d| d <= cfg.convergence_bound);
+    let (loops, black_holes, unreachable_pairs) = check_forwarding_invariants(&built, cfg);
+    let digest = trace_digest(&built.sim);
+
+    let malformed_dropped = built
+        .fabric
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.role.is_router())
+        .map(|(i, _)| match stack {
+            Stack::Mrmtp => built.mrmtp(i).stats().malformed_frames_dropped,
+            Stack::BgpEcmp | Stack::BgpEcmpBfd => built.bgp(i).stats().malformed_frames_dropped,
+        })
+        .sum();
+
+    let run = ChaosRun {
+        seed,
+        stack,
+        faults: schedule.fault_count(),
+        loops,
+        black_holes,
+        unreachable_pairs,
+        converged,
+        convergence,
+        digest,
+        deterministic: true,
+        malformed_dropped,
+        frames_corrupted: built.sim.frames_corrupted(),
+        frames_lost: built.sim.frames_lost_to_impairment(),
+    };
+    (run, schedule)
+}
+
+/// Digest of everything observable about a finished run: the full frame
+/// trace plus the engine's global counters. Two runs of the same seed
+/// must produce the same digest bit-for-bit.
+fn trace_digest(sim: &dcn_sim::Sim) -> u64 {
+    let mut h = DefaultHasher::new();
+    sim.events_processed().hash(&mut h);
+    sim.frames_delivered().hash(&mut h);
+    sim.frames_corrupted().hash(&mut h);
+    sim.frames_lost_to_impairment().hash(&mut h);
+    for ev in sim.trace().events() {
+        format!("{ev:?}").hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Walk the data plane for every ToR pair × flow sample and count loop /
+/// black-hole violations. Returns (loops, black_holes, unreachable).
+fn check_forwarding_invariants(built: &BuiltSim, cfg: &ChaosConfig) -> (usize, usize, usize) {
+    let fabric = &built.fabric;
+    let tors: Vec<usize> = fabric
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.role, Role::Tor { .. }))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut loops = 0;
+    let mut black_holes = 0;
+    let mut unreachable = 0;
+    for &src in &tors {
+        let reachable = physically_reachable(built, src);
+        for &dst in &tors {
+            if src == dst {
+                continue;
+            }
+            if !reachable.contains(&dst) {
+                unreachable += 1;
+                continue;
+            }
+            for flow in 0..cfg.flows_per_pair {
+                match walk(built, src, dst, flow as u16) {
+                    WalkOutcome::Delivered => {}
+                    WalkOutcome::Loop => loops += 1,
+                    WalkOutcome::BlackHole => black_holes += 1,
+                }
+            }
+        }
+    }
+    (loops, black_holes, unreachable)
+}
+
+enum WalkOutcome {
+    Delivered,
+    Loop,
+    BlackHole,
+}
+
+/// Follow the forwarding decision a packet of the given flow sample
+/// would experience from `src` ToR to `dst` ToR, mirroring each stack's
+/// data-plane selection exactly.
+fn walk(built: &BuiltSim, src: usize, dst: usize, flow: u16) -> WalkOutcome {
+    let sim = &built.sim;
+    let src_ip = built.addr.server_addr(src, 0).expect("src server addr");
+    let dst_ip = built.addr.server_addr(dst, 0).expect("dst server addr");
+    // Vary the UDP source port per flow sample, exactly like a host
+    // would spread flows across ECMP paths.
+    let hash = flow_hash(src_ip, dst_ip, IPPROTO_UDP, 1000 + flow, 5000);
+
+    let mut visited = HashSet::new();
+    let mut cur = src;
+    loop {
+        if cur == dst {
+            return WalkOutcome::Delivered;
+        }
+        if !visited.insert(cur) {
+            return WalkOutcome::Loop;
+        }
+        let next_port = match built.stack {
+            Stack::Mrmtp => {
+                // Mirrors `on_host_ip`/`on_data`: destination root is the
+                // third address octet; the data plane hashes the low 16
+                // bits of the flow hash over the candidate set.
+                let root = dst_ip.third_octet();
+                let f16 = (hash & 0xFFFF) as u16;
+                built
+                    .mrmtp(cur)
+                    .forwarding_port(root, f16, |p| sim.port_up(NodeId(cur as u32), p))
+            }
+            Stack::BgpEcmp | Stack::BgpEcmpBfd => {
+                // Mirrors `forward_data`: LPM lookup, then ECMP over the
+                // member list with the full flow hash.
+                built.bgp(cur).rib().lookup(dst_ip).and_then(|(_, members)| {
+                    if members.is_empty() {
+                        None
+                    } else {
+                        Some(members[ecmp_index(hash, members.len())].peer_port)
+                    }
+                })
+            }
+        };
+        let Some(port) = next_port else {
+            return WalkOutcome::BlackHole;
+        };
+        let Some(peer) = sim.peer_of(NodeId(cur as u32), port) else {
+            return WalkOutcome::BlackHole;
+        };
+        cur = peer.node.0 as usize;
+    }
+}
+
+/// BFS over admin-up router-to-router links from `src`: the set of
+/// routers a packet could physically reach. A walk failure toward an
+/// unreachable destination is a partition, not a black hole.
+fn physically_reachable(built: &BuiltSim, src: usize) -> HashSet<usize> {
+    let sim = &built.sim;
+    let fabric = &built.fabric;
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(src);
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        let nid = NodeId(n as u32);
+        for p in 0..sim.port_count(nid) {
+            let port = PortId(p as u16);
+            let Some(peer) = sim.peer_of(nid, port) else {
+                continue;
+            };
+            let m = peer.node.0 as usize;
+            if !fabric.nodes[m].role.is_router() {
+                continue;
+            }
+            if sim.port_up(nid, port) && sim.port_up(peer.node, peer.port) && seen.insert(m) {
+                queue.push_back(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Configuration of a whole campaign: a seed range fanned over worker
+/// threads for a list of stacks.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of seeds (seed values are `base_seed..base_seed + seeds`).
+    pub seeds: u64,
+    /// First seed value.
+    pub base_seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Stacks under test.
+    pub stacks: Vec<Stack>,
+    /// Per-run tunables.
+    pub chaos: ChaosConfig,
+    /// Re-run every (seed, stack) pair and compare trace digests.
+    pub check_determinism: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seeds: 64,
+            base_seed: 1,
+            threads: 0,
+            stacks: vec![Stack::Mrmtp, Stack::BgpEcmp],
+            chaos: ChaosConfig::default(),
+            check_determinism: true,
+        }
+    }
+}
+
+/// All runs of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    pub runs: Vec<ChaosRun>,
+}
+
+impl CampaignResult {
+    /// Total invariant violations across every run.
+    pub fn violations(&self) -> usize {
+        self.runs.iter().map(ChaosRun::violations).sum()
+    }
+}
+
+/// Run the campaign: every (stack, seed) pair is an independent job
+/// fanned out over worker threads. With `check_determinism`, each job
+/// runs its simulation twice and compares digests.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let mut jobs = Vec::new();
+    for &stack in &cfg.stacks {
+        for s in 0..cfg.seeds {
+            jobs.push((stack, cfg.base_seed + s));
+        }
+    }
+    let chaos = cfg.chaos.clone();
+    let check = cfg.check_determinism;
+    let runs = fan_out(jobs, cfg.threads, move |(stack, seed)| {
+        let mut run = run_chaos(seed, stack, &chaos);
+        if check {
+            let again = run_chaos(seed, stack, &chaos);
+            run.deterministic = run.digest == again.digest;
+        }
+        run
+    });
+    CampaignResult { runs }
+}
+
+/// Per-stack summary table of a campaign: fault totals, invariant
+/// violations, and the post-heal re-convergence distribution.
+pub fn campaign_summary(cfg: &CampaignConfig, result: &CampaignResult) -> Figure {
+    let mut rows = Vec::new();
+    for &stack in &cfg.stacks {
+        let runs: Vec<&ChaosRun> = result.runs.iter().filter(|r| r.stack == stack).collect();
+        if runs.is_empty() {
+            continue;
+        }
+        let conv: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.convergence)
+            .map(|d| d as f64 / MILLIS as f64)
+            .collect();
+        let (min, mean, max) = if conv.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let mean = conv.iter().sum::<f64>() / conv.len() as f64;
+            (
+                conv.iter().cloned().fold(f64::INFINITY, f64::min),
+                mean,
+                conv.iter().cloned().fold(0.0, f64::max),
+            )
+        };
+        rows.push(vec![
+            stack.label().to_string(),
+            runs.len().to_string(),
+            runs.iter().map(|r| r.faults).sum::<usize>().to_string(),
+            runs.iter().map(|r| r.loops).sum::<usize>().to_string(),
+            runs.iter().map(|r| r.black_holes).sum::<usize>().to_string(),
+            runs.iter().filter(|r| !r.converged).count().to_string(),
+            runs.iter().filter(|r| !r.deterministic).count().to_string(),
+            format!("{min:.1}"),
+            format!("{mean:.1}"),
+            format!("{max:.1}"),
+            runs.iter().map(|r| r.malformed_dropped).sum::<u64>().to_string(),
+            runs.iter().map(|r| r.frames_corrupted).sum::<u64>().to_string(),
+            runs.iter().map(|r| r.frames_lost).sum::<u64>().to_string(),
+        ]);
+    }
+    Figure {
+        title: format!(
+            "Chaos campaign: {} seeds/stack, {} flaps + {} crashes + k={} burst, \
+             loss {} ppm / corrupt {} ppm / jitter {} us",
+            cfg.seeds,
+            cfg.chaos.flaps,
+            cfg.chaos.crashes,
+            cfg.chaos.k_concurrent,
+            cfg.chaos.impairment.loss_ppm,
+            cfg.chaos.impairment.corrupt_ppm,
+            cfg.chaos.impairment.jitter / MICROS,
+        ),
+        headers: vec![
+            "stack",
+            "seeds",
+            "faults",
+            "loops",
+            "blackholes",
+            "unconverged",
+            "non-det",
+            "reconv-min-ms",
+            "reconv-mean-ms",
+            "reconv-max-ms",
+            "malformed-drop",
+            "corrupted",
+            "lost",
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            flaps: 3,
+            crashes: 1,
+            k_concurrent: 2,
+            window: 3 * SECONDS,
+            flows_per_pair: 2,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_fully_healed() {
+        let cfg = quick_cfg();
+        let fabric = Fabric::build(cfg.params);
+        let a = FaultSchedule::generate(7, &fabric, &cfg);
+        let b = FaultSchedule::generate(7, &fabric, &cfg);
+        assert_eq!(a.events, b.events);
+        assert!(a.fault_count() > 0);
+
+        // Replay: every interface ends up.
+        let mut state = std::collections::HashMap::new();
+        for e in &a.events {
+            state.insert((e.node, e.port), e.up);
+            assert!(e.at >= cfg.warmup && e.at <= cfg.heal_at());
+        }
+        assert!(state.values().all(|&up| up), "schedule leaves a port down");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = quick_cfg();
+        let fabric = Fabric::build(cfg.params);
+        let a = FaultSchedule::generate(1, &fabric, &cfg);
+        let b = FaultSchedule::generate(2, &fabric, &cfg);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn chaos_run_mrmtp_holds_invariants() {
+        let r = run_chaos(11, Stack::Mrmtp, &quick_cfg());
+        assert_eq!(r.loops, 0, "forwarding loop detected");
+        assert_eq!(r.black_holes, 0, "black hole detected");
+        assert_eq!(r.unreachable_pairs, 0);
+        assert!(r.converged, "re-convergence exceeded bound: {:?}", r.convergence);
+    }
+
+    #[test]
+    fn chaos_run_bgp_holds_invariants() {
+        let r = run_chaos(11, Stack::BgpEcmp, &quick_cfg());
+        assert_eq!(r.loops, 0, "forwarding loop detected");
+        assert_eq!(r.black_holes, 0, "black hole detected");
+        assert_eq!(r.unreachable_pairs, 0);
+        assert!(r.converged, "re-convergence exceeded bound: {:?}", r.convergence);
+    }
+
+    #[test]
+    fn same_seed_same_digest() {
+        let cfg = quick_cfg();
+        let a = run_chaos(3, Stack::Mrmtp, &cfg);
+        let b = run_chaos(3, Stack::Mrmtp, &cfg);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn small_campaign_summary_renders() {
+        let cfg = CampaignConfig {
+            seeds: 2,
+            check_determinism: false,
+            chaos: quick_cfg(),
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&cfg);
+        assert_eq!(result.runs.len(), 4);
+        assert_eq!(result.violations(), 0);
+        let fig = campaign_summary(&cfg, &result);
+        assert!(fig.render().contains("stack"));
+    }
+}

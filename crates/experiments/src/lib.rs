@@ -20,6 +20,7 @@
 //!   multi-point failures.
 
 pub mod ablations;
+pub mod chaos;
 pub mod extended_failures;
 pub mod fabric;
 pub mod figures;
@@ -29,5 +30,6 @@ pub mod replicate;
 pub mod scenario;
 pub mod table;
 
+pub use chaos::{run_campaign, run_chaos, CampaignConfig, ChaosConfig, FaultSchedule};
 pub use fabric::{build_fabric_sim, build_four_tier_sim, build_sim, build_sim_tuned, BuiltSim, Stack, StackTuning};
 pub use scenario::{run, run_scenario_tuned, Scenario, ScenarioResult, Timing, TrafficDir};

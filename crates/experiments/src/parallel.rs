@@ -2,18 +2,24 @@
 //!
 //! Each emulation run is deterministic and single-threaded; the
 //! experiment matrix (topology × stack × failure case × direction) is
-//! embarrassingly parallel. Scenarios fan out over a crossbeam scoped
-//! pool; results return in input order.
+//! embarrassingly parallel. Jobs fan out over std scoped threads;
+//! results return in input order.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use crate::scenario::{run, Scenario, ScenarioResult};
 
-/// Run all scenarios, using up to `threads` workers (0 = one per
-/// available CPU). Results are in the same order as the input.
-pub fn run_matrix_with(scenarios: Vec<Scenario>, threads: usize) -> Vec<ScenarioResult> {
-    let n = scenarios.len();
+/// Fan `items` out over up to `threads` workers (0 = one per available
+/// CPU), applying `f` to each. Results are in the same order as the
+/// input regardless of which worker ran which item.
+pub fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
     if n == 0 {
         return Vec::new();
     }
@@ -24,32 +30,32 @@ pub fn run_matrix_with(scenarios: Vec<Scenario>, threads: usize) -> Vec<Scenario
     }
     .min(n);
     if workers <= 1 {
-        return scenarios.into_iter().map(run).collect();
+        return items.into_iter().map(f).collect();
     }
-    let (tx, rx) = channel::unbounded::<(usize, Scenario)>();
-    for item in scenarios.into_iter().enumerate() {
-        tx.send(item).expect("queue send");
-    }
-    drop(tx);
-    let results: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new(vec![None; n]);
-    crossbeam::thread::scope(|scope| {
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let rx = rx.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                while let Ok((idx, scenario)) = rx.recv() {
-                    let result = run(scenario);
-                    results.lock()[idx] = Some(result);
-                }
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop_front();
+                let Some((idx, item)) = job else { break };
+                let result = f(item);
+                results.lock().expect("results lock")[idx] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("results lock")
         .into_iter()
-        .map(|r| r.expect("every scenario produced a result"))
+        .map(|r| r.expect("every item produced a result"))
         .collect()
+}
+
+/// Run all scenarios, using up to `threads` workers (0 = one per
+/// available CPU). Results are in the same order as the input.
+pub fn run_matrix_with(scenarios: Vec<Scenario>, threads: usize) -> Vec<ScenarioResult> {
+    fan_out(scenarios, threads, run)
 }
 
 /// [`run_matrix_with`] using one worker per CPU.
@@ -81,5 +87,12 @@ mod tests {
     #[test]
     fn empty_matrix_is_fine() {
         assert!(run_matrix(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = fan_out(items, 8, |x| x * 2);
+        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

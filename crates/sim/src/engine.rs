@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use crate::event::{Event, EventQueue};
-use crate::link::{Endpoint, Link, LinkId, LinkSpec};
+use crate::link::{Endpoint, Impairment, Link, LinkId, LinkSpec};
 use crate::node::{Action, Ctx, NodeId, PortId, PortView, Protocol};
 use crate::rng::DetRng;
 use crate::time::{Duration, Time, MICROS};
@@ -21,6 +21,10 @@ struct NodeSlot {
     port_links: Vec<LinkId>,
     /// Per-port view handed to protocol callbacks.
     views: Vec<PortView>,
+    /// Target admin state of each port as of the latest scheduled
+    /// transition (guards flap schedules against down-on-down /
+    /// up-on-up double scheduling).
+    admin_target: Vec<bool>,
     rng: DetRng,
 }
 
@@ -68,6 +72,7 @@ impl SimBuilder {
             name: name.into(),
             port_links: Vec::new(),
             views: Vec::new(),
+            admin_target: Vec::new(),
             rng: DetRng::new(self.seed, id.0 as u64),
         });
         id
@@ -93,6 +98,7 @@ impl SimBuilder {
         let p = PortId(slot.port_links.len() as u16);
         slot.port_links.push(link);
         slot.views.push(PortView { connected: true, up: true });
+        slot.admin_target.push(true);
         p
     }
 
@@ -112,6 +118,11 @@ impl SimBuilder {
             scratch: Vec::with_capacity(64),
             events_processed: 0,
             frames_delivered: 0,
+            // Salted far away from node ids so adding nodes never
+            // perturbs the impairment stream and vice versa.
+            chaos_rng: DetRng::new(self.seed, 0xC4A0_51D3_0C4A_051D),
+            frames_lost_to_impairment: 0,
+            frames_corrupted: 0,
         }
     }
 }
@@ -127,6 +138,11 @@ pub struct Sim {
     scratch: Vec<Action>,
     events_processed: u64,
     frames_delivered: u64,
+    /// Dedicated generator for link impairments; untouched (and never
+    /// advanced) while every link is clean.
+    chaos_rng: DetRng,
+    frames_lost_to_impairment: u64,
+    frames_corrupted: u64,
 }
 
 impl Sim {
@@ -182,6 +198,12 @@ impl Sim {
         self.nodes[node.index()].port_links.len()
     }
 
+    /// Administrative state of `node`'s `port` (invariant checkers need
+    /// the same interface view the protocols get).
+    pub fn port_up(&self, node: NodeId, port: PortId) -> bool {
+        self.nodes[node.index()].views[port.index()].up
+    }
+
     /// Downcast a node's protocol for inspection.
     pub fn node_as<T: Any>(&self, node: NodeId) -> Option<&T> {
         self.nodes[node.index()]
@@ -201,15 +223,59 @@ impl Sim {
     /// Schedule an interface failure (the paper's failure-injection bash
     /// script). The owning node gets a carrier-down callback after the
     /// configured carrier latency; the remote node gets nothing.
-    pub fn schedule_port_down(&mut self, at: Time, node: NodeId, port: PortId) {
-        assert!(at >= self.time, "cannot schedule in the past");
-        self.queue.push(at, Event::AdminPortDown { node, port });
+    ///
+    /// No-op transitions are deduplicated: scheduling down on a port
+    /// whose latest scheduled transition already targets down returns
+    /// `false` without enqueuing anything (flap schedules would
+    /// otherwise desync `views[port].up` from the carrier events).
+    /// Transitions must be scheduled in chronological order for the
+    /// guard to match execution order.
+    pub fn schedule_port_down(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
+        self.schedule_admin(at, node, port, false)
     }
 
-    /// Schedule an interface recovery.
-    pub fn schedule_port_up(&mut self, at: Time, node: NodeId, port: PortId) {
+    /// Schedule an interface recovery. Deduplicated like
+    /// [`Sim::schedule_port_down`].
+    pub fn schedule_port_up(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
+        self.schedule_admin(at, node, port, true)
+    }
+
+    fn schedule_admin(&mut self, at: Time, node: NodeId, port: PortId, up: bool) -> bool {
         assert!(at >= self.time, "cannot schedule in the past");
-        self.queue.push(at, Event::AdminPortUp { node, port });
+        let target = &mut self.nodes[node.index()].admin_target[port.index()];
+        if *target == up {
+            return false; // already heading to that state: drop the duplicate
+        }
+        *target = up;
+        let event = if up {
+            Event::AdminPortUp { node, port }
+        } else {
+            Event::AdminPortDown { node, port }
+        };
+        self.queue.push(at, event);
+        true
+    }
+
+    /// Replace the impairment on one link.
+    pub fn set_impairment(&mut self, link: LinkId, imp: Impairment) {
+        self.links[link.index()].impairment = imp;
+    }
+
+    /// Replace the impairment on every link (e.g. to end a chaos window).
+    pub fn set_impairment_all(&mut self, imp: Impairment) {
+        for link in &mut self.links {
+            link.impairment = imp;
+        }
+    }
+
+    /// Frames silently dropped by link-impairment loss so far.
+    pub fn frames_lost_to_impairment(&self) -> u64 {
+        self.frames_lost_to_impairment
+    }
+
+    /// Frames with a byte corrupted in flight so far.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted
     }
 
     /// Run until simulated time reaches `t` (inclusive of events at `t`).
@@ -324,7 +390,7 @@ impl Sim {
         }
     }
 
-    fn transmit(&mut self, node: NodeId, port: PortId, frame: Vec<u8>, class: crate::trace::FrameClass) {
+    fn transmit(&mut self, node: NodeId, port: PortId, mut frame: Vec<u8>, class: crate::trace::FrameClass) {
         let slot = &self.nodes[node.index()];
         let Some(&lid) = slot.port_links.get(port.index()) else {
             return; // unconnected port: nothing to do
@@ -351,7 +417,29 @@ impl Sim {
             return; // transmitted into a dead link: frame lost
         }
         let peer = link.peer_of(node);
-        let arrive = end + link.spec.propagation;
+        let mut arrive = end + link.spec.propagation;
+        let imp = link.impairment;
+        if !imp.is_none() {
+            // Draw in a fixed order (loss, corruption, jitter) so the
+            // chaos stream is reproducible per seed. Each knob draws
+            // only when enabled, keeping partial configs independent.
+            if imp.loss_ppm > 0 && self.chaos_rng.below(1_000_000) < imp.loss_ppm as u64 {
+                self.frames_lost_to_impairment += 1;
+                return;
+            }
+            if imp.corrupt_ppm > 0
+                && self.chaos_rng.below(1_000_000) < imp.corrupt_ppm as u64
+                && !frame.is_empty()
+            {
+                let idx = self.chaos_rng.below(frame.len() as u64) as usize;
+                // XOR with a nonzero byte guarantees a real change.
+                frame[idx] ^= 1 + self.chaos_rng.below(255) as u8;
+                self.frames_corrupted += 1;
+            }
+            if imp.jitter > 0 {
+                arrive += self.chaos_rng.below(imp.jitter + 1);
+            }
+        }
         self.queue
             .push(arrive, Event::Deliver { node: peer.node, port: peer.port, frame });
     }
@@ -545,6 +633,126 @@ mod tests {
         // 125 B at 1 Gb/s = 1 µs each: arrivals at 1 µs and 2 µs.
         assert_eq!(rx[0].0, 1_000);
         assert_eq!(rx[1].0, 2_000);
+    }
+
+    #[test]
+    fn double_scheduling_same_transition_is_deduplicated() {
+        let (mut sim, a, _) = two_nodes();
+        assert!(sim.schedule_port_down(10_000, a, PortId(0)));
+        assert!(!sim.schedule_port_down(12_000, a, PortId(0)), "down-on-down dropped");
+        assert!(sim.schedule_port_up(15_000, a, PortId(0)));
+        assert!(!sim.schedule_port_up(16_000, a, PortId(0)), "up-on-up dropped");
+        assert!(sim.schedule_port_down(17_000, a, PortId(0)));
+        assert!(sim.schedule_port_up(18_000, a, PortId(0)));
+        sim.run_until(30_000);
+        let ea = sim.node_as::<Echo>(a).unwrap();
+        // Exactly one carrier callback per scheduled transition; the
+        // duplicates produced neither events nor desynced view state.
+        assert_eq!(ea.downs, vec![(11_000, PortId(0)), (18_000, PortId(0))]);
+        assert_eq!(ea.ups, vec![(16_000, PortId(0)), (19_000, PortId(0))]);
+        assert!(sim.nodes[a.index()].views[0].up);
+    }
+
+    #[test]
+    fn impairment_loss_drops_frames() {
+        // Sender on `c` emits one frame per ms; with 100% loss none
+        // arrive at `a`, and every transmission is counted as lost.
+        let run = |loss_ppm: u32| {
+            let mut b = SimBuilder::new(9);
+            let a = b.add_node("a", Box::new(Echo::new()));
+            let c = b.add_node("b", Box::new(Sender));
+            b.add_link(a, c, LinkSpec { propagation: 100, bandwidth_bps: 1_000_000_000 });
+            let mut sim = b.build();
+            sim.set_impairment_all(Impairment { loss_ppm, ..Impairment::none() });
+            sim.run_until(10_500_000);
+            let got = sim.node_as::<Echo>(a).unwrap().received.len() as u64;
+            (got, sim.frames_lost_to_impairment())
+        };
+        let (clean, lost0) = run(0);
+        let (none, lost_all) = run(1_000_000);
+        assert_eq!(clean, 10);
+        assert_eq!(lost0, 0);
+        assert_eq!(none, 0);
+        assert_eq!(lost_all, clean);
+    }
+
+    /// Emits a frame every millisecond.
+    struct Sender;
+    impl Protocol for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(1_000_000, 1);
+        }
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            ctx.send(PortId(0), vec![0x5A; 80], FrameClass::Data);
+            ctx.set_timer(1_000_000, token + 1);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn impairment_corruption_flips_exactly_one_byte() {
+        let mut b = SimBuilder::new(3);
+        let mut ea = Echo::new();
+        ea.send_on_start = Some((PortId(0), vec![0x77; 64]));
+        let a = b.add_node("a", Box::new(ea));
+        let c = b.add_node("b", Box::new(Echo::new()));
+        b.add_link(a, c, LinkSpec::default());
+        let mut sim = b.build();
+        sim.set_impairment_all(Impairment { corrupt_ppm: 1_000_000, ..Impairment::none() });
+        sim.run_until(1_000_000);
+        assert_eq!(sim.frames_corrupted(), 1);
+        let rx = &sim.node_as::<Echo>(c).unwrap().received;
+        assert_eq!(rx.len(), 1, "corruption must not drop the frame");
+        let diffs = rx[0].2.iter().filter(|&&x| x != 0x77).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn impairment_jitter_delays_but_delivers() {
+        let deliver_time = |jitter| {
+            let mut b = SimBuilder::new(5);
+            let mut ea = Echo::new();
+            ea.send_on_start = Some((PortId(0), vec![1; 100]));
+            let a = b.add_node("a", Box::new(ea));
+            let c = b.add_node("b", Box::new(Echo::new()));
+            b.add_link(a, c, LinkSpec { propagation: 1000, bandwidth_bps: 1_000_000_000 });
+            let mut sim = b.build();
+            sim.set_impairment_all(Impairment { jitter, ..Impairment::none() });
+            sim.run_until(10_000_000);
+            sim.node_as::<Echo>(c).unwrap().received[0].0
+        };
+        let base = deliver_time(0);
+        assert_eq!(base, 1800);
+        let jittered = deliver_time(50_000);
+        assert!(jittered >= base && jittered <= base + 50_000, "jittered: {jittered}");
+    }
+
+    #[test]
+    fn clean_links_draw_nothing_from_chaos_rng() {
+        // A run with the impairment machinery but all-clean links must be
+        // bit-identical to the seed behavior: same trace, same deliveries.
+        let run = |imp: Option<Impairment>| {
+            let mut b = SimBuilder::new(11);
+            let mut e = Echo::new();
+            e.periodic = Some(3_000);
+            e.send_on_start = Some((PortId(0), vec![9; 64]));
+            let a = b.add_node("a", Box::new(e));
+            let c = b.add_node("b", Box::new(Echo::new()));
+            b.add_link(a, c, LinkSpec::default());
+            let mut sim = b.build();
+            if let Some(imp) = imp {
+                sim.set_impairment_all(imp);
+            }
+            sim.run_until(50_000);
+            (sim.trace().len(), sim.frames_delivered())
+        };
+        assert_eq!(run(None), run(Some(Impairment::none())));
     }
 
     #[test]

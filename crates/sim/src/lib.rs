@@ -35,7 +35,7 @@ pub mod trace;
 
 pub use engine::{Sim, SimBuilder};
 pub use event::Event;
-pub use link::{LinkId, LinkSpec};
+pub use link::{Impairment, LinkId, LinkSpec};
 pub use node::{Action, Ctx, NodeId, PortId, Protocol};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};
 pub use trace::{FrameClass, RouteChangeKind, Trace, TraceEvent};

@@ -47,6 +47,35 @@ impl LinkSpec {
     }
 }
 
+/// Per-link impairments for chaos campaigns, applied at transmit time and
+/// driven by the engine's deterministic RNG. All-zero (the default) means
+/// a clean link and draws nothing from the RNG, so clean runs are
+/// bit-identical with or without the impairment machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Impairment {
+    /// Probability of silently losing a frame, in parts per million.
+    pub loss_ppm: u32,
+    /// Probability of corrupting one frame byte in flight, in parts per
+    /// million.
+    pub corrupt_ppm: u32,
+    /// Maximum extra delivery delay; each frame draws uniformly from
+    /// `[0, jitter]`.
+    pub jitter: Duration,
+}
+
+impl Impairment {
+    /// A clean link: no loss, no corruption, no jitter.
+    pub fn none() -> Impairment {
+        Impairment::default()
+    }
+
+    /// Does this impairment actually do anything?
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.loss_ppm == 0 && self.corrupt_ppm == 0 && self.jitter == 0
+    }
+}
+
 /// One side of a link.
 #[derive(Clone, Copy, Debug)]
 pub struct Endpoint {
@@ -67,11 +96,13 @@ pub struct Link {
     /// Earliest time each direction's transmitter is free again (FIFO
     /// serialization). Index 0 = a→b, 1 = b→a.
     pub tx_free: [Time; 2],
+    /// Active impairment (clean by default).
+    pub impairment: Impairment,
 }
 
 impl Link {
     pub fn new(spec: LinkSpec, a: Endpoint, b: Endpoint) -> Self {
-        Link { spec, a, b, a_up: true, b_up: true, tx_free: [0, 0] }
+        Link { spec, a, b, a_up: true, b_up: true, tx_free: [0, 0], impairment: Impairment::none() }
     }
 
     /// Is the physical link able to carry frames (both NICs up)?

@@ -1,9 +1,8 @@
 //! Folded-Clos fabric model and builder.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a 3-tier folded-Clos fabric.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ClosParams {
     /// Number of PoDs (points of delivery).
     pub pods: usize,
@@ -170,7 +169,7 @@ impl FailureCase {
 /// Shape parameters of the four-tier extension (§IX: "scaling the DCN to
 /// multiple tiers"). Zones group PoDs under a zone-spine layer; top
 /// spines interconnect zones.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FourTierParams {
     pub zones: usize,
     pub pods_per_zone: usize,

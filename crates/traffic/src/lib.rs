@@ -154,7 +154,7 @@ impl TrafficHost {
     }
 
     fn emit(&mut self, ctx: &mut Ctx<'_>) {
-        let spec = self.spec.expect("emit requires a send spec");
+        let Some(spec) = self.spec else { return };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.sent += 1;

@@ -58,7 +58,7 @@ pub struct BfdPacket {
 impl BfdPacket {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(BFD_PACKET_LEN);
-        out.push((1 << 5) | 0); // version 1, diag 0
+        out.push(1 << 5); // version 1, diag 0
         let mut b1 = self.state.to_bits() << 6;
         if self.poll {
             b1 |= 0x20;

@@ -199,22 +199,20 @@ impl BgpMessage {
                     }
                     let val = &attrs[hdr..hdr + attr_len];
                     match ty {
-                        2 => {
-                            // AS_PATH: segment type, count, 4-byte ASNs.
-                            if val.len() >= 2 {
-                                let count = val[1] as usize;
-                                if val.len() < 2 + 4 * count {
-                                    return Err(WireError::Truncated);
-                                }
-                                for i in 0..count {
-                                    let o = 2 + 4 * i;
-                                    u.as_path.push(u32::from_be_bytes([
-                                        val[o],
-                                        val[o + 1],
-                                        val[o + 2],
-                                        val[o + 3],
-                                    ]));
-                                }
+                        // AS_PATH: segment type, count, 4-byte ASNs.
+                        2 if val.len() >= 2 => {
+                            let count = val[1] as usize;
+                            if val.len() < 2 + 4 * count {
+                                return Err(WireError::Truncated);
+                            }
+                            for i in 0..count {
+                                let o = 2 + 4 * i;
+                                u.as_path.push(u32::from_be_bytes([
+                                    val[o],
+                                    val[o + 1],
+                                    val[o + 2],
+                                    val[o + 3],
+                                ]));
                             }
                         }
                         3 => {

@@ -30,7 +30,18 @@ fn usage() -> ! {
          \x20 ablations                     design-choice ablations\n\
          \x20 keepalive                     steady-state keep-alive summary\n\
          \x20 extended                      whole-node/multi-point failures + encap overhead\n\
-         \x20 replicate [n]                 Fig. 4 averaged over n seeds"
+         \x20 replicate [n]                 Fig. 4 averaged over n seeds\n\
+         \x20 chaos [opts]                  randomized fault campaign with invariant checks\n\
+         \x20   --seeds N        seeds per stack (default 64)\n\
+         \x20   --base-seed N    first seed value (default 1)\n\
+         \x20   --threads N      worker threads (default: all cores)\n\
+         \x20   --stacks LIST    comma list of mrmtp|bgp|bgp-bfd (default mrmtp,bgp)\n\
+         \x20   --flaps N        link flaps per schedule (default 6)\n\
+         \x20   --crashes N      node crashes per schedule (default 1)\n\
+         \x20   --k N            concurrent-failure burst size (default 2)\n\
+         \x20   --loss-ppm N     frame loss during window (default 2000)\n\
+         \x20   --corrupt-ppm N  frame corruption during window (default 10000)\n\
+         \x20   --no-determinism skip the double-run digest comparison"
     );
     std::process::exit(2);
 }
@@ -134,6 +145,68 @@ fn main() {
             println!("{}", ablations::ablation_loss_holddown(seed).render());
             println!("{}", ablations::sweep_mrmtp_hello(seed).render());
             println!("{}", ablations::sweep_bfd_interval(seed).render());
+        }
+        Some("chaos") => {
+            let mut cfg = dcn_experiments::CampaignConfig::default();
+            let mut i = 1;
+            while i < args.len() {
+                let val = |i: usize| -> &str {
+                    args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+                };
+                match args[i].as_str() {
+                    "--seeds" => cfg.seeds = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--base-seed" => cfg.base_seed = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--threads" => cfg.threads = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--stacks" => cfg.stacks = val(i).split(',').map(parse_stack).collect(),
+                    "--flaps" => cfg.chaos.flaps = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--crashes" => cfg.chaos.crashes = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--k" => cfg.chaos.k_concurrent = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--loss-ppm" => {
+                        cfg.chaos.impairment.loss_ppm = val(i).parse().unwrap_or_else(|_| usage())
+                    }
+                    "--corrupt-ppm" => {
+                        cfg.chaos.impairment.corrupt_ppm =
+                            val(i).parse().unwrap_or_else(|_| usage())
+                    }
+                    "--no-determinism" => {
+                        cfg.check_determinism = false;
+                        i += 1;
+                        continue;
+                    }
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            if cfg.seeds == 0 || cfg.stacks.is_empty() {
+                eprintln!("chaos: need at least one seed and one stack");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "chaos campaign: {} seeds × {} stacks (determinism check: {})…",
+                cfg.seeds,
+                cfg.stacks.len(),
+                if cfg.check_determinism { "on" } else { "off" }
+            );
+            let result = dcn_experiments::chaos::run_campaign(&cfg);
+            println!("{}", dcn_experiments::chaos::campaign_summary(&cfg, &result).render());
+            let v = result.violations();
+            if v > 0 {
+                eprintln!("FAIL: {v} invariant violation(s)");
+                for r in result.runs.iter().filter(|r| r.violations() > 0) {
+                    eprintln!(
+                        "  seed {} stack {}: loops {} blackholes {} unreachable {} converged {} deterministic {}",
+                        r.seed,
+                        r.stack.label(),
+                        r.loops,
+                        r.black_holes,
+                        r.unreachable_pairs,
+                        r.converged,
+                        r.deterministic
+                    );
+                }
+                std::process::exit(1);
+            }
+            println!("OK: all invariants held across every seed");
         }
         Some("keepalive") => {
             println!("{}", figures::fig9_keepalive(seed).render());
