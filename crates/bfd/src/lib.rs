@@ -43,6 +43,8 @@ pub struct BfdSession {
     last_rx: Time,
     /// Set once we have ever heard the peer (arms the detection timer).
     heard: bool,
+    /// Cumulative FSM state changes (telemetry: session flap counting).
+    transitions: u64,
 }
 
 impl BfdSession {
@@ -56,6 +58,7 @@ impl BfdSession {
             last_tx: None,
             last_rx: 0,
             heard: false,
+            transitions: 0,
         }
     }
 
@@ -72,6 +75,12 @@ impl BfdSession {
 
     pub fn is_up(&self) -> bool {
         self.state == BfdState::Up
+    }
+
+    /// Cumulative count of FSM state changes this session has undergone
+    /// (telemetry gauge: a flapping link shows a climbing count).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
     }
 
     /// Detection time: multiplier × agreed interval.
@@ -96,6 +105,9 @@ impl BfdSession {
     /// session was up.
     pub fn force_down(&mut self) -> Option<BfdEvent> {
         let was_up = self.is_up();
+        if self.state != BfdState::Down {
+            self.transitions += 1;
+        }
         self.state = BfdState::Down;
         self.your_disc = 0;
         self.heard = false;
@@ -115,6 +127,7 @@ impl BfdSession {
             self.state = BfdState::Down;
             self.your_disc = 0;
             self.heard = false;
+            self.transitions += 1;
             event = Some(BfdEvent::SessionDown);
         }
         let due = self
@@ -144,6 +157,9 @@ impl BfdSession {
             (BfdState::Up, BfdState::AdminDown) => BfdState::Down,
             (s, _) => s,
         };
+        if old != self.state {
+            self.transitions += 1;
+        }
         let event = match (old, self.state) {
             (BfdState::Up, BfdState::Down) => Some(BfdEvent::SessionDown),
             (o, BfdState::Up) if o != BfdState::Up => Some(BfdEvent::SessionUp),
@@ -245,6 +261,20 @@ mod tests {
         let mut a = BfdSession::new(1);
         let (_, ev) = a.tick(millis(10_000));
         assert_eq!(ev, None, "no peer yet, nothing to detect");
+    }
+
+    #[test]
+    fn transitions_count_every_state_change() {
+        let mut a = BfdSession::new(1);
+        let mut b = BfdSession::new(2);
+        assert_eq!(a.transitions(), 0);
+        bring_up(&mut a, &mut b, 0);
+        // Down → Init → Up.
+        assert_eq!(a.transitions(), 2, "a: {:?}", a.state());
+        a.force_down();
+        assert_eq!(a.transitions(), 3);
+        a.force_down();
+        assert_eq!(a.transitions(), 3, "already down: no transition");
     }
 
     #[test]

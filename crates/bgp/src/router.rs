@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind};
+use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
 use dcn_tcp::{TcpConn, TcpEvent};
 use dcn_bfd::{BfdEvent, BfdSession};
 use dcn_wire::{
@@ -28,6 +28,18 @@ enum Fsm {
     OpenSent,
     OpenConfirm,
     Established,
+}
+
+impl Fsm {
+    fn name(self) -> &'static str {
+        match self {
+            Fsm::Idle => "idle",
+            Fsm::TcpPending => "tcp_pending",
+            Fsm::OpenSent => "open_sent",
+            Fsm::OpenConfirm => "open_confirm",
+            Fsm::Established => "established",
+        }
+    }
 }
 
 struct Peer {
@@ -224,6 +236,21 @@ impl BgpRouter {
         self.emit_segments(ctx, peer_idx, out.segments, class);
     }
 
+    /// Move a peer's session FSM, recording the transition as a span so
+    /// the storyboard analyzer can reconstruct session timelines.
+    fn set_fsm(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize, to: Fsm) {
+        let from = self.peers[peer_idx].fsm;
+        if from == to {
+            return;
+        }
+        self.peers[peer_idx].fsm = to;
+        ctx.trace_span(SpanEvent::BgpFsm {
+            port: self.peers[peer_idx].cfg.port,
+            from: from.name(),
+            to: to.name(),
+        });
+    }
+
     // ------------------------------------------------------------------
     // Export policy
     // ------------------------------------------------------------------
@@ -249,6 +276,8 @@ impl BgpRouter {
     /// Re-run the export policy for `prefixes` toward every established
     /// peer, emitting batched UPDATEs where the Adj-RIB-Out changed.
     fn reexport(&mut self, ctx: &mut Ctx<'_>, prefixes: &[Prefix]) {
+        let mut batch_peers = 0usize;
+        let mut batch_prefixes = 0usize;
         for peer_idx in 0..self.peers.len() {
             if self.peers[peer_idx].fsm != Fsm::Established {
                 continue;
@@ -274,6 +303,8 @@ impl BgpRouter {
                 }
             }
             let next_hop = self.peers[peer_idx].cfg.local_ip;
+            let peer_prefixes =
+                withdrawn.len() + adverts.values().map(|n| n.len()).sum::<usize>();
             let mut first = true;
             for (path, nlri) in adverts {
                 let msg = BgpMessage::Update(BgpUpdate {
@@ -289,6 +320,16 @@ impl BgpRouter {
                 let msg = BgpMessage::Update(BgpUpdate { withdrawn, ..Default::default() });
                 self.send_bgp(ctx, peer_idx, &msg);
             }
+            if peer_prefixes > 0 {
+                batch_peers += 1;
+                batch_prefixes += peer_prefixes;
+            }
+        }
+        if batch_peers > 0 {
+            ctx.trace_span(SpanEvent::BgpUpdateBatch {
+                peers: batch_peers.min(u8::MAX as usize) as u8,
+                prefixes: batch_prefixes.min(u8::MAX as usize) as u8,
+            });
         }
     }
 
@@ -310,13 +351,12 @@ impl BgpRouter {
     fn on_established(&mut self, ctx: &mut Ctx<'_>, peer_idx: usize) {
         self.stats.sessions_established += 1;
         let now = ctx.now();
+        self.set_fsm(ctx, peer_idx, Fsm::Established);
         {
             let p = &mut self.peers[peer_idx];
-            p.fsm = Fsm::Established;
             p.keepalive_due = now + self.cfg.keepalive_interval;
             p.hold_deadline = now + self.cfg.hold_time;
         }
-        ctx.trace_proto("bgp_established", self.peers[peer_idx].cfg.port.0 as u64);
         // Initial table dump: everything exportable.
         let mut prefixes = self.rib.local_prefixes().to_vec();
         prefixes.extend(self.rib.learned_prefixes());
@@ -330,14 +370,18 @@ impl BgpRouter {
         let port = self.peers[peer_idx].cfg.port;
         if was_active {
             self.stats.sessions_lost += 1;
-            ctx.trace_proto(reason, port.0 as u64);
+            ctx.trace_span(SpanEvent::BgpSessionDown {
+                port,
+                reason,
+                carrier: reason == "carrier_down",
+            });
         }
         let now = ctx.now();
         let rst = self.peers[peer_idx].tcp.reset(now);
         self.emit_segments(ctx, peer_idx, rst.segments, FrameClass::Session);
+        self.set_fsm(ctx, peer_idx, Fsm::Idle);
         {
             let p = &mut self.peers[peer_idx];
-            p.fsm = Fsm::Idle;
             p.rx_buf.clear();
             p.asn_ok = false;
             p.connect_at = now + self.cfg.connect_retry + ctx.rand_below(millis(200));
@@ -385,7 +429,7 @@ impl BgpRouter {
                     self.peers[peer_idx].asn_ok = true;
                     self.send_bgp(ctx, peer_idx, &BgpMessage::Keepalive);
                     if self.peers[peer_idx].fsm == Fsm::OpenSent {
-                        self.peers[peer_idx].fsm = Fsm::OpenConfirm;
+                        self.set_fsm(ctx, peer_idx, Fsm::OpenConfirm);
                     }
                 }
                 BgpMessage::Keepalive => {
@@ -444,7 +488,7 @@ impl BgpRouter {
                         hold_time_secs: (self.cfg.hold_time / dcn_sim::time::SECONDS) as u16,
                         router_id: self.cfg.router_id,
                     };
-                    self.peers[peer_idx].fsm = Fsm::OpenSent;
+                    self.set_fsm(ctx, peer_idx, Fsm::OpenSent);
                     self.peers[peer_idx].hold_deadline = now + self.cfg.hold_time;
                     self.send_bgp(ctx, peer_idx, &open);
                 }
@@ -519,7 +563,7 @@ impl BgpRouter {
             // Connection management.
             if self.peers[peer_idx].fsm == Fsm::Idle && now >= self.peers[peer_idx].connect_at {
                 let active = self.peers[peer_idx].cfg.is_active();
-                self.peers[peer_idx].fsm = Fsm::TcpPending;
+                self.set_fsm(ctx, peer_idx, Fsm::TcpPending);
                 self.peers[peer_idx].hold_deadline = now + self.cfg.hold_time * 4;
                 if active {
                     let out = self.peers[peer_idx].tcp.connect(now);
@@ -568,6 +612,51 @@ impl BgpRouter {
             }
         }
         ctx.set_timer(TICK, TOKEN_TICK);
+    }
+}
+
+impl StatsSnapshot for BgpRouter {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        vec![
+            ("opens_sent", s.opens_sent),
+            ("keepalives_sent", s.keepalives_sent),
+            ("updates_sent", s.updates_sent),
+            ("updates_received", s.updates_received),
+            ("sessions_established", s.sessions_established),
+            ("sessions_lost", s.sessions_lost),
+            ("data_forwarded", s.data_forwarded),
+            ("data_delivered", s.data_delivered),
+            ("data_dropped", s.data_dropped),
+            ("malformed_frames_dropped", s.malformed_frames_dropped),
+        ]
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        let count = |f: Fsm| self.peers.iter().filter(|p| p.fsm == f).count() as u64;
+        let retx_queue: u64 = self.peers.iter().map(|p| p.tcp.unacked() as u64).sum();
+        let adj_out: u64 = self.adj_out.values().map(|m| m.len() as u64).sum();
+        let bfd_up = self
+            .peers
+            .iter()
+            .filter(|p| p.bfd.as_ref().is_some_and(|b| b.is_up()))
+            .count() as u64;
+        let bfd_transitions: u64 = self
+            .peers
+            .iter()
+            .filter_map(|p| p.bfd.as_ref().map(|b| b.transitions()))
+            .sum();
+        vec![
+            ("rib_routes", self.rib.route_count() as u64),
+            ("rib_paths", self.rib.path_count() as u64),
+            ("sessions_idle", count(Fsm::Idle)),
+            ("sessions_pending", count(Fsm::TcpPending) + count(Fsm::OpenSent) + count(Fsm::OpenConfirm)),
+            ("sessions_up", count(Fsm::Established)),
+            ("tcp_retransmit_queue", retx_queue),
+            ("adj_out_prefixes", adj_out),
+            ("bfd_sessions_up", bfd_up),
+            ("bfd_transitions", bfd_transitions),
+        ]
     }
 }
 
@@ -670,6 +759,10 @@ impl Protocol for BgpRouter {
             let now = ctx.now();
             self.peers[peer_idx].connect_at = now + self.cfg.connect_retry;
         }
+    }
+
+    fn stats_snapshot(&self) -> Option<&dyn StatsSnapshot> {
+        Some(self)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -28,7 +28,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind};
+use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
 use dcn_wire::{
     flow_hash_of, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, MrmtpMsg, Vid,
 };
@@ -292,7 +292,7 @@ impl MrmtpRouter {
         for &vid in vids {
             let was_absent = self.table.install(vid, port);
             changed = true;
-            ctx.trace_proto("vid_install", vid.root_id() as u64);
+            ctx.trace_span(SpanEvent::VidInstall { root: vid.root_id(), port });
             if was_absent {
                 let root = vid.root_id();
                 self.upper_lost.remove(&root);
@@ -319,6 +319,7 @@ impl MrmtpRouter {
     /// Flood a `Lost` (or `Recovered`) update for `roots` to all live
     /// router neighbors except `except`.
     fn flood_update(&mut self, ctx: &mut Ctx<'_>, roots: &[u8], except: PortId, lost: bool) {
+        let mut fanout = 0u8;
         for port in self.router_ports(ctx) {
             if port == except || !ctx.port(port).up || !self.nbr.is_up(port) {
                 continue;
@@ -331,6 +332,11 @@ impl MrmtpRouter {
             };
             self.stats.updates_sent += 1;
             self.send_reliable(ctx, port, msg, FrameClass::Update);
+            fanout = fanout.saturating_add(1);
+        }
+        if fanout > 0 {
+            let roots = roots.len().min(u8::MAX as usize) as u8;
+            ctx.trace_span(SpanEvent::LossFlood { roots, fanout, lost });
         }
     }
 
@@ -343,6 +349,7 @@ impl MrmtpRouter {
         lost: bool,
     ) {
         let targets: Vec<PortId> = self.nbr.up_ports_at_tier(tier).collect();
+        let mut fanout = 0u8;
         for port in targets {
             if !ctx.port(port).up {
                 continue;
@@ -355,19 +362,27 @@ impl MrmtpRouter {
             };
             self.stats.updates_sent += 1;
             self.send_reliable(ctx, port, msg, FrameClass::Update);
+            fanout = fanout.saturating_add(1);
+        }
+        if fanout > 0 {
+            let roots = roots.len().min(u8::MAX as usize) as u8;
+            ctx.trace_span(SpanEvent::LossFlood { roots, fanout, lost });
         }
     }
 
-    /// A neighbor is gone (carrier loss or missed hello).
-    fn neighbor_down(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+    /// A neighbor is gone. `carrier` distinguishes how the failure was
+    /// detected: local carrier loss (true) vs. a missed-hello timeout
+    /// (false) — the storyboard analyzer keys its detection phase off
+    /// this flag.
+    fn neighbor_down(&mut self, ctx: &mut Ctx<'_>, port: PortId, carrier: bool) {
         self.rel.drop_port(port);
         self.offered.remove(&port);
-        ctx.trace_proto("neighbor_down", port.0 as u64);
+        ctx.trace_span(SpanEvent::NeighborDown { port, carrier });
         // Which tree roots die with this port?
         let mut lost = Vec::new();
         for root in self.table.roots_via_port(port) {
             if self.table.remove_via(root, port) {
-                ctx.trace_proto("vid_remove", root as u64);
+                ctx.trace_span(SpanEvent::VidRemove { root, port });
                 lost.push(root);
             }
         }
@@ -456,7 +471,7 @@ impl MrmtpRouter {
             let mut fully_lost = Vec::new();
             for &root in roots {
                 if self.table.remove_via(root, port) {
-                    ctx.trace_proto("vid_remove", root as u64);
+                    ctx.trace_span(SpanEvent::VidRemove { root, port });
                     self.self_lost.insert(root);
                     fully_lost.push(root);
                 }
@@ -481,6 +496,7 @@ impl MrmtpRouter {
             }
             if any && !self.holddown_armed {
                 self.holddown_armed = true;
+                ctx.trace_span(SpanEvent::HolddownArm);
                 ctx.set_timer(self.cfg.timers.loss_holddown, TOKEN_HOLDDOWN);
             }
         }
@@ -492,6 +508,8 @@ impl MrmtpRouter {
         self.holddown_armed = false;
         let pending = std::mem::take(&mut self.pending_upper_loss);
         let upper_tier = self.cfg.tier + 1;
+        let mut negatives = 0u8;
+        let mut totals = 0u8;
         for (root, reported) in pending {
             let ups: BTreeSet<PortId> = self.nbr.up_ports_at_tier(upper_tier).collect();
             // Total upward loss when every uplink has reported — in this
@@ -507,7 +525,8 @@ impl MrmtpRouter {
                 // No uplink reaches this root: hand the loss down; there
                 // is nothing to discriminate locally.
                 self.upper_lost.insert(root);
-                ctx.trace_proto("upper_loss_total", root as u64);
+                totals = totals.saturating_add(1);
+                ctx.trace_span(SpanEvent::UpperLossTotal { root });
                 if self.cfg.tier > 1 {
                     self.flood_update_to_tier(ctx, &[root], self.cfg.tier - 1, true);
                 }
@@ -518,11 +537,13 @@ impl MrmtpRouter {
                 for p in reported {
                     if self.table.add_negative(root, p) {
                         self.stats.negatives_installed += 1;
+                        negatives = negatives.saturating_add(1);
                         ctx.trace_route_change(RouteChangeKind::Withdraw, root as u64);
                     }
                 }
             }
         }
+        ctx.trace_span(SpanEvent::HolddownResolve { negatives, totals });
     }
 
     fn on_recovered(&mut self, ctx: &mut Ctx<'_>, port: PortId, seq: u16, roots: &[u8]) {
@@ -700,7 +721,7 @@ impl MrmtpRouter {
         let now = ctx.now();
         // Quick-to-Detect: sweep silent neighbors.
         for port in self.nbr.sweep_dead(now) {
-            self.neighbor_down(ctx, port);
+            self.neighbor_down(ctx, port, false);
         }
         // Retransmit unacknowledged reliable messages.
         let retx = self.cfg.timers.retransmit_interval;
@@ -723,6 +744,39 @@ impl MrmtpRouter {
             self.advertise_all(ctx);
         }
         ctx.set_timer(TICK, TOKEN_TICK);
+    }
+}
+
+impl StatsSnapshot for MrmtpRouter {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        vec![
+            ("hellos_sent", s.hellos_sent),
+            ("advertises_sent", s.advertises_sent),
+            ("joins_sent", s.joins_sent),
+            ("offers_sent", s.offers_sent),
+            ("updates_sent", s.updates_sent),
+            ("updates_received", s.updates_received),
+            ("data_forwarded", s.data_forwarded),
+            ("data_delivered", s.data_delivered),
+            ("data_dropped", s.data_dropped),
+            ("negatives_installed", s.negatives_installed),
+            ("negatives_cleared", s.negatives_cleared),
+            ("malformed_frames_dropped", s.malformed_frames_dropped),
+        ]
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        let neighbors_up = (0..self.nbr.port_count() as u16)
+            .filter(|&p| self.nbr.is_up(PortId(p)))
+            .count() as u64;
+        vec![
+            ("vid_entries", self.table.own_entry_count() as u64),
+            ("negative_entries", self.table.negative_entry_count() as u64),
+            ("retransmit_queue", self.rel.pending_count() as u64),
+            ("neighbors_up", neighbors_up),
+            ("upper_lost_roots", self.upper_lost.len() as u64),
+        ]
     }
 }
 
@@ -758,7 +812,7 @@ impl Protocol for MrmtpRouter {
         match outcome {
             RxOutcome::SuppressedByDamping => return,
             RxOutcome::CameUp => {
-                ctx.trace_proto("neighbor_up", port.0 as u64);
+                ctx.trace_span(SpanEvent::NeighborUp { port });
                 // Give the neighbor a chance to (re)join our trees.
                 self.advertise_on(ctx, port);
                 self.resync_after_rejoin(ctx, port);
@@ -794,7 +848,7 @@ impl Protocol for MrmtpRouter {
 
     fn on_port_down(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
         if self.nbr.set_carrier(port, false) {
-            self.neighbor_down(ctx, port);
+            self.neighbor_down(ctx, port, true);
         } else {
             self.rel.drop_port(port);
         }
@@ -808,6 +862,10 @@ impl Protocol for MrmtpRouter {
             self.stats.hellos_sent += 1;
             self.send_msg(ctx, port, &MrmtpMsg::Hello, FrameClass::Keepalive);
         }
+    }
+
+    fn stats_snapshot(&self) -> Option<&dyn StatsSnapshot> {
+        Some(self)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -26,16 +26,22 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 
 use dcn_sim::rng::DetRng;
 use dcn_sim::time::{Duration, Time, MICROS, MILLIS, SECONDS};
 use dcn_sim::{Impairment, NodeId, PortId};
+use dcn_telemetry::{
+    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
+    TraceBundle,
+};
 use dcn_topology::{ClosParams, Fabric, Role};
 use dcn_wire::{ecmp_index, flow_hash, IPPROTO_UDP};
 
 use crate::fabric::{build_sim, BuiltSim, Stack};
 use crate::figures::Figure;
 use crate::parallel::fan_out;
+use crate::scenario::advance;
 
 /// Salt for the schedule-generation RNG stream (distinct from the
 /// engine's per-node and impairment streams).
@@ -288,11 +294,16 @@ impl ChaosRun {
 /// Execute one chaos run: warm up, open the impaired fault window, replay
 /// the schedule, heal, settle, then check every invariant.
 pub fn run_chaos(seed: u64, stack: Stack, cfg: &ChaosConfig) -> ChaosRun {
-    let (run, _) = run_chaos_once(seed, stack, cfg);
+    let (run, _, _) = run_chaos_once(seed, stack, cfg, &mut None);
     run
 }
 
-fn run_chaos_once(seed: u64, stack: Stack, cfg: &ChaosConfig) -> (ChaosRun, FaultSchedule) {
+fn run_chaos_once(
+    seed: u64,
+    stack: Stack,
+    cfg: &ChaosConfig,
+    tel: &mut Option<Telemetry>,
+) -> (ChaosRun, FaultSchedule, BuiltSim) {
     let mut built = build_sim(cfg.params, stack, seed, &[]);
     let schedule = FaultSchedule::generate(seed, &built.fabric, cfg);
 
@@ -312,11 +323,11 @@ fn run_chaos_once(seed: u64, stack: Stack, cfg: &ChaosConfig) -> (ChaosRun, Faul
     // the impairment just before the final heals so the settle period is
     // a clean fabric.
     let heal_at = cfg.heal_at();
-    built.sim.run_until(cfg.warmup);
+    advance(&mut built.sim, cfg.warmup, tel);
     built.sim.set_impairment_all(cfg.impairment);
-    built.sim.run_until(heal_at.saturating_sub(1));
+    advance(&mut built.sim, heal_at.saturating_sub(1), tel);
     built.sim.set_impairment_all(Impairment::none());
-    built.sim.run_until(cfg.end_at());
+    advance(&mut built.sim, cfg.end_at(), tel);
 
     let convergence = dcn_metrics::last_state_change(built.sim.trace(), heal_at);
     let converged = convergence.is_none_or(|d| d <= cfg.convergence_bound);
@@ -350,13 +361,69 @@ fn run_chaos_once(seed: u64, stack: Stack, cfg: &ChaosConfig) -> (ChaosRun, Faul
         frames_corrupted: built.sim.frames_corrupted(),
         frames_lost: built.sim.frames_lost_to_impairment(),
     };
-    (run, schedule)
+    (run, schedule, built)
+}
+
+/// Re-run one (seed, stack) pair with telemetry attached and package a
+/// self-contained replay bundle: the fault schedule, every typed span,
+/// the sampled series and a capture of the fault window. Sampling is
+/// read-only, so the instrumented run reproduces the original digest —
+/// the caller can (and [`run_campaign`] does) cross-check it.
+pub fn chaos_bundle(
+    seed: u64,
+    stack: Stack,
+    cfg: &ChaosConfig,
+    tel_cfg: TelemetryConfig,
+) -> (ChaosRun, TraceBundle) {
+    let mut tel = Some(Telemetry::new(tel_cfg));
+    let (run, schedule, built) = run_chaos_once(seed, stack, cfg, &mut tel);
+    let tel = tel.expect("telemetry preserved");
+    let sim = &built.sim;
+    let name_of = |n: NodeId| sim.node_name(n).to_string();
+
+    let meta = Json::obj(vec![
+        ("kind", Json::str("chaos")),
+        ("stack", Json::str(stack.slug())),
+        ("seed", Json::UInt(seed)),
+        ("digest", Json::UInt(run.digest)),
+        ("faults", Json::UInt(run.faults as u64)),
+        ("loops", Json::UInt(run.loops as u64)),
+        ("black_holes", Json::UInt(run.black_holes as u64)),
+        ("unreachable_pairs", Json::UInt(run.unreachable_pairs as u64)),
+        ("converged", Json::Bool(run.converged)),
+        ("violations", Json::UInt(run.violations() as u64)),
+        ("samples", Json::UInt(tel.samples_taken())),
+        ("heal_at_ns", Json::UInt(cfg.heal_at())),
+        ("end_ns", Json::UInt(cfg.end_at())),
+    ]);
+    let mut b = TraceBundle::new(meta);
+
+    let mut sched = String::new();
+    for e in &schedule.events {
+        sched.push_str(
+            &Json::obj(vec![
+                ("at", Json::UInt(e.at)),
+                ("node", Json::str(name_of(NodeId(e.node as u32)))),
+                ("node_id", Json::UInt(e.node as u64)),
+                ("port", Json::UInt(e.port as u64)),
+                ("up", Json::Bool(e.up)),
+            ])
+            .render(),
+        );
+        sched.push('\n');
+    }
+    b.add_file("schedule.jsonl", sched);
+    b.add_file("spans.jsonl", spans_jsonl(sim.trace(), name_of));
+    b.add_file("series.jsonl", series_jsonl(tel.registry(), |i| name_of(NodeId(i))));
+    b.add_file("hists.jsonl", hists_jsonl(&tel));
+    b.add_file("capture.txt", capture_dump(sim, cfg.warmup, cfg.end_at(), 200));
+    (run, b)
 }
 
 /// Digest of everything observable about a finished run: the full frame
 /// trace plus the engine's global counters. Two runs of the same seed
 /// must produce the same digest bit-for-bit.
-fn trace_digest(sim: &dcn_sim::Sim) -> u64 {
+pub fn trace_digest(sim: &dcn_sim::Sim) -> u64 {
     let mut h = DefaultHasher::new();
     sim.events_processed().hash(&mut h);
     sim.frames_delivered().hash(&mut h);
@@ -509,6 +576,10 @@ pub struct CampaignConfig {
     pub chaos: ChaosConfig,
     /// Re-run every (seed, stack) pair and compare trace digests.
     pub check_determinism: bool,
+    /// When set, any run that violates an invariant is re-run with
+    /// telemetry attached and a replay bundle is written under this
+    /// directory (`chaos-<stack>-seed<N>/`).
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -520,6 +591,7 @@ impl Default for CampaignConfig {
             stacks: vec![Stack::Mrmtp, Stack::BgpEcmp],
             chaos: ChaosConfig::default(),
             check_determinism: true,
+            telemetry_out: None,
         }
     }
 }
@@ -549,11 +621,25 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
     }
     let chaos = cfg.chaos.clone();
     let check = cfg.check_determinism;
+    let out = cfg.telemetry_out.clone();
     let runs = fan_out(jobs, cfg.threads, move |(stack, seed)| {
         let mut run = run_chaos(seed, stack, &chaos);
         if check {
             let again = run_chaos(seed, stack, &chaos);
             run.deterministic = run.digest == again.digest;
+        }
+        if run.violations() > 0 {
+            if let Some(dir) = &out {
+                let (rerun, bundle) = chaos_bundle(seed, stack, &chaos, TelemetryConfig::default());
+                // The instrumented re-run must reproduce the original
+                // digest; a mismatch is itself a determinism violation.
+                run.deterministic &= rerun.digest == run.digest;
+                let sub = dir.join(format!("chaos-{}-seed{}", stack.slug(), seed));
+                match bundle.write(&sub) {
+                    Ok(_) => eprintln!("chaos: replay bundle written to {}", sub.display()),
+                    Err(e) => eprintln!("chaos: bundle write to {} failed: {e}", sub.display()),
+                }
+            }
         }
         run
     });
@@ -697,6 +783,38 @@ mod tests {
         let a = run_chaos(3, Stack::Mrmtp, &cfg);
         let b = run_chaos(3, Stack::Mrmtp, &cfg);
         assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_chaos_digest() {
+        // The determinism contract: attaching the sampler must leave the
+        // per-seed digest bit-identical on every stack.
+        let cfg = quick_cfg();
+        for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
+            let bare = run_chaos(5, stack, &cfg);
+            let (instrumented, bundle) = chaos_bundle(5, stack, &cfg, TelemetryConfig::default());
+            assert_eq!(
+                bare.digest, instrumented.digest,
+                "telemetry perturbed the event stream on {}",
+                stack.label()
+            );
+            let names: Vec<&str> = bundle.files().iter().map(|(n, _)| n.as_str()).collect();
+            for want in ["schedule.jsonl", "spans.jsonl", "series.jsonl", "capture.txt"] {
+                assert!(names.contains(&want), "missing {want} in {names:?}");
+            }
+            assert_eq!(bundle.meta().get("digest").unwrap().as_u64(), Some(bare.digest));
+            assert!(bundle.meta().get("samples").unwrap().as_u64().unwrap() > 0);
+            // Every schedule line parses back and carries a node name;
+            // down transitions match the run's fault count.
+            let sched = &bundle.files()[0].1;
+            let mut downs = 0;
+            for line in sched.lines() {
+                let j = Json::parse(line).expect("valid JSON line");
+                assert!(j.get("node").unwrap().as_str().is_some());
+                downs += usize::from(j.get("up").unwrap().as_bool() == Some(false));
+            }
+            assert_eq!(downs, instrumented.faults);
+        }
     }
 
     #[test]

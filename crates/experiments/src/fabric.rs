@@ -28,6 +28,15 @@ impl Stack {
             Stack::BgpEcmpBfd => "BGP/ECMP/BFD",
         }
     }
+
+    /// Filesystem/CLI-safe identifier (the `fcr` stack argument).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Stack::Mrmtp => "mrmtp",
+            Stack::BgpEcmp => "bgp",
+            Stack::BgpEcmpBfd => "bgp-bfd",
+        }
+    }
 }
 
 /// Tunable protocol parameters for ablation studies (§IX: "tune timers

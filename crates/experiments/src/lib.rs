@@ -27,9 +27,13 @@ pub mod figures;
 pub mod flows;
 pub mod parallel;
 pub mod replicate;
+pub mod report;
 pub mod scenario;
 pub mod table;
 
 pub use chaos::{run_campaign, run_chaos, CampaignConfig, ChaosConfig, FaultSchedule};
 pub use fabric::{build_fabric_sim, build_four_tier_sim, build_sim, build_sim_tuned, BuiltSim, Stack, StackTuning};
-pub use scenario::{run, run_scenario_tuned, Scenario, ScenarioResult, Timing, TrafficDir};
+pub use scenario::{
+    bundle_from_run, run, run_instrumented, run_scenario_tuned, InstrumentedRun, Scenario,
+    ScenarioResult, Timing, TrafficDir,
+};

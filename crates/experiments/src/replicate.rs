@@ -3,10 +3,13 @@
 //! jitter), which is exactly what varied between the paper's testbed
 //! runs; metrics are reported as mean with min–max spread.
 
+use std::path::Path;
+
 use crate::figures::Figure;
 use crate::parallel::run_matrix;
-use crate::scenario::{Scenario, ScenarioResult, TrafficDir};
-use crate::fabric::Stack;
+use crate::scenario::{bundle_from_run, run_instrumented, Scenario, ScenarioResult, TrafficDir};
+use crate::fabric::{Stack, StackTuning};
+use dcn_telemetry::TelemetryConfig;
 use dcn_topology::{ClosParams, FailureCase};
 
 /// Summary statistics over replicated runs.
@@ -59,7 +62,36 @@ pub struct ReplicatedResult {
 /// Run `scenario` once per seed (in parallel) and aggregate.
 pub fn run_replicated(scenario: Scenario, seeds: &[u64]) -> ReplicatedResult {
     let scenarios: Vec<Scenario> = seeds.iter().map(|&s| scenario.seeded(s)).collect();
-    let raw = run_matrix(scenarios);
+    aggregate(run_matrix(scenarios))
+}
+
+/// [`run_replicated`] with telemetry attached to every run: each seed's
+/// trace bundle (spans, series, histograms, storyboard, capture) is
+/// written under `dir/replicate-<stack>-<tc>-seed<N>/`, so the spread the
+/// replicated figure reports can be dissected run by run. Sampling is
+/// read-only, so the aggregated metrics are identical to
+/// [`run_replicated`]'s.
+pub fn run_replicated_instrumented(
+    scenario: Scenario,
+    seeds: &[u64],
+    dir: &Path,
+) -> ReplicatedResult {
+    let mut raw = Vec::new();
+    for &seed in seeds {
+        let sc = scenario.seeded(seed);
+        let ir = run_instrumented(sc, StackTuning::default(), TelemetryConfig::default());
+        let tc = sc.failure.map(|tc| tc.label().to_ascii_lowercase()).unwrap_or_else(|| "steady".into());
+        let sub = dir.join(format!("replicate-{}-{}-seed{}", sc.stack.slug(), tc, seed));
+        match bundle_from_run(&ir, &sc).write(&sub) {
+            Ok(_) => eprintln!("replicate: bundle written to {}", sub.display()),
+            Err(e) => eprintln!("replicate: bundle write to {} failed: {e}", sub.display()),
+        }
+        raw.push(ir.result);
+    }
+    aggregate(raw)
+}
+
+fn aggregate(raw: Vec<ScenarioResult>) -> ReplicatedResult {
     let conv: Vec<f64> = raw.iter().filter_map(|r| r.convergence_ms).collect();
     let blast: Vec<f64> = raw.iter().map(|r| r.blast_radius as f64).collect();
     let bytes: Vec<f64> = raw.iter().map(|r| r.control_bytes as f64).collect();
@@ -119,6 +151,25 @@ mod tests {
         assert_eq!(s.runs, 3);
         assert_eq!(s.render(1), "3.0 [1.0–6.0]");
         assert!(Stats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn instrumented_replication_matches_bare_and_writes_bundles() {
+        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        let dir = std::env::temp_dir().join(format!("dcn-replicate-test-{}", std::process::id()));
+        let bare = run_replicated(s, &[1, 2]);
+        let inst = run_replicated_instrumented(s, &[1, 2], &dir);
+        // Telemetry is read-only: the aggregates are identical.
+        assert_eq!(bare.convergence_ms, inst.convergence_ms);
+        assert_eq!(bare.blast_radius, inst.blast_radius);
+        assert_eq!(bare.control_bytes, inst.control_bytes);
+        for seed in [1, 2] {
+            let sub = dir.join(format!("replicate-mrmtp-tc1-seed{seed}"));
+            for f in ["meta.json", "spans.jsonl", "series.jsonl", "hists.jsonl", "storyboard.txt"] {
+                assert!(sub.join(f).exists(), "missing {f} in {}", sub.display());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

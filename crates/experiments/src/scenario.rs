@@ -5,6 +5,11 @@ use dcn_metrics::{
     update_frames, KeepaliveStats,
 };
 use dcn_sim::time::{as_millis_f64, millis, secs, Duration, Time};
+use dcn_sim::{NodeId, Sim};
+use dcn_telemetry::{
+    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
+    TraceBundle,
+};
 use dcn_topology::{ClosParams, FailureCase};
 use dcn_traffic::{LossReport, SendSpec, TrafficHost};
 
@@ -122,6 +127,18 @@ pub struct ScenarioResult {
     pub breakdown: Vec<(&'static str, u64, u64)>,
 }
 
+/// One instrumented run: the ordinary metrics plus the telemetry session
+/// and the finished simulation (trace, routers) for storyboarding,
+/// series export and counter dumps.
+pub struct InstrumentedRun {
+    pub result: ScenarioResult,
+    pub telemetry: Telemetry,
+    pub built: BuiltSim,
+    /// The failure instant (storyboard `t0`), if the scenario failed
+    /// anything.
+    pub failure_at: Option<Time>,
+}
+
 /// Run one scenario to completion with the paper's default timers.
 pub fn run(s: Scenario) -> ScenarioResult {
     run_scenario_tuned(s, StackTuning::default())
@@ -129,6 +146,76 @@ pub fn run(s: Scenario) -> ScenarioResult {
 
 /// [`run`] with protocol-timer overrides (ablation studies).
 pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
+    run_inner(s, tuning, &mut None).0
+}
+
+/// [`run_scenario_tuned`] with telemetry attached: identical event
+/// processing (sampling only reads state between event batches), plus a
+/// sampled registry and the live simulation handed back for export.
+pub fn run_instrumented(s: Scenario, tuning: StackTuning, tel_cfg: TelemetryConfig) -> InstrumentedRun {
+    let mut tel = Some(Telemetry::new(tel_cfg));
+    let (result, built) = run_inner(s, tuning, &mut tel);
+    InstrumentedRun {
+        result,
+        telemetry: tel.expect("telemetry preserved"),
+        built,
+        failure_at: s.failure.map(|_| s.timing.failure_at()),
+    }
+}
+
+/// Advance the simulation, sampling telemetry on its cadence when
+/// attached. Both paths process the same events in the same order.
+pub(crate) fn advance(sim: &mut Sim, until: Time, tel: &mut Option<Telemetry>) {
+    match tel.as_mut() {
+        Some(t) => dcn_telemetry::run_sampled(sim, until, t),
+        None => sim.run_until(until),
+    }
+}
+
+/// Package one instrumented run as a self-contained trace bundle:
+/// `meta.json`, span and series JSONL dumps, a tshark-style capture of
+/// the failure window, and the rendered convergence storyboard.
+pub fn bundle_from_run(run: &InstrumentedRun, scenario: &Scenario) -> TraceBundle {
+    let sim = &run.built.sim;
+    let name_of = |n: NodeId| sim.node_name(n).to_string();
+
+    let mut meta = vec![
+        ("kind", Json::str("scenario")),
+        ("stack", Json::str(scenario.stack.slug())),
+        ("seed", Json::UInt(scenario.seed)),
+        ("samples", Json::UInt(run.telemetry.samples_taken())),
+        ("series", Json::UInt(run.telemetry.registry().series_count() as u64)),
+        ("end_ns", Json::UInt(sim.now())),
+    ];
+    if let Some(tc) = scenario.failure {
+        meta.push(("failure", Json::str(tc.label())));
+    }
+    if let Some(t0) = run.failure_at {
+        meta.push(("failure_at_ns", Json::UInt(t0)));
+    }
+    if let Some(c) = run.result.convergence_ms {
+        meta.push(("convergence_ms", Json::Float(c)));
+    }
+
+    let mut b = TraceBundle::new(Json::obj(meta));
+    b.add_file("spans.jsonl", spans_jsonl(sim.trace(), name_of));
+    b.add_file(
+        "series.jsonl",
+        series_jsonl(run.telemetry.registry(), |i| name_of(NodeId(i))),
+    );
+    b.add_file("hists.jsonl", hists_jsonl(&run.telemetry));
+    if let Some(t0) = run.failure_at {
+        let sb = dcn_metrics::storyboard::build(sim.trace(), t0);
+        b.add_file("storyboard.txt", dcn_metrics::storyboard::render(&sb, name_of));
+        b.add_file(
+            "capture.txt",
+            capture_dump(sim, t0.saturating_sub(millis(50)), sim.now(), 400),
+        );
+    }
+    b
+}
+
+fn run_inner(s: Scenario, tuning: StackTuning, tel: &mut Option<Telemetry>) -> (ScenarioResult, BuiltSim) {
     let timing = s.timing;
     // Traffic setup. The monitored flow is pinned to the failure chain
     // exactly as the paper's test design requires (§VI-D).
@@ -166,7 +253,7 @@ pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
     let mut built: BuiltSim = build_sim_tuned(s.params, s.stack, s.seed, &senders, tuning);
 
     // Phase 1: warmup.
-    built.sim.run_until(timing.warmup);
+    advance(&mut built.sim, timing.warmup, tel);
     // Steady-state keep-alive window: the last 2 s of warmup.
     let ka_window = (timing.warmup.saturating_sub(secs(2)), timing.warmup);
 
@@ -175,7 +262,7 @@ pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
     if let Some(tc) = s.failure {
         built.inject_failure(tc, failure_at);
     }
-    built.sim.run_until(timing.end());
+    advance(&mut built.sim, timing.end(), tel);
 
     // Metrics extraction.
     let trace = built.sim.trace();
@@ -203,7 +290,7 @@ pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
             .report(sent)
     });
 
-    ScenarioResult {
+    let result = ScenarioResult {
         convergence_ms,
         blast_radius: blast,
         control_bytes: control,
@@ -211,7 +298,8 @@ pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
         loss,
         keepalive,
         breakdown,
-    }
+    };
+    (result, built)
 }
 
 /// Convenience: a quick steady-state run (no failure) for keep-alive
@@ -252,6 +340,44 @@ mod tests {
             (1..=40).contains(&lost),
             "dead-timer-bounded loss expected: {loss:?}"
         );
+    }
+
+    #[test]
+    fn instrumented_run_matches_bare_metrics_and_storyboards() {
+        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        let bare = run(s);
+        let ir = run_instrumented(s, StackTuning::default(), TelemetryConfig::default());
+
+        // Sampling is read-only: the instrumented run reproduces the
+        // bare run's metrics exactly.
+        assert_eq!(bare.convergence_ms, ir.result.convergence_ms);
+        assert_eq!(bare.blast_radius, ir.result.blast_radius);
+        assert_eq!(bare.control_bytes, ir.result.control_bytes);
+        assert!(ir.telemetry.samples_taken() > 100);
+
+        // The storyboard built from the typed spans agrees with the
+        // paper-style convergence number.
+        let t0 = ir.failure_at.expect("failure injected");
+        let sb = dcn_metrics::storyboard::build(ir.built.sim.trace(), t0);
+        let p = sb.phases.expect("detection happened");
+        let conv = ir.result.convergence_ms.expect("updates flowed");
+        assert!((p.detection_ms + p.propagation_ms - conv).abs() < 1e-6);
+
+        // And the bundle is self-contained: meta + spans + series +
+        // storyboard + capture.
+        let bundle = bundle_from_run(&ir, &s);
+        let names: Vec<&str> = bundle.files().iter().map(|(n, _)| n.as_str()).collect();
+        for want in ["spans.jsonl", "series.jsonl", "hists.jsonl", "storyboard.txt", "capture.txt"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        assert_eq!(bundle.meta().get("stack").unwrap().as_str(), Some("mrmtp"));
+        let sb_text = &bundle
+            .files()
+            .iter()
+            .find(|(n, _)| n == "storyboard.txt")
+            .unwrap()
+            .1;
+        assert!(sb_text.contains("phases:"), "{sb_text}");
     }
 
     #[test]

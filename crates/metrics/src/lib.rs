@@ -19,6 +19,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use dcn_sim::time::{Duration, Time, SECONDS};
 use dcn_sim::{FrameClass, NodeId, Trace, TraceEvent};
 
+pub mod storyboard;
+
 /// Convergence time, per the paper's methodology: from `t0` (the failure
 /// instant recorded by the injection script) until **update messages
 /// stop** ("When the update messages stopped, we recorded the end time").
@@ -149,14 +151,7 @@ pub fn class_breakdown(
             }
         }
         if let TraceEvent::FrameSent { class, wire_len, .. } = ev {
-            let key = match class {
-                FrameClass::Keepalive => "keepalive",
-                FrameClass::Update => "update",
-                FrameClass::Session => "session",
-                FrameClass::Ack => "ack",
-                FrameClass::Data => "data",
-            };
-            let e = map.entry(key).or_insert((0, 0));
+            let e = map.entry(class.name()).or_insert((0, 0));
             e.0 += 1;
             e.1 += *wire_len as u64;
         }
@@ -311,17 +306,10 @@ pub fn capture_text(
             }
             count += 1;
             if count <= max_lines {
-                let class_name = match class {
-                    FrameClass::Keepalive => "keepalive",
-                    FrameClass::Update => "update",
-                    FrameClass::Session => "session",
-                    FrameClass::Ack => "ack",
-                    FrameClass::Data => "data",
-                };
                 out.push_str(&format!(
                     "{:>10.6}  {:<9}  {:>4} bytes\n",
                     (*time - t0) as f64 / SECONDS as f64,
-                    class_name,
+                    class.name(),
                     capture_len
                 ));
             }
@@ -341,6 +329,14 @@ mod capture_tests {
     #[test]
     fn capture_text_filters_and_truncates() {
         let mut tr = Trace::enabled();
+        tr.push(TraceEvent::FrameSent {
+            time: 0,
+            node: NodeId(2), // different node: excluded
+            port: PortId(0),
+            wire_len: 60,
+            capture_len: 15,
+            class: FrameClass::Keepalive,
+        });
         for i in 0..5u64 {
             tr.push(TraceEvent::FrameSent {
                 time: i * 50_000_000,
@@ -351,14 +347,6 @@ mod capture_tests {
                 class: FrameClass::Keepalive,
             });
         }
-        tr.push(TraceEvent::FrameSent {
-            time: 10_000_000,
-            node: NodeId(2), // different node: excluded
-            port: PortId(0),
-            wire_len: 60,
-            capture_len: 15,
-            class: FrameClass::Keepalive,
-        });
         let s = capture_text(&tr, NodeId(1), PortId(0), 0, SECONDS, 3);
         assert_eq!(s.lines().count(), 4, "3 frames + truncation notice:\n{s}");
         assert!(s.contains("keepalive"));

@@ -204,6 +204,16 @@ impl Sim {
         self.nodes[node.index()].views[port.index()].up
     }
 
+    /// Uniform counter/gauge access to a node's protocol, if it exposes
+    /// one (routers do; traffic hosts don't). See
+    /// [`crate::node::StatsSnapshot`].
+    pub fn stats_snapshot_of(&self, node: NodeId) -> Option<&dyn crate::node::StatsSnapshot> {
+        self.nodes[node.index()]
+            .proto
+            .as_ref()
+            .and_then(|p| p.stats_snapshot())
+    }
+
     /// Downcast a node's protocol for inspection.
     pub fn node_as<T: Any>(&self, node: NodeId) -> Option<&T> {
         self.nodes[node.index()]

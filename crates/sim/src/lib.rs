@@ -36,6 +36,6 @@ pub mod trace;
 pub use engine::{Sim, SimBuilder};
 pub use event::Event;
 pub use link::{Impairment, LinkId, LinkSpec};
-pub use node::{Action, Ctx, NodeId, PortId, Protocol};
+pub use node::{Action, Ctx, NodeId, PortId, Protocol, StatsSnapshot};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};
-pub use trace::{FrameClass, RouteChangeKind, Trace, TraceEvent};
+pub use trace::{FrameClass, RouteChangeKind, SpanEvent, Trace, TraceEvent};

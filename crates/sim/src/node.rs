@@ -6,7 +6,7 @@ use std::any::Any;
 
 use crate::rng::DetRng;
 use crate::time::{Duration, Time};
-use crate::trace::{FrameClass, RouteChangeKind, TraceEvent};
+use crate::trace::{FrameClass, RouteChangeKind, SpanEvent, TraceEvent};
 
 /// Identifies a node (device) in the emulated fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -150,9 +150,19 @@ impl<'a> Ctx<'a> {
         self.out.push(Action::Trace(ev));
     }
 
-    /// Record a protocol-specific event (used for convergence bookkeeping
-    /// and debugging; tags are static strings so tracing stays allocation
-    /// free on the hot path).
+    /// Record a typed protocol span event (convergence storyboarding:
+    /// FSM transitions, detection verdicts, flood waves, batch windows).
+    pub fn trace_span(&mut self, span: SpanEvent) {
+        let ev = TraceEvent::Span {
+            time: self.now,
+            node: self.node,
+            span,
+        };
+        self.out.push(Action::Trace(ev));
+    }
+
+    /// Record a free-form protocol annotation (ad-hoc debugging; prefer
+    /// [`Ctx::trace_span`] for anything an analyzer should consume).
     pub fn trace_proto(&mut self, tag: &'static str, info: u64) {
         let ev = TraceEvent::Proto {
             time: self.now,
@@ -177,6 +187,24 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// A uniform counter/gauge surface over per-protocol stats structs, so
+/// harness code (`fcr report`, telemetry samplers, chaos bundles) can
+/// dump every router's counters without downcasting per stack.
+///
+/// Names must be stable `&'static str`s: they become JSONL field names
+/// and time-series keys.
+pub trait StatsSnapshot {
+    /// Monotonic counters as (name, cumulative value) pairs, in a stable
+    /// order.
+    fn counters(&self) -> Vec<(&'static str, u64)>;
+
+    /// Point-in-time gauges (table sizes, session FSM states, queue
+    /// depths), in a stable order.
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
 /// A protocol instance bound to one emulated node.
 ///
 /// Implementations exist for MR-MTP routers (`dcn-mrmtp`), BGP/ECMP(/BFD)
@@ -197,6 +225,12 @@ pub trait Protocol: Send {
 
     /// The local interface `port` regained carrier.
     fn on_port_up(&mut self, _ctx: &mut Ctx<'_>, _port: PortId) {}
+
+    /// Uniform stats access (None for protocols without counters, e.g.
+    /// plain traffic hosts). See [`StatsSnapshot`].
+    fn stats_snapshot(&self) -> Option<&dyn StatsSnapshot> {
+        None
+    }
 
     /// Downcasting hook so the harness can inspect routing tables after a
     /// run (`sim.node_as::<MrmtpRouter>(id)`).

@@ -29,6 +29,28 @@ pub enum FrameClass {
     Data,
 }
 
+impl FrameClass {
+    /// Every class, in rendering order.
+    pub const ALL: [FrameClass; 5] = [
+        FrameClass::Keepalive,
+        FrameClass::Update,
+        FrameClass::Session,
+        FrameClass::Ack,
+        FrameClass::Data,
+    ];
+
+    /// Stable lowercase name (table keys, JSONL fields, capture lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::Keepalive => "keepalive",
+            FrameClass::Update => "update",
+            FrameClass::Session => "session",
+            FrameClass::Ack => "ack",
+            FrameClass::Data => "data",
+        }
+    }
+}
+
 /// What kind of destination-forwarding state changed at a router.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RouteChangeKind {
@@ -37,6 +59,103 @@ pub enum RouteChangeKind {
     Withdraw,
     /// A route was (re)installed or a negative entry cleared.
     Install,
+}
+
+/// A typed protocol span event: the structured successor of the
+/// free-form `Proto { tag, info }` annotations. Each variant marks one
+/// step of a convergence episode, so a post-hoc analyzer can reconstruct
+/// *why* a failure took as long as it did (who detected, via carrier or
+/// timeout; how updates batched; when trees were rebuilt) instead of just
+/// *that* updates stopped at some instant.
+///
+/// Protocol-specific state names are carried as `&'static str` so the
+/// emulator core stays protocol-agnostic and tracing stays allocation
+/// free on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanEvent {
+    /// BGP session FSM transition (RFC 4271 states, condensed).
+    BgpFsm {
+        port: PortId,
+        from: &'static str,
+        to: &'static str,
+    },
+    /// A BGP session was torn down. `carrier` is true when the teardown
+    /// was driven by an instant local carrier notification rather than a
+    /// timeout or protocol error.
+    BgpSessionDown {
+        port: PortId,
+        reason: &'static str,
+        carrier: bool,
+    },
+    /// One re-export pass flushed a batched set of UPDATEs (the MRAI
+    /// batch window of this implementation): `peers` peers received
+    /// messages covering `prefixes` re-evaluated prefixes.
+    BgpUpdateBatch { peers: u8, prefixes: u8 },
+    /// MR-MTP neighbor declared down — by carrier loss (`carrier`) or by
+    /// the missed-hello dead sweep.
+    NeighborDown { port: PortId, carrier: bool },
+    /// MR-MTP neighbor (re-)established after Slow-to-Accept.
+    NeighborUp { port: PortId },
+    /// Tree construction: a VID for tree `root` was installed via `port`.
+    VidInstall { root: u8, port: PortId },
+    /// Tree teardown: the VID for tree `root` via `port` was removed.
+    VidRemove { root: u8, port: PortId },
+    /// A Lost (`lost`) or Recovered flood wave left this router: `roots`
+    /// tree roots toward `fanout` neighbor ports.
+    LossFlood { roots: u8, fanout: u8, lost: bool },
+    /// The loss-aggregation hold-down window opened (upper-loss reports
+    /// are batching; the MR-MTP analog of an MRAI window).
+    HolddownArm,
+    /// The hold-down window resolved: `negatives` negative-reachability
+    /// entries installed, `totals` total-loss roots propagated downward.
+    HolddownResolve { negatives: u8, totals: u8 },
+    /// Every uplink lost tree `root`: total upper loss handed downward.
+    UpperLossTotal { root: u8 },
+}
+
+impl SpanEvent {
+    /// Stable snake_case kind tag (JSONL `kind` field, storyboard lines).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpanEvent::BgpFsm { .. } => "bgp_fsm",
+            SpanEvent::BgpSessionDown { .. } => "bgp_session_down",
+            SpanEvent::BgpUpdateBatch { .. } => "bgp_update_batch",
+            SpanEvent::NeighborDown { .. } => "neighbor_down",
+            SpanEvent::NeighborUp { .. } => "neighbor_up",
+            SpanEvent::VidInstall { .. } => "vid_install",
+            SpanEvent::VidRemove { .. } => "vid_remove",
+            SpanEvent::LossFlood { .. } => "loss_flood",
+            SpanEvent::HolddownArm => "holddown_arm",
+            SpanEvent::HolddownResolve { .. } => "holddown_resolve",
+            SpanEvent::UpperLossTotal { .. } => "upper_loss_total",
+        }
+    }
+
+    /// Whether this span marks local *failure detection*, and how:
+    /// `Some(true)` for carrier-driven detection, `Some(false)` for
+    /// timeout-driven detection (hold timer, BFD, missed hellos, TCP
+    /// retransmit exhaustion), `None` for everything else.
+    pub fn detection(&self) -> Option<bool> {
+        match self {
+            SpanEvent::NeighborDown { carrier, .. } => Some(*carrier),
+            SpanEvent::BgpSessionDown { reason, carrier, .. } => match *reason {
+                "carrier_down" => Some(true),
+                "bgp_hold_expired" | "bfd_down" | "tcp_retx_exhausted" => Some(*carrier),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Whether this span reflects a routing/tree *state change* at the
+    /// emitting router (as opposed to a pure transmission marker like a
+    /// flood or update batch).
+    pub fn is_state_change(&self) -> bool {
+        !matches!(
+            self,
+            SpanEvent::LossFlood { .. } | SpanEvent::BgpUpdateBatch { .. }
+        )
+    }
 }
 
 /// One trace record.
@@ -65,12 +184,19 @@ pub enum TraceEvent {
         kind: RouteChangeKind,
         detail: u64,
     },
-    /// Protocol-specific annotation (convergence bookkeeping, debugging).
+    /// Protocol-specific annotation (ad-hoc debugging; structured
+    /// convergence bookkeeping uses [`TraceEvent::Span`]).
     Proto {
         time: Time,
         node: NodeId,
         tag: &'static str,
         info: u64,
+    },
+    /// A typed protocol span event (see [`SpanEvent`]).
+    Span {
+        time: Time,
+        node: NodeId,
+        span: SpanEvent,
     },
 }
 
@@ -82,7 +208,8 @@ impl TraceEvent {
             | TraceEvent::PortDown { time, .. }
             | TraceEvent::PortUp { time, .. }
             | TraceEvent::RouteChange { time, .. }
-            | TraceEvent::Proto { time, .. } => *time,
+            | TraceEvent::Proto { time, .. }
+            | TraceEvent::Span { time, .. } => *time,
         }
     }
 
@@ -93,7 +220,8 @@ impl TraceEvent {
             | TraceEvent::PortDown { node, .. }
             | TraceEvent::PortUp { node, .. }
             | TraceEvent::RouteChange { node, .. }
-            | TraceEvent::Proto { node, .. } => *node,
+            | TraceEvent::Proto { node, .. }
+            | TraceEvent::Span { node, .. } => *node,
         }
     }
 }
@@ -120,6 +248,12 @@ impl Trace {
     #[inline]
     pub fn push(&mut self, ev: TraceEvent) {
         if self.enabled {
+            // `events_since`/`discard_before` binary-search on time and
+            // silently return wrong cuts if events ever land out of order.
+            debug_assert!(
+                self.events.last().is_none_or(|last| last.time() <= ev.time()),
+                "trace events must be pushed in nondecreasing time order"
+            );
             self.events.push(ev);
         }
     }
@@ -179,6 +313,44 @@ mod tests {
         assert_eq!(tr.events_since(2).count(), 4);
         assert_eq!(tr.events_since(3).count(), 2);
         assert_eq!(tr.events_since(10).count(), 0);
+    }
+
+    #[test]
+    fn frame_class_names_are_stable() {
+        let names: Vec<&str> = FrameClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["keepalive", "update", "session", "ack", "data"]);
+    }
+
+    #[test]
+    fn span_detection_classifies_carrier_vs_timeout() {
+        let carrier = SpanEvent::NeighborDown { port: PortId(1), carrier: true };
+        assert_eq!(carrier.detection(), Some(true));
+        let swept = SpanEvent::NeighborDown { port: PortId(1), carrier: false };
+        assert_eq!(swept.detection(), Some(false));
+        let hold = SpanEvent::BgpSessionDown {
+            port: PortId(0),
+            reason: "bgp_hold_expired",
+            carrier: false,
+        };
+        assert_eq!(hold.detection(), Some(false));
+        let note = SpanEvent::BgpSessionDown {
+            port: PortId(0),
+            reason: "bgp_notification",
+            carrier: false,
+        };
+        assert_eq!(note.detection(), None);
+        assert_eq!(hold.kind(), "bgp_session_down");
+        assert!(hold.is_state_change());
+        assert!(!SpanEvent::BgpUpdateBatch { peers: 1, prefixes: 1 }.is_state_change());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_push_asserts_in_debug() {
+        let mut tr = Trace::enabled();
+        tr.push(ev(10));
+        tr.push(ev(5));
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! A fixed-boundary histogram for latency/size distributions.
+
+/// Cumulative-friendly histogram over explicit upper bounds.
+///
+/// A value `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`; values above every bound land in the overflow bucket.
+/// Bounds must be strictly increasing.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` counters (last = overflow).
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Power-of-two bounds from 1 up to `2^(n-1)` (n buckets + overflow) —
+    /// the default shape for nanosecond durations and byte sizes.
+    pub fn exponential(n: usize) -> Histogram {
+        let bounds: Vec<u64> = (0..n as u32).map(|i| 1u64 << i).collect();
+        Histogram::new(&bounds)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// (upper bound, count) pairs; the overflow bucket reports
+    /// `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Smallest bound with cumulative count ≥ `q` of the total (a
+    /// bucket-resolution quantile; exact for values on bucket bounds).
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0;
+        for (bound, count) in self.buckets() {
+            cum += count;
+            if cum >= target.max(1) {
+                return Some(bound);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_on_bound_fall_into_that_bucket() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        h.record(0);
+        h.record(10); // == bound: first bucket
+        h.record(11); // > 10: second bucket
+        h.record(100);
+        h.record(101);
+        h.record(1000);
+        h.record(1001); // overflow
+        let counts: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(counts, vec![(10, 2), (100, 2), (1000, 2), (u64::MAX, 1)]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max(), 1001);
+    }
+
+    #[test]
+    fn exponential_bounds_are_powers_of_two() {
+        let h = Histogram::exponential(4);
+        let bounds: Vec<u64> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds, vec![1, 2, 4, 8, u64::MAX]);
+    }
+
+    #[test]
+    fn quantile_bound_tracks_distribution() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [1, 1, 2, 2, 2, 3, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_bound(0.5), Some(2), "5 of 8 samples ≤ 2");
+        assert_eq!(h.quantile_bound(1.0), Some(u64::MAX), "max is overflow");
+        assert_eq!(Histogram::new(&[1]).quantile_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::exponential(8);
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), 15.0);
+        assert_eq!(Histogram::exponential(2).mean(), 0.0);
+    }
+}

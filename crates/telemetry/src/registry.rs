@@ -1,0 +1,168 @@
+//! The typed metrics registry: named series scoped to the fabric, a node
+//! or a link, each backed by a fixed-capacity ring of timestamped samples.
+
+use std::collections::BTreeMap;
+
+use dcn_sim::time::Time;
+
+use crate::ring::RingBuffer;
+
+/// What a series is attached to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Scope {
+    /// Fabric-wide (engine counters, trace sizes).
+    Global,
+    /// One router/host, by node index.
+    Node(u32),
+    /// One physical link, by link index.
+    Link(u32),
+}
+
+impl Scope {
+    /// Stable tag used in JSONL export.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scope::Global => "global",
+            Scope::Node(_) => "node",
+            Scope::Link(_) => "link",
+        }
+    }
+
+    /// The scope's numeric id (0 for global).
+    pub fn id(self) -> u32 {
+        match self {
+            Scope::Global => 0,
+            Scope::Node(i) | Scope::Link(i) => i,
+        }
+    }
+}
+
+/// Whether a series is a monotonic counter or a point-in-time gauge —
+/// exported so analyzers know whether to diff consecutive samples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeriesKind {
+    Counter,
+    Gauge,
+}
+
+impl SeriesKind {
+    pub fn tag(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One registered time series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub scope: Scope,
+    pub name: &'static str,
+    pub kind: SeriesKind,
+    samples: RingBuffer<(Time, u64)>,
+}
+
+impl Series {
+    /// Oldest-to-newest retained samples.
+    pub fn samples(&self) -> impl Iterator<Item = (Time, u64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    pub fn last(&self) -> Option<(Time, u64)> {
+        self.samples.last().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.samples.dropped()
+    }
+}
+
+/// All series of one instrumented run. Series are created lazily on
+/// first record; iteration order is deterministic (BTreeMap keyed by
+/// scope + name).
+#[derive(Clone, Debug)]
+pub struct Registry {
+    capacity: usize,
+    series: BTreeMap<(Scope, &'static str), Series>,
+}
+
+impl Registry {
+    /// `capacity` is the per-series ring size.
+    pub fn new(capacity: usize) -> Registry {
+        Registry { capacity, series: BTreeMap::new() }
+    }
+
+    /// Record one sample, creating the series on first use.
+    pub fn record(&mut self, scope: Scope, name: &'static str, kind: SeriesKind, t: Time, v: u64) {
+        let s = self.series.entry((scope, name)).or_insert_with(|| Series {
+            scope,
+            name,
+            kind,
+            samples: RingBuffer::new(self.capacity),
+        });
+        s.samples.push((t, v));
+    }
+
+    pub fn series(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    pub fn get(&self, scope: Scope, name: &'static str) -> Option<&Series> {
+        self.series.get(&(scope, name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_created_lazily_and_ordered() {
+        let mut r = Registry::new(8);
+        r.record(Scope::Node(2), "rib_routes", SeriesKind::Gauge, 10, 4);
+        r.record(Scope::Global, "events", SeriesKind::Counter, 10, 100);
+        r.record(Scope::Node(2), "rib_routes", SeriesKind::Gauge, 20, 5);
+        assert_eq!(r.series_count(), 2);
+        let order: Vec<(Scope, &str)> = r.series().map(|s| (s.scope, s.name)).collect();
+        assert_eq!(order[0].0, Scope::Global, "global sorts first");
+        let s = r.get(Scope::Node(2), "rib_routes").unwrap();
+        assert_eq!(s.samples().collect::<Vec<_>>(), vec![(10, 4), (20, 5)]);
+        assert_eq!(s.last(), Some((20, 5)));
+        assert_eq!(s.kind, SeriesKind::Gauge);
+    }
+
+    #[test]
+    fn capacity_bounds_every_series() {
+        let mut r = Registry::new(2);
+        for t in 0..5u64 {
+            r.record(Scope::Link(0), "link_up", SeriesKind::Gauge, t, t);
+        }
+        let s = r.get(Scope::Link(0), "link_up").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.samples().collect::<Vec<_>>(), vec![(3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn scope_tags_are_stable() {
+        assert_eq!(Scope::Global.tag(), "global");
+        assert_eq!(Scope::Node(3).tag(), "node");
+        assert_eq!(Scope::Link(1).tag(), "link");
+        assert_eq!(Scope::Node(3).id(), 3);
+        assert_eq!(SeriesKind::Counter.tag(), "counter");
+    }
+}

@@ -14,6 +14,8 @@
 //!
 //! Stacks: `mrmtp`, `bgp`, `bgp-bfd`. Cases: `tc1`–`tc4`.
 
+use std::path::PathBuf;
+
 use dcn_experiments::{ablations, figures, run, Scenario, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
@@ -25,12 +27,17 @@ fn usage() -> ! {
          \x20 figures                       regenerate every paper figure\n\
          \x20 scenario <stack> <tc> [dir]   one experiment (stack: mrmtp|bgp|bgp-bfd;\n\
          \x20                               tc: tc1..tc4; dir: near|far, default near)\n\
+         \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
+         \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
+         \x20   --seed N             seed (default 42)\n\
+         \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 listings                      Listings 1/2/3/5 artifacts\n\
          \x20 sweep [max_pods]              scalability sweep + tier comparison\n\
          \x20 ablations                     design-choice ablations\n\
          \x20 keepalive                     steady-state keep-alive summary\n\
          \x20 extended                      whole-node/multi-point failures + encap overhead\n\
          \x20 replicate [n]                 Fig. 4 averaged over n seeds\n\
+         \x20   --telemetry-out DIR  also write per-seed bundles for each stack on TC1\n\
          \x20 chaos [opts]                  randomized fault campaign with invariant checks\n\
          \x20   --seeds N        seeds per stack (default 64)\n\
          \x20   --base-seed N    first seed value (default 1)\n\
@@ -41,7 +48,8 @@ fn usage() -> ! {
          \x20   --k N            concurrent-failure burst size (default 2)\n\
          \x20   --loss-ppm N     frame loss during window (default 2000)\n\
          \x20   --corrupt-ppm N  frame corruption during window (default 10000)\n\
-         \x20   --no-determinism skip the double-run digest comparison"
+         \x20   --no-determinism skip the double-run digest comparison\n\
+         \x20   --telemetry-out DIR  write a replay bundle for every violating seed"
     );
     std::process::exit(2);
 }
@@ -56,6 +64,34 @@ fn parse_stack(s: &str) -> Stack {
             std::process::exit(2);
         }
     }
+}
+
+/// Pull `--telemetry-out DIR` and `--seed N` out of `args`, returning
+/// the remaining positional arguments.
+fn split_flags(args: &[String]) -> (Vec<&str>, Option<PathBuf>, Option<u64>) {
+    let mut positional = Vec::new();
+    let mut out = None;
+    let mut seed = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry-out" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                out = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
+                seed = Some(n);
+                i += 2;
+            }
+            a => {
+                positional.push(a);
+                i += 1;
+            }
+        }
+    }
+    (positional, out, seed)
 }
 
 fn parse_tc(s: &str) -> FailureCase {
@@ -90,16 +126,34 @@ fn main() {
             println!("{}", figures::table_size_comparison(seed).render());
         }
         Some("scenario") => {
-            let (Some(stack), Some(tc)) = (args.get(1), args.get(2)) else { usage() };
-            let dir = match args.get(3).map(String::as_str) {
+            let (pos, tel_out, seed_flag) = split_flags(&args[1..]);
+            let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
+            let dir = match pos.get(2).copied() {
                 Some("far") => TrafficDir::FarToNear,
                 _ => TrafficDir::NearToFar,
             };
-            let r = run(
-                Scenario::new(ClosParams::two_pod(), parse_stack(stack))
-                    .failing(parse_tc(tc))
-                    .with_traffic(dir),
-            );
+            let s = Scenario::new(ClosParams::two_pod(), parse_stack(stack))
+                .failing(parse_tc(tc))
+                .with_traffic(dir)
+                .seeded(seed_flag.unwrap_or(seed));
+            let r = match tel_out {
+                None => run(s),
+                Some(out) => {
+                    // Instrumented run: identical event processing, plus
+                    // a trace bundle on disk.
+                    let ir = dcn_experiments::run_instrumented(
+                        s,
+                        dcn_experiments::StackTuning::default(),
+                        dcn_telemetry::TelemetryConfig::default(),
+                    );
+                    let sub = out.join(format!("scenario-{}-{}", stack, tc.to_ascii_lowercase()));
+                    match dcn_experiments::bundle_from_run(&ir, &s).write(&sub) {
+                        Ok(_) => eprintln!("trace bundle written to {}", sub.display()),
+                        Err(e) => eprintln!("bundle write to {} failed: {e}", sub.display()),
+                    }
+                    ir.result
+                }
+            };
             println!("convergence_ms   {}", r.convergence_ms.map(|v| format!("{v:.1}")).unwrap_or("-".into()));
             println!("blast_radius     {}", r.blast_radius);
             println!("control_bytes    {}", r.control_bytes);
@@ -123,6 +177,23 @@ fn main() {
                 println!("  {class:<10} {frames:>8} frames  {bytes:>10} B");
             }
         }
+        Some("report") => {
+            let (pos, tel_out, seed_flag) = split_flags(&args[1..]);
+            let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
+            let r = dcn_experiments::report::build(
+                parse_stack(stack),
+                parse_tc(tc),
+                seed_flag.unwrap_or(seed),
+            );
+            print!("{}", r.text);
+            if let Some(out) = tel_out {
+                let sub = out.join(format!("report-{}-{}", stack, tc.to_ascii_lowercase()));
+                match dcn_experiments::bundle_from_run(&r.run, &r.scenario).write(&sub) {
+                    Ok(_) => eprintln!("trace bundle written to {}", sub.display()),
+                    Err(e) => eprintln!("bundle write to {} failed: {e}", sub.display()),
+                }
+            }
+        }
         Some("listings") => println!("{}", figures::render_listings(seed)),
         Some("sweep") => {
             let max: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -135,10 +206,22 @@ fn main() {
             println!("{}", figures::encap_overhead_figure(seed).render());
         }
         Some("replicate") => {
-            let n: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+            let (pos, tel_out, _) = split_flags(&args[1..]);
+            let n: u64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(5);
             let seeds: Vec<u64> = (1..=n).collect();
             eprintln!("replicating Fig. 4 over {n} seeds…");
             println!("{}", dcn_experiments::replicate::fig4_replicated(&seeds).render());
+            if let Some(out) = tel_out {
+                // One instrumented replication per stack on the headline
+                // case (TC1, 2-PoD), a bundle per seed.
+                for stack in Stack::ALL {
+                    let s = Scenario::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1);
+                    let r = dcn_experiments::replicate::run_replicated_instrumented(s, &seeds, &out);
+                    if let Some(c) = r.convergence_ms {
+                        eprintln!("{}: TC1 convergence {} ms", stack.label(), c.render(1));
+                    }
+                }
+            }
         }
         Some("ablations") => {
             println!("{}", ablations::ablation_slow_to_accept(seed).render());
@@ -173,6 +256,7 @@ fn main() {
                         i += 1;
                         continue;
                     }
+                    "--telemetry-out" => cfg.telemetry_out = Some(PathBuf::from(val(i))),
                     _ => usage(),
                 }
                 i += 2;
