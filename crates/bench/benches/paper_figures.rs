@@ -12,7 +12,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dcn_experiments::figures;
-use dcn_experiments::{run, Scenario, Stack, TrafficDir};
+use dcn_experiments::{run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
 fn quick<'c>(
@@ -33,7 +33,7 @@ fn fig4_convergence(c: &mut Criterion) {
     for stack in Stack::ALL {
         g.bench_function(stack.label(), |b| {
             b.iter(|| {
-                run(Scenario::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1))
+                run(RunSpec::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1))
                     .convergence_ms
             })
         });
@@ -47,13 +47,13 @@ fn fig5_blast_radius(c: &mut Criterion) {
     let mut g = quick(c, "fig5_blast_radius");
     g.bench_function("mrmtp_4pod_tc1", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
+            run(RunSpec::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
                 .blast_radius
         })
     });
     g.bench_function("bgp_4pod_tc1", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::four_pod(), Stack::BgpEcmp).failing(FailureCase::Tc1))
+            run(RunSpec::new(ClosParams::four_pod(), Stack::BgpEcmp).failing(FailureCase::Tc1))
                 .blast_radius
         })
     });
@@ -66,7 +66,7 @@ fn fig6_control_overhead(c: &mut Criterion) {
     let mut g = quick(c, "fig6_control_overhead");
     g.bench_function("mrmtp_2pod_tc1", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
+            run(RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
                 .control_bytes
         })
     });
@@ -79,7 +79,7 @@ fn fig7_loss_near(c: &mut Criterion) {
     let mut g = quick(c, "fig7_loss_near");
     g.bench_function("mrmtp_tc2_with_traffic", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+            run(RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
                 .failing(FailureCase::Tc2)
                 .with_traffic(TrafficDir::NearToFar))
             .loss
@@ -94,7 +94,7 @@ fn fig8_loss_far(c: &mut Criterion) {
     let mut g = quick(c, "fig8_loss_far");
     g.bench_function("bgp_tc3_with_traffic", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::two_pod(), Stack::BgpEcmp)
+            run(RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp)
                 .failing(FailureCase::Tc3)
                 .with_traffic(TrafficDir::FarToNear))
             .loss
@@ -135,7 +135,7 @@ fn scale_sweep(c: &mut Criterion) {
     let mut g = quick(c, "scale_sweep");
     g.bench_function("mrmtp_8pod_tc1", |b| {
         b.iter(|| {
-            run(Scenario::new(ClosParams::scaled(8), Stack::Mrmtp).failing(FailureCase::Tc1))
+            run(RunSpec::new(ClosParams::scaled(8).unwrap(), Stack::Mrmtp).failing(FailureCase::Tc1))
                 .blast_radius
         })
     });

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
 use dcn_tcp::{TcpConn, TcpEvent};
 use dcn_bfd::{BfdEvent, BfdSession};
 use dcn_wire::{
@@ -52,6 +52,10 @@ struct Peer {
     keepalive_due: Time,
     connect_at: Time,
     bfd: Option<BfdSession>,
+    /// Cached fully-encapsulated BFD keepalive, keyed by the encoded
+    /// control packet. BFD packets carry no timestamp, so steady-state
+    /// keepalives re-send the same bytes — one encode, then refcount bumps.
+    bfd_frame: Option<(Vec<u8>, FrameBuf)>,
 }
 
 /// Counters for tests and the harness.
@@ -124,6 +128,7 @@ impl BgpRouter {
                     .bfd
                     .then(|| BfdSession::new(cfg.router_id ^ pc.port.0 as u32)
                         .with_tx_interval(cfg.bfd_tx_interval)),
+                bfd_frame: None,
             });
         }
         BgpRouter { cfg, rib, peers, port_peer, adj_out: BTreeMap::new(), stats: BgpStats::default() }
@@ -168,6 +173,24 @@ impl BgpRouter {
     // Frame emission
     // ------------------------------------------------------------------
 
+    fn build_ip_frame(
+        node: u32,
+        port: PortId,
+        proto: u8,
+        src: IpAddr4,
+        dst: IpAddr4,
+        payload: Vec<u8>,
+    ) -> FrameBuf {
+        let pkt = Ipv4Packet::new(src, dst, proto, payload);
+        let frame = EthernetFrame {
+            dst: MacAddr::for_node_port(node, port.0), // p2p: any unicast works
+            src: MacAddr::for_node_port(node, port.0),
+            ethertype: EtherType::Ipv4,
+            payload: pkt.encode(),
+        };
+        FrameBuf::new(frame.encode())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn send_ip(
         &mut self,
@@ -179,14 +202,8 @@ impl BgpRouter {
         payload: Vec<u8>,
         class: FrameClass,
     ) {
-        let pkt = Ipv4Packet::new(src, dst, proto, payload);
-        let frame = EthernetFrame {
-            dst: MacAddr::for_node_port(ctx.node().0, port.0), // p2p: any unicast works
-            src: MacAddr::for_node_port(ctx.node().0, port.0),
-            ethertype: EtherType::Ipv4,
-            payload: pkt.encode(),
-        };
-        ctx.send(port, frame.encode(), class);
+        let frame = Self::build_ip_frame(ctx.node().0, port, proto, src, dst, payload);
+        ctx.send(port, frame, class);
     }
 
     fn emit_segments(
@@ -601,8 +618,22 @@ impl BgpRouter {
                         let c = &self.peers[peer_idx].cfg;
                         (c.local_ip, c.peer_ip)
                     };
-                    let udp = UdpDatagram::new(49152, BFD_CTRL_PORT, pkt.encode());
-                    self.send_ip(ctx, port, IPPROTO_UDP, src, dst, udp.encode(), FrameClass::Keepalive);
+                    // BFD control packets are timestamp-free, so in steady
+                    // state every keepalive encodes to the same bytes: cache
+                    // the encapsulated frame and re-send by refcount bump.
+                    let key = pkt.encode();
+                    let frame = match &self.peers[peer_idx].bfd_frame {
+                        Some((k, f)) if *k == key => f.clone(),
+                        _ => {
+                            let udp = UdpDatagram::new(49152, BFD_CTRL_PORT, key.clone());
+                            let f = Self::build_ip_frame(
+                                ctx.node().0, port, IPPROTO_UDP, src, dst, udp.encode(),
+                            );
+                            self.peers[peer_idx].bfd_frame = Some((key, f.clone()));
+                            f
+                        }
+                    };
+                    ctx.send(port, frame, FrameClass::Keepalive);
                 }
                 if event == Some(BfdEvent::SessionDown)
                     && self.peers[peer_idx].fsm == Fsm::Established
@@ -611,7 +642,7 @@ impl BgpRouter {
                 }
             }
         }
-        ctx.set_timer(TICK, TOKEN_TICK);
+        // The tick cadence is engine-managed (see `on_start`): no re-arm here.
     }
 }
 
@@ -663,10 +694,10 @@ impl StatsSnapshot for BgpRouter {
 impl Protocol for BgpRouter {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let jitter = ctx.rand_below(millis(5));
-        ctx.set_timer(TICK + jitter, TOKEN_TICK);
+        ctx.set_periodic(TICK + jitter, TICK, TOKEN_TICK);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
         let Ok(eth) = EthernetFrame::decode(frame) else {
             self.stats.malformed_frames_dropped += 1;
             return;

@@ -8,12 +8,12 @@
 use std::collections::BTreeMap;
 
 use dcn_sim::time::{Duration, Time};
-use dcn_sim::{FrameClass, PortId};
+use dcn_sim::{FrameBuf, FrameClass, PortId};
 
 /// One unacknowledged message.
 #[derive(Clone, Debug)]
 struct Pending {
-    frame: Vec<u8>,
+    frame: FrameBuf,
     class: FrameClass,
     next_retx: Time,
     attempts: u32,
@@ -47,7 +47,7 @@ impl ReliableTx {
         &mut self,
         port: PortId,
         seq: u16,
-        frame: Vec<u8>,
+        frame: FrameBuf,
         class: FrameClass,
         now: Time,
         retx: Duration,
@@ -70,7 +70,7 @@ impl ReliableTx {
 
     /// Collect frames due for retransmission at `now`; reschedules them.
     /// Messages exceeding [`MAX_ATTEMPTS`] are dropped.
-    pub fn due(&mut self, now: Time, retx: Duration) -> Vec<(PortId, Vec<u8>, FrameClass)> {
+    pub fn due(&mut self, now: Time, retx: Duration) -> Vec<(PortId, FrameBuf, FrameClass)> {
         let mut out = Vec::new();
         let mut give_up = Vec::new();
         for (&(port, seq), p) in self.pending.iter_mut() {
@@ -80,6 +80,8 @@ impl ReliableTx {
                 } else {
                     p.attempts += 1;
                     p.next_retx = now + retx;
+                    // Refcount bump: the retransmitted frame shares the
+                    // original allocation.
                     out.push((port, p.frame.clone(), p.class));
                 }
             }
@@ -111,7 +113,7 @@ mod tests {
     fn ack_clears_pending() {
         let mut r = ReliableTx::new();
         let s = r.alloc_seq();
-        r.track(PortId(0), s, vec![1], FrameClass::Update, 0, RETX);
+        r.track(PortId(0), s, vec![1].into(), FrameClass::Update, 0, RETX);
         assert!(r.has_pending());
         assert!(r.ack(PortId(0), s));
         assert!(!r.ack(PortId(0), s), "double ack is a no-op");
@@ -122,7 +124,7 @@ mod tests {
     fn retransmits_until_acked() {
         let mut r = ReliableTx::new();
         let s = r.alloc_seq();
-        r.track(PortId(2), s, vec![7], FrameClass::Update, 0, RETX);
+        r.track(PortId(2), s, vec![7].into(), FrameClass::Update, 0, RETX);
         assert!(r.due(10, RETX).is_empty(), "not due yet");
         let due = r.due(20, RETX);
         assert_eq!(due.len(), 1);
@@ -135,7 +137,7 @@ mod tests {
     fn gives_up_after_max_attempts() {
         let mut r = ReliableTx::new();
         let s = r.alloc_seq();
-        r.track(PortId(0), s, vec![1], FrameClass::Update, 0, RETX);
+        r.track(PortId(0), s, vec![1].into(), FrameClass::Update, 0, RETX);
         let mut t = 0;
         let mut sends = 1; // initial transmission
         loop {
@@ -156,8 +158,8 @@ mod tests {
         let s1 = r.alloc_seq();
         let s2 = r.alloc_seq();
         assert_ne!(s1, s2);
-        r.track(PortId(0), s1, vec![1], FrameClass::Update, 0, RETX);
-        r.track(PortId(1), s2, vec![2], FrameClass::Session, 0, RETX);
+        r.track(PortId(0), s1, vec![1].into(), FrameClass::Update, 0, RETX);
+        r.track(PortId(1), s2, vec![2].into(), FrameClass::Session, 0, RETX);
         r.drop_port(PortId(0));
         assert_eq!(r.pending_count(), 1);
         assert!(r.ack(PortId(1), s2));

@@ -28,7 +28,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
 use dcn_wire::{
     flow_hash_of, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, MrmtpMsg, Vid,
 };
@@ -93,6 +93,9 @@ pub struct MrmtpRouter {
     upper_lost: BTreeSet<u8>,
     /// Rack-facing ports (ToR only): server address → port.
     host_ports: Vec<(IpAddr4, PortId)>,
+    /// Pre-encoded hello frame per port (hellos are position-dependent but
+    /// time-independent, so the keepalive fast path is a refcount bump).
+    hello_frames: Vec<Option<FrameBuf>>,
     last_advertise: Time,
     started: bool,
     stats: RouterStats,
@@ -117,6 +120,7 @@ impl MrmtpRouter {
             self_lost: BTreeSet::new(),
             upper_lost: BTreeSet::new(),
             host_ports,
+            hello_frames: vec![None; ports],
             last_advertise: 0,
             started: false,
             stats: RouterStats::default(),
@@ -185,6 +189,27 @@ impl MrmtpRouter {
         ctx.send(port, frame.encode(), class);
     }
 
+    /// Send a keep-alive hello from the per-port frame cache (the frame
+    /// depends only on the sending port, never on time or state).
+    fn send_hello(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        self.stats.hellos_sent += 1;
+        let frame = self.hello_frames[port.index()]
+            .get_or_insert_with(|| {
+                FrameBuf::new(
+                    EthernetFrame {
+                        dst: MacAddr::BROADCAST,
+                        src: MacAddr::for_node_port(ctx.node().0, port.0),
+                        ethertype: EtherType::Mrmtp,
+                        payload: MrmtpMsg::Hello.encode(),
+                    }
+                    .encode(),
+                )
+            })
+            .clone();
+        self.nbr.note_tx(port, ctx.now());
+        ctx.send(port, frame, FrameClass::Keepalive);
+    }
+
     /// Send a reliable (acknowledged, retransmitted) message.
     fn send_reliable(&mut self, ctx: &mut Ctx<'_>, port: PortId, msg: MrmtpMsg, class: FrameClass) {
         let seq = match &msg {
@@ -193,14 +218,18 @@ impl MrmtpRouter {
             | MrmtpMsg::Recovered { seq, .. } => *seq,
             _ => unreachable!("only offers and updates are reliable"),
         };
-        let frame = EthernetFrame {
-            dst: MacAddr::BROADCAST,
-            src: MacAddr::for_node_port(ctx.node().0, port.0),
-            ethertype: EtherType::Mrmtp,
-            payload: msg.encode(),
-        }
-        .encode();
+        let frame = FrameBuf::new(
+            EthernetFrame {
+                dst: MacAddr::BROADCAST,
+                src: MacAddr::for_node_port(ctx.node().0, port.0),
+                ethertype: EtherType::Mrmtp,
+                payload: msg.encode(),
+            }
+            .encode(),
+        );
         self.nbr.note_tx(port, ctx.now());
+        // The retransmit queue shares the allocation with the in-flight
+        // frame: both sends are refcount bumps.
         ctx.send(port, frame.clone(), class);
         self.rel
             .track(port, seq, frame, class, ctx.now(), self.cfg.timers.retransmit_interval);
@@ -688,7 +717,7 @@ impl MrmtpRouter {
     }
 
     /// An encapsulated data frame arrived from the fabric.
-    fn on_data(&mut self, ctx: &mut Ctx<'_>, raw_frame: &[u8], dst: Vid, flow: u16, payload: &[u8]) {
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, raw_frame: &FrameBuf, dst: Vid, flow: u16, payload: &[u8]) {
         let root = dst.root_id();
         if self.my_root.map(|v| v.root_id()) == Some(root) {
             // Terminal ToR: de-encapsulate and hand to the server.
@@ -704,10 +733,11 @@ impl MrmtpRouter {
         match self.route_for(ctx, root, flow) {
             Some(port) => {
                 // Forward the original frame bytes unchanged (the MR-MTP
-                // header needs no rewriting hop to hop).
+                // header needs no rewriting hop to hop), sharing the
+                // buffer: per-hop fan-out costs a refcount, not a copy.
                 self.stats.data_forwarded += 1;
                 self.nbr.note_tx(port, ctx.now());
-                ctx.send(port, raw_frame.to_vec(), FrameClass::Data);
+                ctx.send(port, raw_frame.clone(), FrameClass::Data);
             }
             None => self.stats.data_dropped += 1,
         }
@@ -735,15 +765,15 @@ impl MrmtpRouter {
         let hello_due = self.cfg.timers.hello_interval;
         for port in self.router_ports(ctx) {
             if ctx.port(port).up && now.saturating_sub(self.nbr.last_tx(port)) >= hello_due {
-                self.stats.hellos_sent += 1;
-                self.send_msg(ctx, port, &MrmtpMsg::Hello, FrameClass::Keepalive);
+                self.send_hello(ctx, port);
             }
         }
         // Periodic re-advertisement backstop.
         if now.saturating_sub(self.last_advertise) >= self.cfg.timers.advertise_interval {
             self.advertise_all(ctx);
         }
-        ctx.set_timer(TICK, TOKEN_TICK);
+        // The tick itself is engine-managed (`set_periodic` in on_start):
+        // no per-callback re-arm entry here.
     }
 }
 
@@ -783,13 +813,15 @@ impl StatsSnapshot for MrmtpRouter {
 impl Protocol for MrmtpRouter {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.started = true;
-        // Small deterministic jitter decorrelates router timers.
+        // Small deterministic jitter decorrelates router timers. The tick
+        // is a single engine-managed periodic entry per node, not one
+        // queue entry per session or per callback.
         let jitter = ctx.rand_below(millis(1));
-        ctx.set_timer(TICK + jitter, TOKEN_TICK);
+        ctx.set_periodic(TICK + jitter, TICK, TOKEN_TICK);
         self.advertise_all(ctx);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
         let Ok(eth) = EthernetFrame::decode(frame) else {
             self.stats.malformed_frames_dropped += 1;
             return;
@@ -859,8 +891,7 @@ impl Protocol for MrmtpRouter {
         // Start proving liveness to the neighbor immediately; tree
         // re-join happens after Slow-to-Accept completes.
         if !self.is_host_port(port) {
-            self.stats.hellos_sent += 1;
-            self.send_msg(ctx, port, &MrmtpMsg::Hello, FrameClass::Keepalive);
+            self.send_hello(ctx, port);
         }
     }
 

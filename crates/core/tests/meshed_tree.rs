@@ -9,7 +9,7 @@ use std::any::Any;
 
 use dcn_mrmtp::{MrmtpConfig, MrmtpRouter, TorConfig};
 use dcn_sim::time::{millis, secs};
-use dcn_sim::{Ctx, FrameClass, NodeId, PortId, Protocol, Sim, SimBuilder, TraceEvent};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, NodeId, PortId, Protocol, Sim, SimBuilder, TraceEvent};
 use dcn_sim::link::LinkSpec;
 use dcn_topology::{Addressing, ClosParams, Fabric, FailureCase, Role};
 use dcn_wire::{
@@ -39,7 +39,7 @@ impl Protocol for TestHost {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(HOST_TICK, 1);
     }
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &FrameBuf) {
         let Ok(eth) = EthernetFrame::decode(frame) else { return };
         if eth.ethertype != EtherType::Ipv4 {
             return;

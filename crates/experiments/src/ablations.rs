@@ -22,7 +22,7 @@ use dcn_topology::{ClosParams, FailureCase};
 
 use crate::fabric::{build_sim_tuned, Stack, StackTuning};
 use crate::figures::Figure;
-use crate::scenario::{run_scenario_tuned, Scenario};
+use crate::runspec::RunSpec;
 
 /// Result of a flap-storm experiment.
 #[derive(Clone, Copy, Debug)]
@@ -99,11 +99,12 @@ pub fn ablation_loss_holddown(seed: u64) -> Figure {
         .map(|hold| {
             let timers = MrmtpTimers { loss_holddown: hold, ..MrmtpTimers::default() };
             let tuning = StackTuning { mrmtp_timers: Some(timers), ..Default::default() };
-            let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+            let r = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
                 .failing(FailureCase::Tc1)
                 .with_traffic(crate::scenario::TrafficDir::FarToNear)
-                .seeded(seed);
-            let r = run_scenario_tuned(s, tuning);
+                .seeded(seed)
+                .tuned(tuning)
+                .run();
             vec![
                 format!("{:.0}", hold as f64 / millis(1) as f64),
                 r.blast_radius.to_string(),
@@ -133,10 +134,11 @@ pub fn sweep_mrmtp_hello(seed: u64) -> Figure {
                 ..MrmtpTimers::default()
             };
             let tuning = StackTuning { mrmtp_timers: Some(timers), ..Default::default() };
-            let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+            let r = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
                 .failing(FailureCase::Tc1)
-                .seeded(seed);
-            let r = run_scenario_tuned(s, tuning);
+                .seeded(seed)
+                .tuned(tuning)
+                .run();
             vec![
                 format!("{:.0}", hello as f64 / millis(1) as f64),
                 crate::table::ms(r.convergence_ms),
@@ -158,10 +160,11 @@ pub fn sweep_bfd_interval(seed: u64) -> Figure {
         .into_iter()
         .map(|tx| {
             let tuning = StackTuning { bfd_tx_interval: Some(tx), ..Default::default() };
-            let s = Scenario::new(ClosParams::two_pod(), Stack::BgpEcmpBfd)
+            let r = RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmpBfd)
                 .failing(FailureCase::Tc1)
-                .seeded(seed);
-            let r = run_scenario_tuned(s, tuning);
+                .seeded(seed)
+                .tuned(tuning)
+                .run();
             vec![
                 format!("{:.0}", tx as f64 / millis(1) as f64),
                 crate::table::ms(r.convergence_ms),

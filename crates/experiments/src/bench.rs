@@ -1,0 +1,325 @@
+//! Scaling and scheduler benchmarks behind `fcr bench`.
+//!
+//! Two measurements back the timer-wheel work:
+//!
+//! * **Scale sweep** — build a folded-Clos fabric at each requested PoD
+//!   count, run it with tracing off, and record events processed, wall
+//!   time, throughput (events/sec) and peak RSS. Emitted as
+//!   `BENCH_scale.json` (`schema: "bench_scale/v1"`).
+//! * **Scheduler microbench** — the pop-then-re-arm stress loop from
+//!   `dcn_sim::scheduler_stress`, run on both backends, reported as a
+//!   wheel-over-heap speedup.
+//!
+//! [`check_regression`] compares a fresh report against a committed
+//! baseline and fails when throughput drops by more than a tolerance,
+//! which is what the CI smoke job gates on.
+
+use std::time::Instant;
+
+use dcn_sim::{SchedulerKind, SimConfig};
+use dcn_telemetry::Json;
+use dcn_topology::{ClosParams, Fabric};
+
+use crate::fabric::{build_fabric_sim_cfg, Stack, StackTuning};
+use crate::scenario::Timing;
+
+/// One fabric size in the scale sweep.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    pub pods: usize,
+    pub nodes: usize,
+    pub links: usize,
+    /// Events processed by the engine over the measured window.
+    pub events: u64,
+    pub wall_ms: f64,
+    pub events_per_sec: f64,
+    /// Peak resident set (VmHWM) after the run, in KiB. Zero on platforms
+    /// without `/proc/self/status`.
+    pub peak_rss_kb: u64,
+}
+
+/// Heap-vs-wheel scheduler throughput from [`dcn_sim::scheduler_stress`].
+#[derive(Clone, Copy, Debug)]
+pub struct MicroBench {
+    pub pending: usize,
+    pub ops: u64,
+    pub heap_events_per_sec: f64,
+    pub wheel_events_per_sec: f64,
+    pub speedup: f64,
+}
+
+/// The full `fcr bench` output.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// True when run with `--quick` (shorter windows; CI smoke mode).
+    pub quick: bool,
+    pub micro: MicroBench,
+    pub scale: Vec<ScalePoint>,
+}
+
+/// Read peak resident set size (VmHWM) in KiB from `/proc/self/status`.
+/// Returns 0 where the proc filesystem is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Process CPU seconds consumed so far (utime+stime from
+/// `/proc/self/stat`, USER_HZ ticks — 100 Hz on every mainstream Linux).
+/// `None` off-Linux. Throughput is computed against CPU time, not wall
+/// time: shared or quota-throttled machines (CI runners, containers)
+/// stall a process for whole scheduling periods, and a wall-clock gate
+/// trips on that noise rather than on real regressions.
+fn cpu_time_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // comm (field 2) may contain spaces; fields resume after the last ')'.
+    let rest = &stat[stat.rfind(')')? + 2..];
+    let mut it = rest.split_whitespace();
+    let utime: u64 = it.nth(11)?.parse().ok()?; // field 14
+    let stime: u64 = it.next()?.parse().ok()?; // field 15
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Measure `work` by CPU time: repeat until `target_cpu` seconds are
+/// accumulated (bounding tick-quantization error) or `max_reps` is hit.
+/// Returns (reps, cpu_secs, wall_secs). Falls back to wall time when CPU
+/// time is unavailable.
+fn measure<F: FnMut()>(target_cpu: f64, max_reps: u32, mut work: F) -> (u32, f64, f64) {
+    let wall0 = Instant::now();
+    let cpu0 = cpu_time_secs();
+    let mut reps = 0;
+    loop {
+        work();
+        reps += 1;
+        let wall = wall0.elapsed().as_secs_f64();
+        let cpu = match (cpu0, cpu_time_secs()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall,
+        };
+        if cpu >= target_cpu || reps >= max_reps {
+            return (reps, cpu.max(1e-9), wall);
+        }
+    }
+}
+
+/// Run the scheduler microbenchmark on both backends. The pending count
+/// models a mega-fabric steady state — hundreds of thousands of
+/// concurrent keepalive/dead timers — which is where the heap's
+/// `O(log n)` sift (and its cache misses) bites and the wheel's `O(1)`
+/// bucketing wins.
+pub fn bench_scheduler(quick: bool) -> MicroBench {
+    let pending = 262_144;
+    let ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let rate = |kind: SchedulerKind| {
+        let (reps, cpu, _) = measure(0.25, if quick { 8 } else { 2 }, || {
+            // The checksum keeps the loop from being optimized away; fold
+            // it into a branch the optimizer cannot predict but that
+            // never fires.
+            let acc = dcn_sim::scheduler_stress(kind, pending, ops);
+            assert!(acc != u64::MAX, "checksum sentinel");
+        });
+        (reps as u64 * ops) as f64 / cpu
+    };
+    let heap = rate(SchedulerKind::Heap);
+    let wheel = rate(SchedulerKind::Wheel);
+    MicroBench {
+        pending,
+        ops,
+        heap_events_per_sec: heap,
+        wheel_events_per_sec: wheel,
+        speedup: wheel / heap,
+    }
+}
+
+/// Build and run one fabric size, tracing off, and measure throughput.
+/// The run is deterministic, so repetitions do identical work; reps
+/// accumulate until enough CPU time is banked for a stable rate (a
+/// single quick window is milliseconds long, well inside OS-jitter
+/// territory). Fabric/sim construction inside the measured window biases
+/// the rate slightly low, identically for baseline and current.
+pub fn bench_one_scale(pods: usize, quick: bool, seed: u64) -> Result<ScalePoint, String> {
+    let params = ClosParams::scaled(pods)?;
+    // Warmup covers cold start → converged fabric; the full run measures a
+    // longer steady-state window dominated by keepalive traffic.
+    let warmup = Timing::default().warmup;
+    let horizon = if quick { warmup } else { warmup * 3 };
+    let cfg = SimConfig { trace: false, ..SimConfig::default() };
+    let mut events = 0;
+    let (mut nodes, mut links) = (0, 0);
+    let (reps, cpu, wall) = measure(0.25, 256, || {
+        let fabric = Fabric::build(params);
+        (nodes, links) = (fabric.nodes.len(), fabric.links.len());
+        let mut built =
+            build_fabric_sim_cfg(fabric, Stack::Mrmtp, seed, &[], StackTuning::default(), cfg);
+        built.sim.run_until(horizon);
+        events = built.sim.events_processed();
+    });
+    Ok(ScalePoint {
+        pods,
+        nodes,
+        links,
+        events,
+        wall_ms: wall / reps as f64 * 1e3,
+        events_per_sec: (reps as u64 * events) as f64 / cpu,
+        peak_rss_kb: peak_rss_kb(),
+    })
+}
+
+/// Run the whole benchmark: a sweep over `pods` plus the microbench.
+/// The sweep runs first — the microbench saturates the CPU for a second
+/// or more, and on throttled/shared machines that depresses whatever is
+/// measured right after it.
+pub fn run_bench(pods: &[usize], quick: bool, seed: u64) -> Result<BenchReport, String> {
+    let mut scale = Vec::with_capacity(pods.len());
+    for &p in pods {
+        scale.push(bench_one_scale(p, quick, seed)?);
+    }
+    let micro = bench_scheduler(quick);
+    Ok(BenchReport { quick, micro, scale })
+}
+
+impl BenchReport {
+    /// Serialize to the committed `BENCH_scale.json` schema
+    /// (`bench_scale/v1`; see EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("bench_scale/v1")),
+            ("quick", Json::Bool(self.quick)),
+            (
+                "scheduler_microbench",
+                Json::obj(vec![
+                    ("pending", Json::UInt(self.micro.pending as u64)),
+                    ("ops", Json::UInt(self.micro.ops)),
+                    ("heap_events_per_sec", Json::Float(self.micro.heap_events_per_sec)),
+                    ("wheel_events_per_sec", Json::Float(self.micro.wheel_events_per_sec)),
+                    ("speedup", Json::Float(self.micro.speedup)),
+                ]),
+            ),
+            (
+                "scale",
+                Json::Arr(
+                    self.scale
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("pods", Json::UInt(p.pods as u64)),
+                                ("nodes", Json::UInt(p.nodes as u64)),
+                                ("links", Json::UInt(p.links as u64)),
+                                ("events", Json::UInt(p.events)),
+                                ("wall_ms", Json::Float(p.wall_ms)),
+                                ("events_per_sec", Json::Float(p.events_per_sec)),
+                                ("peak_rss_kb", Json::UInt(p.peak_rss_kb)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scheduler microbench ({} pending, {} ops):\n  heap  {:>12.0} events/sec\n  wheel {:>12.0} events/sec\n  speedup {:.2}x\n\n",
+            self.micro.pending, self.micro.ops, self.micro.heap_events_per_sec,
+            self.micro.wheel_events_per_sec, self.micro.speedup,
+        ));
+        out.push_str("pods  nodes  links      events   wall_ms   events/sec  peak_rss_kb\n");
+        for p in &self.scale {
+            out.push_str(&format!(
+                "{:>4}  {:>5}  {:>5}  {:>10}  {:>8.1}  {:>11.0}  {:>11}\n",
+                p.pods, p.nodes, p.links, p.events, p.wall_ms, p.events_per_sec, p.peak_rss_kb,
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a fresh report against a committed baseline (`BENCH_scale.json`
+/// contents). Fails if events/sec at any matching PoD count dropped by
+/// more than `tolerance` (0.20 = 20%), or the scheduler microbench
+/// speedup fell below 1.0. PoD counts present on only one side are
+/// skipped — the sweep list may grow over time.
+pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f64) -> Result<(), String> {
+    let base = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let scale = base
+        .get("scale")
+        .and_then(|s| s.as_arr())
+        .ok_or("baseline missing scale array")?;
+    for point in &current.scale {
+        let Some(b) = scale.iter().find(|b| {
+            b.get("pods").and_then(|p| p.as_u64()) == Some(point.pods as u64)
+        }) else {
+            continue;
+        };
+        let base_eps = b
+            .get("events_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline {} pods missing events_per_sec", point.pods))?;
+        if point.events_per_sec < base_eps * (1.0 - tolerance) {
+            return Err(format!(
+                "regression at {} pods: {:.0} events/sec vs baseline {:.0} (>{:.0}% drop)",
+                point.pods,
+                point.events_per_sec,
+                base_eps,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    if current.micro.speedup < 1.0 {
+        return Err(format!(
+            "scheduler regression: wheel {:.2}x of heap (expected >= 1.0x)",
+            current.micro.speedup
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_sane_report() {
+        let report = run_bench(&[2], true, 7).expect("2-pod bench runs");
+        assert!(report.quick);
+        assert_eq!(report.scale.len(), 1);
+        let p = &report.scale[0];
+        assert_eq!(p.pods, 2);
+        assert!(p.nodes > 0 && p.links > 0);
+        assert!(p.events > 0, "engine processed no events");
+        assert!(p.events_per_sec > 0.0);
+        assert!(report.micro.heap_events_per_sec > 0.0);
+        assert!(report.micro.wheel_events_per_sec > 0.0);
+
+        // JSON round-trips through the schema.
+        let rendered = report.to_json().render();
+        let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v1"));
+        assert_eq!(
+            parsed.get("scale").and_then(|s| s.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+
+        // A report never regresses against itself...
+        check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
+
+        // ...but does against an inflated baseline.
+        let mut inflated = report.clone();
+        inflated.scale[0].events_per_sec *= 10.0;
+        let inflated_json = inflated.to_json().render();
+        assert!(check_regression(&report, &inflated_json, 0.20).is_err());
+    }
+
+    #[test]
+    fn odd_pod_count_is_rejected() {
+        assert!(run_bench(&[3], true, 7).is_err());
+    }
+}

@@ -30,7 +30,7 @@ use std::path::PathBuf;
 
 use dcn_sim::rng::DetRng;
 use dcn_sim::time::{Duration, Time, MICROS, MILLIS, SECONDS};
-use dcn_sim::{Impairment, NodeId, PortId};
+use dcn_sim::{Impairment, NodeId, PortId, SchedulerKind};
 use dcn_telemetry::{
     capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
     TraceBundle,
@@ -38,7 +38,7 @@ use dcn_telemetry::{
 use dcn_topology::{ClosParams, Fabric, Role};
 use dcn_wire::{ecmp_index, flow_hash, IPPROTO_UDP};
 
-use crate::fabric::{build_sim, BuiltSim, Stack};
+use crate::fabric::{build_sim_full, BuiltSim, Stack, StackTuning};
 use crate::figures::Figure;
 use crate::parallel::fan_out;
 use crate::scenario::advance;
@@ -83,6 +83,9 @@ pub struct ChaosConfig {
     /// Flow samples walked per ToR pair when checking loop/black-hole
     /// invariants (each sample varies the UDP source port).
     pub flows_per_pair: usize,
+    /// Event-scheduler backend (the equivalence suite runs the same
+    /// seeds on both backends and compares digests).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ChaosConfig {
@@ -110,6 +113,7 @@ impl Default for ChaosConfig {
             // 6 s means the fabric is not quiescing.
             convergence_bound: 6 * SECONDS,
             flows_per_pair: 4,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -304,7 +308,14 @@ fn run_chaos_once(
     cfg: &ChaosConfig,
     tel: &mut Option<Telemetry>,
 ) -> (ChaosRun, FaultSchedule, BuiltSim) {
-    let mut built = build_sim(cfg.params, stack, seed, &[]);
+    let mut built = build_sim_full(
+        cfg.params,
+        stack,
+        seed,
+        &[],
+        StackTuning::default(),
+        cfg.scheduler,
+    );
     let schedule = FaultSchedule::generate(seed, &built.fabric, cfg);
 
     // Schedule every administrative transition up front; the engine's

@@ -3,7 +3,7 @@
 use dcn_bgp::{BgpConfig, BgpRouter, PeerConfig};
 use dcn_mrmtp::{MrmtpConfig, MrmtpRouter, TorConfig};
 use dcn_sim::link::LinkSpec;
-use dcn_sim::{NodeId, PortId, Protocol, Sim, SimBuilder};
+use dcn_sim::{NodeId, PortId, Protocol, SchedulerKind, Sim, SimBuilder, SimConfig};
 use dcn_topology::{Addressing, ClosParams, Fabric, FourTierParams, PortKind, Role};
 use dcn_traffic::{SendSpec, TrafficHost};
 
@@ -114,6 +114,19 @@ pub fn build_sim_tuned(
     build_fabric_sim(Fabric::build(params), stack, seed, senders, tuning)
 }
 
+/// The fully-parameterised builder behind [`crate::RunSpec`]: timer
+/// overrides plus an explicit event-scheduler backend.
+pub fn build_sim_full(
+    params: ClosParams,
+    stack: Stack,
+    seed: u64,
+    senders: &[(usize, SendSpec)],
+    tuning: StackTuning,
+    scheduler: SchedulerKind,
+) -> BuiltSim {
+    build_fabric_sim_sched(Fabric::build(params), stack, seed, senders, tuning, scheduler)
+}
+
 /// Build an emulation of the four-tier zone extension (§IX).
 pub fn build_four_tier_sim(
     p4: FourTierParams,
@@ -130,7 +143,8 @@ pub fn build_four_tier_sim(
     )
 }
 
-/// Build an emulation from an already-constructed fabric.
+/// Build an emulation from an already-constructed fabric, with the
+/// default event scheduler.
 pub fn build_fabric_sim(
     fabric: Fabric,
     stack: Stack,
@@ -138,8 +152,41 @@ pub fn build_fabric_sim(
     senders: &[(usize, SendSpec)],
     tuning: StackTuning,
 ) -> BuiltSim {
+    build_fabric_sim_sched(fabric, stack, seed, senders, tuning, SchedulerKind::default())
+}
+
+/// [`build_fabric_sim`] with an explicit event-scheduler backend.
+pub fn build_fabric_sim_sched(
+    fabric: Fabric,
+    stack: Stack,
+    seed: u64,
+    senders: &[(usize, SendSpec)],
+    tuning: StackTuning,
+    scheduler: SchedulerKind,
+) -> BuiltSim {
+    build_fabric_sim_cfg(
+        fabric,
+        stack,
+        seed,
+        senders,
+        tuning,
+        SimConfig { scheduler, ..SimConfig::default() },
+    )
+}
+
+/// The most general builder: full control over the engine's
+/// [`SimConfig`] (scheduler backend, tracing, carrier latency, wire
+/// impairment). `fcr bench` uses it to run big fabrics with tracing off.
+pub fn build_fabric_sim_cfg(
+    fabric: Fabric,
+    stack: Stack,
+    seed: u64,
+    senders: &[(usize, SendSpec)],
+    tuning: StackTuning,
+    config: SimConfig,
+) -> BuiltSim {
     let addr = Addressing::new(&fabric);
-    let mut b = SimBuilder::new(seed);
+    let mut b = SimBuilder::with_config(seed, config);
     for (i, node) in fabric.nodes.iter().enumerate() {
         let proto: Box<dyn Protocol> = match node.role {
             Role::Server { pod, tor_idx, idx } => {

@@ -9,7 +9,8 @@ use dcn_topology::{
 
 use crate::fabric::{build_sim, Stack};
 use crate::parallel::run_matrix;
-use crate::scenario::{run_steady_state, Scenario, ScenarioResult, TrafficDir};
+use crate::runspec::RunSpec;
+use crate::scenario::{run_steady_state, ScenarioResult, TrafficDir};
 use crate::table;
 
 /// A printable result table.
@@ -48,13 +49,13 @@ pub fn failure_matrix(dir: TrafficDir, seed: u64) -> Vec<MatrixCell> {
         ("2-PoD", ClosParams::two_pod()),
         ("4-PoD", ClosParams::four_pod()),
     ];
-    let mut scenarios = Vec::new();
+    let mut specs = Vec::new();
     let mut meta = Vec::new();
     for (name, params) in topos {
         for stack in Stack::ALL {
             for tc in FailureCase::ALL {
-                scenarios.push(
-                    Scenario::new(params, stack)
+                specs.push(
+                    RunSpec::new(params, stack)
                         .failing(tc)
                         .with_traffic(dir)
                         .seeded(seed),
@@ -63,7 +64,7 @@ pub fn failure_matrix(dir: TrafficDir, seed: u64) -> Vec<MatrixCell> {
             }
         }
     }
-    let results = run_matrix(scenarios);
+    let results = run_matrix(specs);
     meta.into_iter()
         .zip(results)
         .map(|((topo, params, stack, tc), result)| MatrixCell { topo, params, stack, tc, result })
@@ -250,19 +251,19 @@ pub fn render_listings(seed: u64) -> String {
 /// §IX extension: scalability sweep over PoD counts (the paper defers
 /// this to future Mininet work; the emulator does it directly).
 pub fn scale_sweep(pods: &[usize], seed: u64) -> Figure {
-    let mut scenarios = Vec::new();
+    let mut specs = Vec::new();
     let mut meta = Vec::new();
     for &p in pods {
         for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
-            scenarios.push(
-                Scenario::new(ClosParams::scaled(p), stack)
+            specs.push(
+                RunSpec::new(ClosParams::scaled(p).expect("sweep pod counts are even"), stack)
                     .failing(FailureCase::Tc1)
                     .seeded(seed),
             );
             meta.push((p, stack));
         }
     }
-    let results = run_matrix(scenarios);
+    let results = run_matrix(specs);
     let rows = meta
         .into_iter()
         .zip(results)
@@ -333,14 +334,13 @@ pub fn tier_comparison(seed: u64) -> Figure {
 /// server packet (MR-MTP header with source/destination VIDs and flow
 /// hash); BGP forwards the bare IP packet.
 pub fn encap_overhead_figure(seed: u64) -> Figure {
-    use crate::scenario::{run, Scenario, TrafficDir};
     let mut rows = Vec::new();
     for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
-        let mut s = Scenario::new(ClosParams::two_pod(), stack)
+        let mut s = RunSpec::new(ClosParams::two_pod(), stack)
             .with_traffic(TrafficDir::NearToFar)
             .seeded(seed);
         s.timing.post_failure = secs(2);
-        let r = run(s);
+        let r = s.run();
         let (frames, bytes) = r
             .breakdown
             .iter()

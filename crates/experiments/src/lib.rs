@@ -6,7 +6,9 @@
 //! failures, and extract the metrics of Figs. 4–10 and Listings 1–5.
 //!
 //! Entry points:
-//! * [`scenario::Scenario`] / [`scenario::run`] — one experiment.
+//! * [`runspec::RunSpec`] — the unified experiment builder: topology ×
+//!   stack × failure × traffic × seed × timing × tuning × telemetry sink
+//!   × scheduler backend, with `.run()` / `.run_instrumented()`.
 //! * [`figures`] — one function per paper figure, returning printable
 //!   tables (these are what the benches and examples call).
 //! * [`parallel::run_matrix`] — fan a scenario list out over worker
@@ -20,6 +22,7 @@
 //!   multi-point failures.
 
 pub mod ablations;
+pub mod bench;
 pub mod chaos;
 pub mod extended_failures;
 pub mod fabric;
@@ -28,12 +31,17 @@ pub mod flows;
 pub mod parallel;
 pub mod replicate;
 pub mod report;
+pub mod runspec;
 pub mod scenario;
 pub mod table;
 
 pub use chaos::{run_campaign, run_chaos, CampaignConfig, ChaosConfig, FaultSchedule};
-pub use fabric::{build_fabric_sim, build_four_tier_sim, build_sim, build_sim_tuned, BuiltSim, Stack, StackTuning};
+pub use fabric::{
+    build_fabric_sim, build_four_tier_sim, build_sim, build_sim_full, build_sim_tuned, BuiltSim,
+    Stack, StackTuning,
+};
+pub use runspec::RunSpec;
 pub use scenario::{
-    bundle_from_run, run, run_instrumented, run_scenario_tuned, InstrumentedRun, Scenario,
-    ScenarioResult, Timing, TrafficDir,
+    bundle_from_run, run, run_digest, run_instrumented, InstrumentedRun, Scenario, ScenarioResult,
+    Timing, TrafficDir,
 };

@@ -8,7 +8,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use crate::scenario::{run, Scenario, ScenarioResult};
+use crate::runspec::RunSpec;
+use crate::scenario::{run, ScenarioResult};
 
 /// Fan `items` out over up to `threads` workers (0 = one per available
 /// CPU), applying `f` to each. Results are in the same order as the
@@ -52,15 +53,15 @@ where
         .collect()
 }
 
-/// Run all scenarios, using up to `threads` workers (0 = one per
+/// Run all specs, using up to `threads` workers (0 = one per
 /// available CPU). Results are in the same order as the input.
-pub fn run_matrix_with(scenarios: Vec<Scenario>, threads: usize) -> Vec<ScenarioResult> {
-    fan_out(scenarios, threads, run)
+pub fn run_matrix_with(specs: Vec<RunSpec>, threads: usize) -> Vec<ScenarioResult> {
+    fan_out(specs, threads, run)
 }
 
 /// [`run_matrix_with`] using one worker per CPU.
-pub fn run_matrix(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
-    run_matrix_with(scenarios, 0)
+pub fn run_matrix(specs: Vec<RunSpec>) -> Vec<ScenarioResult> {
+    run_matrix_with(specs, 0)
 }
 
 #[cfg(test)]
@@ -71,12 +72,12 @@ mod tests {
 
     #[test]
     fn parallel_results_match_serial_order() {
-        let scenarios: Vec<Scenario> = [FailureCase::Tc3, FailureCase::Tc4]
+        let specs: Vec<RunSpec> = [FailureCase::Tc3, FailureCase::Tc4]
             .into_iter()
-            .map(|tc| Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(tc))
+            .map(|tc| RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(tc))
             .collect();
-        let parallel = run_matrix_with(scenarios.clone(), 2);
-        let serial = run_matrix_with(scenarios, 1);
+        let parallel = run_matrix_with(specs.clone(), 2);
+        let serial = run_matrix_with(specs, 1);
         assert_eq!(parallel.len(), 2);
         for (p, s) in parallel.iter().zip(&serial) {
             assert_eq!(p.blast_radius, s.blast_radius, "determinism across threads");

@@ -7,9 +7,9 @@ use std::path::Path;
 
 use crate::figures::Figure;
 use crate::parallel::run_matrix;
-use crate::scenario::{bundle_from_run, run_instrumented, Scenario, ScenarioResult, TrafficDir};
-use crate::fabric::{Stack, StackTuning};
-use dcn_telemetry::TelemetryConfig;
+use crate::runspec::RunSpec;
+use crate::scenario::{bundle_from_run, run_instrumented, ScenarioResult, TrafficDir};
+use crate::fabric::Stack;
 use dcn_topology::{ClosParams, FailureCase};
 
 /// Summary statistics over replicated runs.
@@ -59,10 +59,10 @@ pub struct ReplicatedResult {
     pub raw: Vec<ScenarioResult>,
 }
 
-/// Run `scenario` once per seed (in parallel) and aggregate.
-pub fn run_replicated(scenario: Scenario, seeds: &[u64]) -> ReplicatedResult {
-    let scenarios: Vec<Scenario> = seeds.iter().map(|&s| scenario.seeded(s)).collect();
-    aggregate(run_matrix(scenarios))
+/// Run `spec` once per seed (in parallel) and aggregate.
+pub fn run_replicated(spec: RunSpec, seeds: &[u64]) -> ReplicatedResult {
+    let specs: Vec<RunSpec> = seeds.iter().map(|&s| spec.seeded(s)).collect();
+    aggregate(run_matrix(specs))
 }
 
 /// [`run_replicated`] with telemetry attached to every run: each seed's
@@ -72,14 +72,14 @@ pub fn run_replicated(scenario: Scenario, seeds: &[u64]) -> ReplicatedResult {
 /// read-only, so the aggregated metrics are identical to
 /// [`run_replicated`]'s.
 pub fn run_replicated_instrumented(
-    scenario: Scenario,
+    spec: RunSpec,
     seeds: &[u64],
     dir: &Path,
 ) -> ReplicatedResult {
     let mut raw = Vec::new();
     for &seed in seeds {
-        let sc = scenario.seeded(seed);
-        let ir = run_instrumented(sc, StackTuning::default(), TelemetryConfig::default());
+        let sc = spec.seeded(seed);
+        let ir = run_instrumented(sc);
         let tc = sc.failure.map(|tc| tc.label().to_ascii_lowercase()).unwrap_or_else(|| "steady".into());
         let sub = dir.join(format!("replicate-{}-{}-seed{}", sc.stack.slug(), tc, seed));
         match bundle_from_run(&ir, &sc).write(&sub) {
@@ -115,7 +115,7 @@ pub fn fig4_replicated(seeds: &[u64]) -> Figure {
         for stack in Stack::ALL {
             for tc in FailureCase::ALL {
                 let r = run_replicated(
-                    Scenario::new(params, stack).failing(tc).with_traffic(TrafficDir::None),
+                    RunSpec::new(params, stack).failing(tc).with_traffic(TrafficDir::None),
                     seeds,
                 );
                 rows.push(vec![
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn instrumented_replication_matches_bare_and_writes_bundles() {
-        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        let s = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
         let dir = std::env::temp_dir().join(format!("dcn-replicate-test-{}", std::process::id()));
         let bare = run_replicated(s, &[1, 2]);
         let inst = run_replicated_instrumented(s, &[1, 2], &dir);
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn replication_varies_timer_phase_but_not_structure() {
-        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        let s = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
         let r = run_replicated(s, &[1, 2, 3, 4]);
         // Blast radius is structural: identical across seeds.
         assert_eq!(r.blast_radius.min, 3.0);

@@ -8,40 +8,40 @@
 //! tshark-plus-router-logs measurement pipeline.
 
 use dcn_sim::NodeId;
-use dcn_telemetry::TelemetryConfig;
 use dcn_topology::{ClosParams, FailureCase};
 
-use crate::fabric::{Stack, StackTuning};
-use crate::scenario::{run_instrumented, InstrumentedRun, Scenario};
+use crate::fabric::Stack;
+use crate::runspec::RunSpec;
+use crate::scenario::{run_instrumented, InstrumentedRun};
 
 /// One assembled report: the rendered text plus the instrumented run it
 /// was built from (so the CLI can also write the trace bundle).
 pub struct Report {
     pub text: String,
     pub run: InstrumentedRun,
-    pub scenario: Scenario,
+    pub spec: RunSpec,
 }
 
 /// Run `stack` through failure case `tc` on the paper's 2-PoD fabric and
 /// assemble the convergence report.
 pub fn build(stack: Stack, tc: FailureCase, seed: u64) -> Report {
-    let scenario = Scenario::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed);
-    let run = run_instrumented(scenario, StackTuning::default(), TelemetryConfig::default());
-    let text = render(&run, &scenario);
-    Report { text, run, scenario }
+    let spec = RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed);
+    let run = run_instrumented(spec);
+    let text = render(&run, &spec);
+    Report { text, run, spec }
 }
 
 /// Render the report text for an already-finished instrumented run.
-pub fn render(run: &InstrumentedRun, scenario: &Scenario) -> String {
+pub fn render(run: &InstrumentedRun, spec: &RunSpec) -> String {
     let sim = &run.built.sim;
     let name_of = |n: NodeId| sim.node_name(n).to_string();
     let mut out = String::new();
 
     out.push_str(&format!(
         "== convergence report: {} · {} · seed {} ==\n\n",
-        scenario.stack.label(),
-        scenario.failure.map(FailureCase::label).unwrap_or("no failure"),
-        scenario.seed,
+        spec.stack.label(),
+        spec.failure.map(FailureCase::label).unwrap_or("no failure"),
+        spec.seed,
     ));
 
     match run.failure_at {

@@ -1,0 +1,195 @@
+//! The unified experiment description.
+//!
+//! Every knob the harness can vary — topology, protocol stack, scripted
+//! failure, traffic placement, seed, timeline, protocol-timer tuning,
+//! telemetry sink, and event-scheduler backend — lives in one [`RunSpec`]
+//! built with a fluent chain:
+//!
+//! ```
+//! use dcn_experiments::{RunSpec, Stack, TrafficDir};
+//! use dcn_topology::{ClosParams, FailureCase};
+//!
+//! let r = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+//!     .failing(FailureCase::Tc1)
+//!     .with_traffic(TrafficDir::NearToFar)
+//!     .seeded(7)
+//!     .run();
+//! assert!(r.convergence_ms.is_some());
+//! ```
+//!
+//! Every entry point of the crate — [`crate::scenario::run`],
+//! [`crate::replicate`], [`crate::report`], [`crate::parallel`], and the
+//! `fcr` CLI — consumes a `RunSpec`. The old [`Scenario`] type remains as
+//! a deprecated shim that converts losslessly via `From<Scenario>`.
+
+use dcn_sim::SchedulerKind;
+use dcn_telemetry::TelemetryConfig;
+use dcn_topology::{ClosParams, FailureCase};
+
+use crate::fabric::{Stack, StackTuning};
+use crate::scenario::{self, InstrumentedRun, Scenario, ScenarioResult, Timing, TrafficDir};
+
+/// A full experiment description: everything [`RunSpec::run`] needs to
+/// produce a [`ScenarioResult`] deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Fabric shape.
+    pub params: ClosParams,
+    /// Protocol stack under test.
+    pub stack: Stack,
+    /// Scripted interface failure (the paper's TC1–TC4), if any.
+    pub failure: Option<FailureCase>,
+    /// Monitored-flow placement relative to the failure chain.
+    pub traffic: TrafficDir,
+    /// Seed for every deterministic RNG stream in the run.
+    pub seed: u64,
+    /// Experiment timeline (warmup / failure instant / drain).
+    pub timing: Timing,
+    /// Protocol-timer overrides for ablation studies.
+    pub tuning: StackTuning,
+    /// Telemetry sink for instrumented runs. `None` means
+    /// [`RunSpec::run_instrumented`] samples with the default cadence;
+    /// plain [`RunSpec::run`] never samples.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Event-scheduler backend (timer wheel by default; the binary heap
+    /// remains available for equivalence checking).
+    pub scheduler: SchedulerKind,
+}
+
+impl RunSpec {
+    /// A steady-state spec on `params` × `stack`: no failure, no traffic,
+    /// seed 42, the paper's default timeline and timers.
+    pub fn new(params: ClosParams, stack: Stack) -> RunSpec {
+        RunSpec {
+            params,
+            stack,
+            failure: None,
+            traffic: TrafficDir::None,
+            seed: 42,
+            timing: Timing::default(),
+            tuning: StackTuning::default(),
+            telemetry: None,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+
+    /// Inject failure case `tc` at [`Timing::failure_at`].
+    pub fn failing(mut self, tc: FailureCase) -> RunSpec {
+        self.failure = Some(tc);
+        self
+    }
+
+    /// Run the monitored flow in direction `dir`.
+    pub fn with_traffic(mut self, dir: TrafficDir) -> RunSpec {
+        self.traffic = dir;
+        self
+    }
+
+    /// Reseed every RNG stream.
+    pub fn seeded(mut self, seed: u64) -> RunSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the experiment timeline.
+    pub fn timed(mut self, timing: Timing) -> RunSpec {
+        self.timing = timing;
+        self
+    }
+
+    /// Override protocol timers (ablation studies).
+    pub fn tuned(mut self, tuning: StackTuning) -> RunSpec {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Attach a telemetry sink configuration for instrumented runs.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> RunSpec {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Select the event-scheduler backend.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> RunSpec {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Run to completion and extract the paper's metrics.
+    pub fn run(self) -> ScenarioResult {
+        scenario::run(self)
+    }
+
+    /// Run with the telemetry sink attached (the configured one, or the
+    /// default cadence when none was set). Sampling is read-only: the
+    /// metrics are identical to [`RunSpec::run`]'s.
+    pub fn run_instrumented(self) -> InstrumentedRun {
+        scenario::run_instrumented(self)
+    }
+}
+
+impl From<Scenario> for RunSpec {
+    fn from(s: Scenario) -> RunSpec {
+        RunSpec {
+            params: s.params,
+            stack: s.stack,
+            failure: s.failure,
+            traffic: s.traffic,
+            seed: s.seed,
+            timing: s.timing,
+            tuning: StackTuning::default(),
+            telemetry: None,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_field() {
+        let spec = RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp)
+            .failing(FailureCase::Tc2)
+            .with_traffic(TrafficDir::FarToNear)
+            .seeded(9)
+            .with_scheduler(SchedulerKind::Heap)
+            .with_telemetry(TelemetryConfig::default());
+        assert_eq!(spec.stack, Stack::BgpEcmp);
+        assert_eq!(spec.failure, Some(FailureCase::Tc2));
+        assert_eq!(spec.traffic, TrafficDir::FarToNear);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.scheduler, SchedulerKind::Heap);
+        assert!(spec.telemetry.is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scenario_shim_converts_losslessly() {
+        let s = Scenario::new(ClosParams::four_pod(), Stack::Mrmtp)
+            .failing(FailureCase::Tc3)
+            .with_traffic(TrafficDir::NearToFar)
+            .seeded(5);
+        let spec: RunSpec = s.into();
+        assert_eq!(spec.params, ClosParams::four_pod());
+        assert_eq!(spec.stack, Stack::Mrmtp);
+        assert_eq!(spec.failure, Some(FailureCase::Tc3));
+        assert_eq!(spec.traffic, TrafficDir::NearToFar);
+        assert_eq!(spec.seed, 5);
+        assert_eq!(spec.scheduler, SchedulerKind::Wheel);
+    }
+
+    #[test]
+    fn scheduler_backends_produce_identical_metrics() {
+        let base = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+            .failing(FailureCase::Tc4)
+            .seeded(3);
+        let wheel = base.with_scheduler(SchedulerKind::Wheel).run();
+        let heap = base.with_scheduler(SchedulerKind::Heap).run();
+        assert_eq!(wheel.convergence_ms, heap.convergence_ms);
+        assert_eq!(wheel.blast_radius, heap.blast_radius);
+        assert_eq!(wheel.control_bytes, heap.control_bytes);
+        assert_eq!(wheel.update_frames, heap.update_frames);
+    }
+}

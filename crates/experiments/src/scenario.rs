@@ -7,14 +7,14 @@ use dcn_metrics::{
 use dcn_sim::time::{as_millis_f64, millis, secs, Duration, Time};
 use dcn_sim::{NodeId, Sim};
 use dcn_telemetry::{
-    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
-    TraceBundle,
+    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TraceBundle,
 };
 use dcn_topology::{ClosParams, FailureCase};
 use dcn_traffic::{LossReport, SendSpec, TrafficHost};
 
-use crate::fabric::{build_sim_tuned, BuiltSim, Stack, StackTuning};
+use crate::fabric::{build_sim_full, BuiltSim, Stack};
 use crate::flows::pin_flow;
+use crate::runspec::RunSpec;
 
 /// Traffic placement relative to the failure chain (the paper's Figs. 7
 /// and 8).
@@ -70,7 +70,8 @@ impl Timing {
     }
 }
 
-/// A full experiment description.
+/// The pre-[`RunSpec`] experiment description, kept as a thin shim for
+/// downstream code. Converts losslessly into [`RunSpec`].
 #[derive(Clone, Copy, Debug)]
 pub struct Scenario {
     pub params: ClosParams,
@@ -82,6 +83,7 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    #[deprecated(since = "0.4.0", note = "use RunSpec::new — the unified experiment builder")]
     pub fn new(params: ClosParams, stack: Stack) -> Scenario {
         Scenario {
             params,
@@ -139,27 +141,25 @@ pub struct InstrumentedRun {
     pub failure_at: Option<Time>,
 }
 
-/// Run one scenario to completion with the paper's default timers.
-pub fn run(s: Scenario) -> ScenarioResult {
-    run_scenario_tuned(s, StackTuning::default())
+/// Run one spec to completion. Accepts anything convertible to a
+/// [`RunSpec`] (including the deprecated [`Scenario`] shim).
+pub fn run(spec: impl Into<RunSpec>) -> ScenarioResult {
+    run_inner(&spec.into(), &mut None).0
 }
 
-/// [`run`] with protocol-timer overrides (ablation studies).
-pub fn run_scenario_tuned(s: Scenario, tuning: StackTuning) -> ScenarioResult {
-    run_inner(s, tuning, &mut None).0
-}
-
-/// [`run_scenario_tuned`] with telemetry attached: identical event
+/// [`run`] with the spec's telemetry sink attached: identical event
 /// processing (sampling only reads state between event batches), plus a
-/// sampled registry and the live simulation handed back for export.
-pub fn run_instrumented(s: Scenario, tuning: StackTuning, tel_cfg: TelemetryConfig) -> InstrumentedRun {
-    let mut tel = Some(Telemetry::new(tel_cfg));
-    let (result, built) = run_inner(s, tuning, &mut tel);
+/// sampled registry and the live simulation handed back for export. A
+/// spec without an explicit sink samples at the default cadence.
+pub fn run_instrumented(spec: impl Into<RunSpec>) -> InstrumentedRun {
+    let spec = spec.into();
+    let mut tel = Some(Telemetry::new(spec.telemetry.unwrap_or_default()));
+    let (result, built) = run_inner(&spec, &mut tel);
     InstrumentedRun {
         result,
         telemetry: tel.expect("telemetry preserved"),
         built,
-        failure_at: s.failure.map(|_| s.timing.failure_at()),
+        failure_at: spec.failure.map(|_| spec.timing.failure_at()),
     }
 }
 
@@ -175,19 +175,19 @@ pub(crate) fn advance(sim: &mut Sim, until: Time, tel: &mut Option<Telemetry>) {
 /// Package one instrumented run as a self-contained trace bundle:
 /// `meta.json`, span and series JSONL dumps, a tshark-style capture of
 /// the failure window, and the rendered convergence storyboard.
-pub fn bundle_from_run(run: &InstrumentedRun, scenario: &Scenario) -> TraceBundle {
+pub fn bundle_from_run(run: &InstrumentedRun, spec: &RunSpec) -> TraceBundle {
     let sim = &run.built.sim;
     let name_of = |n: NodeId| sim.node_name(n).to_string();
 
     let mut meta = vec![
         ("kind", Json::str("scenario")),
-        ("stack", Json::str(scenario.stack.slug())),
-        ("seed", Json::UInt(scenario.seed)),
+        ("stack", Json::str(spec.stack.slug())),
+        ("seed", Json::UInt(spec.seed)),
         ("samples", Json::UInt(run.telemetry.samples_taken())),
         ("series", Json::UInt(run.telemetry.registry().series_count() as u64)),
         ("end_ns", Json::UInt(sim.now())),
     ];
-    if let Some(tc) = scenario.failure {
+    if let Some(tc) = spec.failure {
         meta.push(("failure", Json::str(tc.label())));
     }
     if let Some(t0) = run.failure_at {
@@ -215,7 +215,7 @@ pub fn bundle_from_run(run: &InstrumentedRun, scenario: &Scenario) -> TraceBundl
     b
 }
 
-fn run_inner(s: Scenario, tuning: StackTuning, tel: &mut Option<Telemetry>) -> (ScenarioResult, BuiltSim) {
+fn run_inner(s: &RunSpec, tel: &mut Option<Telemetry>) -> (ScenarioResult, BuiltSim) {
     let timing = s.timing;
     // Traffic setup. The monitored flow is pinned to the failure chain
     // exactly as the paper's test design requires (§VI-D).
@@ -250,7 +250,8 @@ fn run_inner(s: Scenario, tuning: StackTuning, tel: &mut Option<Telemetry>) -> (
         senders.push((src_node, spec));
     }
 
-    let mut built: BuiltSim = build_sim_tuned(s.params, s.stack, s.seed, &senders, tuning);
+    let mut built: BuiltSim =
+        build_sim_full(s.params, s.stack, s.seed, &senders, s.tuning, s.scheduler);
 
     // Phase 1: warmup.
     advance(&mut built.sim, timing.warmup, tel);
@@ -302,27 +303,38 @@ fn run_inner(s: Scenario, tuning: StackTuning, tel: &mut Option<Telemetry>) -> (
     (result, built)
 }
 
+/// Run one spec to completion and return the trace digest of the finished
+/// simulation. This is the scheduler-equivalence contract surface: for a
+/// given spec, the digest must be bit-identical whichever backend
+/// [`RunSpec::with_scheduler`] selects.
+pub fn run_digest(spec: impl Into<RunSpec>) -> u64 {
+    let (_, built) = run_inner(&spec.into(), &mut None);
+    crate::chaos::trace_digest(&built.sim)
+}
+
 /// Convenience: a quick steady-state run (no failure) for keep-alive
 /// analysis, with a shorter timeline.
 pub fn run_steady_state(params: ClosParams, stack: Stack, seed: u64) -> ScenarioResult {
-    let mut s = Scenario::new(params, stack).seeded(seed);
-    s.timing = Timing {
-        warmup: secs(5),
-        traffic_lead: millis(1),
-        post_failure: millis(1),
-        drain: millis(1),
-    };
-    run(s)
+    RunSpec::new(params, stack)
+        .seeded(seed)
+        .timed(Timing {
+            warmup: secs(5),
+            traffic_lead: millis(1),
+            post_failure: millis(1),
+            drain: millis(1),
+        })
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_telemetry::TelemetryConfig;
     use dcn_topology::FailureCase;
 
     #[test]
     fn mrmtp_tc4_scenario_end_to_end() {
-        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp)
+        let s = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
             .failing(FailureCase::Tc4)
             .with_traffic(TrafficDir::NearToFar);
         let r = run(s);
@@ -344,9 +356,11 @@ mod tests {
 
     #[test]
     fn instrumented_run_matches_bare_metrics_and_storyboards() {
-        let s = Scenario::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        let s = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+            .failing(FailureCase::Tc1)
+            .with_telemetry(TelemetryConfig::default());
         let bare = run(s);
-        let ir = run_instrumented(s, StackTuning::default(), TelemetryConfig::default());
+        let ir = run_instrumented(s);
 
         // Sampling is read-only: the instrumented run reproduces the
         // bare run's metrics exactly.

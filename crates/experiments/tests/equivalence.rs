@@ -1,0 +1,92 @@
+//! Scheduler-equivalence suite: the timer wheel must be an *invisible*
+//! replacement for the reference binary heap. For every paper failure
+//! case on both protocol stacks, and for randomized chaos schedules, a
+//! run's trace digest must be bit-identical whichever backend the spec
+//! selects — same events, same order, same bytes on the wire.
+
+use dcn_experiments::chaos::{run_chaos, trace_digest};
+use dcn_experiments::{run_digest, ChaosConfig, RunSpec, Stack, TrafficDir};
+use dcn_sim::time::{MICROS, MILLIS, SECONDS};
+use dcn_sim::{Impairment, SchedulerKind};
+use dcn_topology::{ClosParams, FailureCase};
+
+fn digests_match(spec: RunSpec) {
+    let heap = run_digest(spec.with_scheduler(SchedulerKind::Heap));
+    let wheel = run_digest(spec.with_scheduler(SchedulerKind::Wheel));
+    assert_eq!(heap, wheel, "backends diverged for {spec:?}");
+}
+
+#[test]
+fn tc_cases_digest_identically_on_mrmtp() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        digests_match(RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(tc));
+    }
+}
+
+#[test]
+fn tc_cases_digest_identically_on_bgp() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        digests_match(RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp).failing(tc));
+    }
+}
+
+#[test]
+fn traffic_and_bfd_digest_identically() {
+    // The headline data-plane case (traffic pins the flow onto the
+    // failure chain) and the BFD stack, one TC each to bound runtime.
+    digests_match(
+        RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+            .failing(FailureCase::Tc1)
+            .with_traffic(TrafficDir::NearToFar),
+    );
+    digests_match(RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmpBfd).failing(FailureCase::Tc1));
+}
+
+/// A trimmed chaos config (short windows, light impairment) so three
+/// seeds × two backends stay test-suite friendly.
+fn quick_chaos() -> ChaosConfig {
+    ChaosConfig {
+        flaps: 3,
+        crashes: 1,
+        k_concurrent: 2,
+        warmup: 2 * SECONDS,
+        window: 2 * SECONDS,
+        settle: 4 * SECONDS,
+        convergence_bound: 4 * SECONDS,
+        min_dwell: 100 * MILLIS,
+        max_dwell: 500 * MILLIS,
+        impairment: Impairment { loss_ppm: 1_000, corrupt_ppm: 5_000, jitter: 20 * MICROS },
+        flows_per_pair: 1,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn chaos_seeds_digest_identically_across_backends() {
+    for seed in [11u64, 12, 13] {
+        let heap_cfg = ChaosConfig { scheduler: SchedulerKind::Heap, ..quick_chaos() };
+        let wheel_cfg = ChaosConfig { scheduler: SchedulerKind::Wheel, ..quick_chaos() };
+        let heap = run_chaos(seed, Stack::Mrmtp, &heap_cfg);
+        let wheel = run_chaos(seed, Stack::Mrmtp, &wheel_cfg);
+        assert_eq!(
+            heap.digest, wheel.digest,
+            "chaos seed {seed}: backends diverged"
+        );
+    }
+}
+
+#[test]
+fn steady_state_digest_identical_without_failure() {
+    let spec = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp);
+    let heap = {
+        let s = spec.with_scheduler(SchedulerKind::Heap);
+        let ir = dcn_experiments::run_instrumented(s);
+        trace_digest(&ir.built.sim)
+    };
+    let wheel = {
+        let s = spec.with_scheduler(SchedulerKind::Wheel);
+        let ir = dcn_experiments::run_instrumented(s);
+        trace_digest(&ir.built.sim)
+    };
+    assert_eq!(heap, wheel, "telemetry-instrumented runs diverged");
+}

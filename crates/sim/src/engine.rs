@@ -2,7 +2,9 @@
 
 use std::any::Any;
 
-use crate::event::{Event, EventQueue};
+use dcn_wire::FrameBuf;
+
+use crate::event::{Event, Scheduler, SchedulerKind};
 use crate::link::{Endpoint, Impairment, Link, LinkId, LinkSpec};
 use crate::node::{Action, Ctx, NodeId, PortId, PortView, Protocol};
 use crate::rng::DetRng;
@@ -25,7 +27,38 @@ struct NodeSlot {
     /// transition (guards flap schedules against down-on-down /
     /// up-on-up double scheduling).
     admin_target: Vec<bool>,
+    /// Engine-managed periodic timers: `(token, every)`. At most a
+    /// handful per node (a coalesced protocol tick), hence a flat vec.
+    periodic: Vec<(u64, Duration)>,
     rng: DetRng,
+}
+
+/// Engine configuration, collapsed into one struct so experiment layers
+/// pass a single value instead of threading loose builder knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Record a [`Trace`] (disable only for microbenchmarks).
+    pub trace: bool,
+    /// How long after an injected interface failure the owning node's
+    /// protocol hears about it (netlink notification delay).
+    pub carrier_latency: Duration,
+    /// Impairment installed on every link at build time (individual links
+    /// can still be overridden later via [`Sim::set_impairment`]).
+    pub impairment: Impairment,
+    /// Event-scheduler backend. Both orders are bit-identical; the wheel
+    /// is the fast default, the heap the reference for equivalence tests.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            trace: true,
+            carrier_latency: 500 * MICROS,
+            impairment: Impairment::none(),
+            scheduler: SchedulerKind::default(),
+        }
+    }
 }
 
 /// Builder for a [`Sim`]. Add nodes, wire them with links (ports are
@@ -33,35 +66,25 @@ struct NodeSlot {
 /// paper's port numbering), then `build()`.
 pub struct SimBuilder {
     seed: u64,
-    trace_enabled: bool,
-    carrier_latency: Duration,
+    config: SimConfig,
     nodes: Vec<NodeSlot>,
     links: Vec<Link>,
 }
 
 impl SimBuilder {
+    /// A builder with the default [`SimConfig`].
     pub fn new(seed: u64) -> Self {
+        SimBuilder::with_config(seed, SimConfig::default())
+    }
+
+    /// A builder with an explicit engine configuration.
+    pub fn with_config(seed: u64, config: SimConfig) -> Self {
         SimBuilder {
             seed,
-            trace_enabled: true,
-            // How long after an injected interface failure the owning
-            // node's protocol hears about it (netlink notification delay).
-            carrier_latency: 500 * MICROS,
+            config,
             nodes: Vec::new(),
             links: Vec::new(),
         }
-    }
-
-    /// Disable tracing (microbenchmarks only).
-    pub fn without_trace(mut self) -> Self {
-        self.trace_enabled = false;
-        self
-    }
-
-    /// Override the carrier-detection latency.
-    pub fn carrier_latency(mut self, d: Duration) -> Self {
-        self.carrier_latency = d;
-        self
     }
 
     /// Register a node running `proto`. Ports are added later by wiring.
@@ -73,6 +96,7 @@ impl SimBuilder {
             port_links: Vec::new(),
             views: Vec::new(),
             admin_target: Vec::new(),
+            periodic: Vec::new(),
             rng: DetRng::new(self.seed, id.0 as u64),
         });
         id
@@ -104,18 +128,25 @@ impl SimBuilder {
 
     /// Finalize. Every node receives `on_start` at time zero.
     pub fn build(self) -> Sim {
-        let mut queue = EventQueue::default();
+        let mut queue = Scheduler::new(self.config.scheduler);
         for i in 0..self.nodes.len() {
             queue.push(0, Event::Start { node: NodeId(i as u32) });
+        }
+        let mut links = self.links;
+        if !self.config.impairment.is_none() {
+            for link in &mut links {
+                link.impairment = self.config.impairment;
+            }
         }
         Sim {
             time: 0,
             queue,
             nodes: self.nodes,
-            links: self.links,
-            trace: if self.trace_enabled { Trace::enabled() } else { Trace::disabled() },
-            carrier_latency: self.carrier_latency,
+            links,
+            trace: if self.config.trace { Trace::enabled() } else { Trace::disabled() },
+            carrier_latency: self.config.carrier_latency,
             scratch: Vec::with_capacity(64),
+            periodic_just_set: Vec::new(),
             events_processed: 0,
             frames_delivered: 0,
             // Salted far away from node ids so adding nodes never
@@ -130,12 +161,16 @@ impl SimBuilder {
 /// A running simulation.
 pub struct Sim {
     time: Time,
-    queue: EventQueue,
+    queue: Scheduler,
     nodes: Vec<NodeSlot>,
     links: Vec<Link>,
     trace: Trace,
     carrier_latency: Duration,
     scratch: Vec<Action>,
+    /// Tokens the current callback armed via `set_periodic`, so the
+    /// engine's automatic re-arm doesn't double-schedule a tick the
+    /// protocol just re-armed itself (e.g. a cadence change).
+    periodic_just_set: Vec<u64>,
     events_processed: u64,
     frames_delivered: u64,
     /// Dedicated generator for link impairments; untouched (and never
@@ -314,6 +349,20 @@ impl Sim {
             }
             Event::Timer { node, token } => {
                 self.with_proto(node, |proto, ctx| proto.on_timer(ctx, token));
+                // Engine-managed re-arm of periodic ticks: pushed after the
+                // callback's own actions (exactly where a protocol's
+                // trailing `set_timer` re-arm used to sit), and suppressed
+                // when the callback itself re-armed the token.
+                if !self.periodic_just_set.contains(&token) {
+                    let every = self.nodes[node.index()]
+                        .periodic
+                        .iter()
+                        .find(|(t, _)| *t == token)
+                        .map(|(_, every)| *every);
+                    if let Some(every) = every {
+                        self.queue.push(self.time + every, Event::Timer { node, token });
+                    }
+                }
             }
             Event::Deliver { node, port, frame } => {
                 // Receiver interface must still be up.
@@ -389,18 +438,28 @@ impl Sim {
 
     fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
         // Actions can cascade only through the queue, never recursively.
+        self.periodic_just_set.clear();
         for action in actions.drain(..) {
             match action {
                 Action::Send { port, frame, class } => self.transmit(node, port, frame, class),
                 Action::Timer { delay, token } => {
                     self.queue.push(self.time + delay, Event::Timer { node, token });
                 }
+                Action::Periodic { first, every, token } => {
+                    let slot = &mut self.nodes[node.index()];
+                    match slot.periodic.iter_mut().find(|(t, _)| *t == token) {
+                        Some(entry) => entry.1 = every,
+                        None => slot.periodic.push((token, every)),
+                    }
+                    self.periodic_just_set.push(token);
+                    self.queue.push(self.time + first, Event::Timer { node, token });
+                }
                 Action::Trace(ev) => self.trace.push(ev),
             }
         }
     }
 
-    fn transmit(&mut self, node: NodeId, port: PortId, mut frame: Vec<u8>, class: crate::trace::FrameClass) {
+    fn transmit(&mut self, node: NodeId, port: PortId, mut frame: FrameBuf, class: crate::trace::FrameClass) {
         let slot = &self.nodes[node.index()];
         let Some(&lid) = slot.port_links.get(port.index()) else {
             return; // unconnected port: nothing to do
@@ -442,8 +501,10 @@ impl Sim {
                 && !frame.is_empty()
             {
                 let idx = self.chaos_rng.below(frame.len() as u64) as usize;
-                // XOR with a nonzero byte guarantees a real change.
-                frame[idx] ^= 1 + self.chaos_rng.below(255) as u8;
+                // XOR with a nonzero byte guarantees a real change; the
+                // copy-on-write keeps sharers of the buffer (retransmit
+                // queues, frame caches) unaffected by in-flight damage.
+                frame = frame.with_corrupted_byte(idx, 1 + self.chaos_rng.below(255) as u8);
                 self.frames_corrupted += 1;
             }
             if imp.jitter > 0 {
@@ -494,7 +555,7 @@ mod tests {
                 ctx.set_timer(p, 1);
             }
         }
-        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]) {
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
             self.received.push((ctx.now(), port, frame.to_vec()));
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -518,7 +579,8 @@ mod tests {
     }
 
     fn two_nodes() -> (Sim, NodeId, NodeId) {
-        let mut b = SimBuilder::new(1).carrier_latency(1000);
+        let mut b =
+            SimBuilder::with_config(1, SimConfig { carrier_latency: 1000, ..SimConfig::default() });
         let a = b.add_node("a", Box::new(Echo::new()));
         let c = b.add_node("b", Box::new(Echo::new()));
         b.add_link(a, c, LinkSpec { propagation: 1000, bandwidth_bps: 1_000_000_000 });
@@ -616,6 +678,93 @@ mod tests {
     }
 
     #[test]
+    fn engine_periodic_matches_self_rearm_cadence() {
+        // A protocol arming `set_periodic(first, every, token)` sees the
+        // exact fire times a self-re-arming one-shot would produce.
+        struct Tick {
+            fires: Vec<Time>,
+        }
+        impl Protocol for Tick {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_periodic(5_000, 5_000, 1);
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &FrameBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(token, 1);
+                self.fires.push(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node("a", Box::new(Tick { fires: Vec::new() }));
+        let mut sim = b.build();
+        sim.run_until(20_000);
+        let fires = &sim.node_as::<Tick>(a).unwrap().fires;
+        assert_eq!(fires, &vec![5_000, 10_000, 15_000, 20_000]);
+    }
+
+    #[test]
+    fn set_periodic_inside_on_timer_replaces_cadence_without_doubling() {
+        struct Retick {
+            fires: Vec<Time>,
+        }
+        impl Protocol for Retick {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_periodic(1_000, 1_000, 7);
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &FrameBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                self.fires.push(ctx.now());
+                if self.fires.len() == 2 {
+                    // Slow the tick down mid-run.
+                    ctx.set_periodic(3_000, 3_000, 7);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node("a", Box::new(Retick { fires: Vec::new() }));
+        let mut sim = b.build();
+        sim.run_until(11_000);
+        let fires = &sim.node_as::<Retick>(a).unwrap().fires;
+        // 1 ms cadence twice, then the re-arm takes over: no doubled fire
+        // at 3 ms from the engine's automatic re-arm.
+        assert_eq!(fires, &vec![1_000, 2_000, 5_000, 8_000, 11_000]);
+    }
+
+    #[test]
+    fn heap_and_wheel_schedulers_produce_identical_traces() {
+        let run = |kind: SchedulerKind| {
+            let cfg = SimConfig { scheduler: kind, ..SimConfig::default() };
+            let mut b = SimBuilder::with_config(17, cfg);
+            let mut e = Echo::new();
+            e.periodic = Some(3_000);
+            e.send_on_start = Some((PortId(0), vec![9; 64]));
+            let a = b.add_node("a", Box::new(e));
+            let c = b.add_node("b", Box::new(Echo::new()));
+            b.add_link(a, c, LinkSpec::default());
+            let mut sim = b.build();
+            sim.schedule_port_down(20_000, a, PortId(0));
+            sim.schedule_port_up(35_000, a, PortId(0));
+            sim.run_until(80_000);
+            let rendered: Vec<String> =
+                sim.trace().events().iter().map(|e| format!("{e:?}")).collect();
+            (sim.events_processed(), sim.frames_delivered(), rendered)
+        };
+        assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Wheel));
+    }
+
+    #[test]
     fn per_direction_fifo_serialization() {
         // Two frames sent back-to-back must serialize one after the other.
         struct Burst;
@@ -624,7 +773,7 @@ mod tests {
                 ctx.send(PortId(0), vec![0; 125], FrameClass::Data);
                 ctx.send(PortId(0), vec![1; 125], FrameClass::Data);
             }
-            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &[u8]) {}
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &FrameBuf) {}
             fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
             fn as_any(&self) -> &dyn Any {
                 self
@@ -692,7 +841,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.set_timer(1_000_000, 1);
         }
-        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &[u8]) {}
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: &FrameBuf) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             ctx.send(PortId(0), vec![0x5A; 80], FrameClass::Data);
             ctx.set_timer(1_000_000, token + 1);

@@ -32,9 +32,11 @@ pub mod node;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
-pub use engine::{Sim, SimBuilder};
-pub use event::Event;
+pub use dcn_wire::FrameBuf;
+pub use engine::{Sim, SimBuilder, SimConfig};
+pub use event::{scheduler_stress, Event, SchedulerKind};
 pub use link::{Impairment, LinkId, LinkSpec};
 pub use node::{Action, Ctx, NodeId, PortId, Protocol, StatsSnapshot};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};

@@ -4,6 +4,8 @@
 
 use std::any::Any;
 
+use dcn_wire::FrameBuf;
+
 use crate::rng::DetRng;
 use crate::time::{Duration, Time};
 use crate::trace::{FrameClass, RouteChangeKind, SpanEvent, TraceEvent};
@@ -60,11 +62,20 @@ pub enum Action {
     /// it never affects delivery.
     Send {
         port: PortId,
-        frame: Vec<u8>,
+        frame: FrameBuf,
         class: FrameClass,
     },
     /// Deliver `on_timer(token)` back to this node after `delay`.
     Timer { delay: Duration, token: u64 },
+    /// Deliver `on_timer(token)` after `first`, then again every `every`,
+    /// managed by the engine: one standing timer per node instead of a
+    /// fresh queue entry armed from every callback. Re-arming an already
+    /// periodic token replaces its cadence.
+    Periodic {
+        first: Duration,
+        every: Duration,
+        token: u64,
+    },
     /// Record a trace event attributed to this node.
     Trace(TraceEvent),
 }
@@ -127,8 +138,8 @@ impl<'a> Ctx<'a> {
     /// counted in the trace (the NIC driver accepted them) but silently
     /// dropped by the engine, mirroring a real kernel's behaviour with a
     /// carrier-less interface.
-    pub fn send(&mut self, port: PortId, frame: Vec<u8>, class: FrameClass) {
-        self.out.push(Action::Send { port, frame, class });
+    pub fn send(&mut self, port: PortId, frame: impl Into<FrameBuf>, class: FrameClass) {
+        self.out.push(Action::Send { port, frame: frame.into(), class });
     }
 
     /// Arm a one-shot timer. There is deliberately no cancellation: stale
@@ -136,6 +147,15 @@ impl<'a> Ctx<'a> {
     /// state, which keeps the engine simple and the event order obvious.
     pub fn set_timer(&mut self, delay: Duration, token: u64) {
         self.out.push(Action::Timer { delay, token });
+    }
+
+    /// Arm an engine-managed periodic timer: `on_timer(token)` fires after
+    /// `first`, then every `every` until the node is torn down. Protocols
+    /// with per-tick batched work (keepalive TX, BFD TX, retransmit scans)
+    /// use this instead of re-arming a one-shot from every `on_timer`, so
+    /// the engine keeps a single standing entry per node tick.
+    pub fn set_periodic(&mut self, first: Duration, every: Duration, token: u64) {
+        self.out.push(Action::Periodic { first, every, token });
     }
 
     /// Record that this node changed destination-forwarding state. This is
@@ -213,8 +233,10 @@ pub trait Protocol: Send {
     /// Called once at the node's start time (time zero unless staggered).
     fn on_start(&mut self, ctx: &mut Ctx<'_>);
 
-    /// A frame arrived on `port`.
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &[u8]);
+    /// A frame arrived on `port`. `FrameBuf` derefs to `&[u8]`, so decoders
+    /// consume it unchanged; forwarding planes clone it to re-send the same
+    /// bytes without copying.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf);
 
     /// A timer armed via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);

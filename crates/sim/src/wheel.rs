@@ -1,0 +1,449 @@
+//! Hierarchical timer wheel — the scale scheduler.
+//!
+//! `EventQueue`'s binary heap pays `O(log n)` per operation with a large
+//! constant (sift-down through a pointer-chasing array) once hundreds of
+//! thousands of events are pending. The wheel makes insertion `O(1)`:
+//! events land in a bucket addressed by their expiry granule, buckets
+//! cascade toward finer levels as the clock approaches them, and only the
+//! events of the *current* granule are ever sorted.
+//!
+//! Layout: time is quantized into 2^10 ns (≈1 µs) granules. Four levels
+//! of 64 slots each cover deltas up to 64^4 granules ≈ 17 s ahead of the
+//! cursor; anything further sits in an overflow min-heap and is pulled in
+//! as the cursor advances. Per-level occupancy bitmasks make "find the
+//! next non-empty bucket" a rotate + trailing-zeros, so idle gaps are
+//! skipped in constant time instead of granule-by-granule.
+//!
+//! Ordering contract (the determinism contract of the whole emulator):
+//! events pop in exactly the same `(time, seq)` order as the heap. Within
+//! a granule the drained bucket is sorted; across granules the time
+//! quantization preserves order because a later granule's earliest time
+//! exceeds an earlier granule's latest. Events scheduled at or before the
+//! already-drained cursor go straight into the sorted ready list at their
+//! ordered position.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::event::{Event, Scheduled};
+use crate::time::Time;
+
+/// log2 of the granule width in ns (2^10 ns ≈ 1.02 µs).
+const GRANULE_BITS: u32 = 10;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 4;
+
+/// Granule index of a timestamp.
+#[inline]
+fn granule(time: Time) -> u64 {
+    time >> GRANULE_BITS
+}
+
+/// Slot width of `level`, in granules.
+#[inline]
+fn width(level: usize) -> u64 {
+    1 << (SLOT_BITS * level as u32)
+}
+
+/// Span covered by `level` (64 slots), in granules.
+#[inline]
+fn span(level: usize) -> u64 {
+    1 << (SLOT_BITS * (level as u32 + 1))
+}
+
+pub(crate) struct TimerWheel {
+    /// Next granule not yet drained; every bucketed event's granule is
+    /// `>= cursor`.
+    cursor: u64,
+    /// `levels[l][slot]` holds events whose granule maps to that slot.
+    levels: Vec<Vec<Vec<Scheduled>>>,
+    /// Bit `s` of `occupancy[l]` set ⇔ `levels[l][s]` is non-empty.
+    occupancy: [u64; LEVELS],
+    /// Events with a delta beyond the top level's span.
+    overflow: BinaryHeap<Scheduled>,
+    /// Events of already-drained granules, sorted ascending by
+    /// `(time, seq)`; the next pop comes from the front.
+    ready: VecDeque<Scheduled>,
+    /// Events in `levels` + `overflow` (excludes `ready`).
+    bucketed: usize,
+    next_seq: u64,
+}
+
+impl Default for TimerWheel {
+    fn default() -> TimerWheel {
+        TimerWheel {
+            cursor: 0,
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            occupancy: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            bucketed: 0,
+            next_seq: 0,
+        }
+    }
+}
+
+impl TimerWheel {
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(Scheduled { time, seq, event });
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.ensure_ready();
+        self.ready.pop_front()
+    }
+
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.ensure_ready();
+        self.ready.front().map(|s| s.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.ready.len() + self.bucketed
+    }
+
+    #[allow(dead_code)] // used by tests and kept for symmetry with EventQueue
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert(&mut self, s: Scheduled) {
+        let g = granule(s.time);
+        if g < self.cursor {
+            return self.insert_ready(s);
+        }
+        let delta = g - self.cursor;
+        for level in 0..LEVELS {
+            if delta < span(level) {
+                let slot = ((g >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                self.levels[level][slot].push(s);
+                self.occupancy[level] |= 1 << slot;
+                self.bucketed += 1;
+                return;
+            }
+        }
+        self.overflow.push(s);
+        self.bucketed += 1;
+    }
+
+    /// Ordered insert into the ready list (events scheduled at times the
+    /// cursor has already passed, e.g. zero-delay timers). Position is
+    /// found by binary search on `(time, seq)`; an event older than the
+    /// whole list simply pops next, exactly as it would from the heap.
+    fn insert_ready(&mut self, s: Scheduled) {
+        let key = (s.time, s.seq);
+        let mut lo = 0;
+        let mut hi = self.ready.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let m = &self.ready[mid];
+            if (m.time, m.seq) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        self.ready.insert(lo, s);
+    }
+
+    /// Refill `ready` by advancing the cursor to the next non-empty
+    /// granule, cascading outer levels down as their windows open.
+    fn ensure_ready(&mut self) {
+        while self.ready.is_empty() && self.bucketed > 0 {
+            self.advance();
+        }
+    }
+
+    /// The granule of the earliest bucket at `level`, if any. For level 0
+    /// that is an exact event granule; for outer levels it is the start of
+    /// the slot's window (a lower bound on its events' granules).
+    fn earliest_bucket(&self, level: usize) -> Option<u64> {
+        let mut occ = self.occupancy[level];
+        if occ == 0 {
+            return None;
+        }
+        let pos = (self.cursor >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1);
+        let w = width(level);
+        let aligned = self.cursor & !(w * SLOTS as u64 - 1);
+        // The cursor's own slot at an outer level is ambiguous: it holds
+        // either the current window (cursor sitting exactly on its base
+        // after a jump) or the window one full span ahead. A slot never
+        // mixes windows, so any occupant reveals which — round its granule
+        // down to the window base.
+        let mut best: Option<u64> = None;
+        if level > 0 && occ & (1 << pos) != 0 {
+            occ &= !(1 << pos);
+            let sample = granule(self.levels[level][pos as usize][0].time);
+            best = Some(sample & !(w - 1));
+        }
+        if occ != 0 {
+            // Rotate so bit 0 is the cursor's own slot: trailing_zeros
+            // then counts whole slots from the cursor position,
+            // wrap included.
+            let dist = occ.rotate_right(pos as u32).trailing_zeros() as u64;
+            let g = aligned + (pos + dist) * w;
+            if best.is_none_or(|b| g < b) {
+                best = Some(g);
+            }
+        }
+        best
+    }
+
+    fn advance(&mut self) {
+        debug_assert!(self.bucketed > 0);
+        let overflow_g = self.overflow.peek().map(|s| granule(s.time));
+        let mut best: Option<(u64, usize)> = None; // (granule, level)
+        for level in (0..LEVELS).rev() {
+            if let Some(g) = self.earliest_bucket(level) {
+                // Strict `<` keeps the outermost level on ties: a cascade
+                // at granule X must run before X's level-0 drain.
+                if best.is_none_or(|(b, _)| g < b) {
+                    best = Some((g, level));
+                }
+            }
+        }
+        match (best, overflow_g) {
+            // `<=`: an overflow event sharing the earliest granule must be
+            // in the wheel before that granule drains, or it would pop
+            // late.
+            (Some((g, _)), Some(og)) if og <= g => self.refill_overflow(og),
+            (None, Some(og)) => self.refill_overflow(og),
+            (Some((g, 0)), _) => {
+                // Drain one granule into the ready list.
+                self.cursor = g;
+                let slot = (g & (SLOTS as u64 - 1)) as usize;
+                let mut batch = std::mem::take(&mut self.levels[0][slot]);
+                self.occupancy[0] &= !(1 << slot);
+                self.bucketed -= batch.len();
+                debug_assert!(batch.iter().all(|s| granule(s.time) == g));
+                batch.sort_unstable_by_key(|s| (s.time, s.seq));
+                self.ready.extend(batch);
+                self.cursor = g + 1;
+            }
+            (Some((g, level)), _) => {
+                // Open the window: move the slot's events down a level.
+                self.cursor = g;
+                let slot = ((g >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                let batch = std::mem::take(&mut self.levels[level][slot]);
+                self.occupancy[level] &= !(1 << slot);
+                self.bucketed -= batch.len();
+                for s in batch {
+                    debug_assert!(granule(s.time) >= g);
+                    self.insert(s);
+                }
+            }
+            (None, None) => unreachable!("bucketed > 0 but no bucket found"),
+        }
+    }
+
+    /// Jump the cursor to the overflow's earliest granule and pull every
+    /// overflow event that now fits the wheel's horizon.
+    fn refill_overflow(&mut self, first: u64) {
+        self.cursor = self.cursor.max(first);
+        let horizon = self.cursor + span(LEVELS - 1);
+        while self.overflow.peek().is_some_and(|s| granule(s.time) < horizon) {
+            let s = self.overflow.pop().expect("peeked");
+            self.bucketed -= 1;
+            self.insert(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn timer(token: u64) -> Event {
+        Event::Timer { node: NodeId(0), token }
+    }
+
+    fn drain(w: &mut TimerWheel) -> Vec<(Time, u64)> {
+        std::iter::from_fn(|| w.pop()).map(|s| (s.time, s.seq)).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut w = TimerWheel::default();
+        for t in [10, 5, 10, 5] {
+            w.push(t, timer(t));
+        }
+        assert_eq!(drain(&mut w), vec![(5, 1), (5, 3), (10, 0), (10, 2)]);
+    }
+
+    #[test]
+    fn spans_every_level_and_overflow() {
+        let mut w = TimerWheel::default();
+        // One event per level band plus one beyond the 17 s horizon.
+        let times = [
+            1u64 << GRANULE_BITS,                       // level 0
+            70 << GRANULE_BITS,                         // level 1
+            5_000 << GRANULE_BITS,                      // level 2
+            300_000 << GRANULE_BITS,                    // level 3
+            (span(LEVELS - 1) + 7) << GRANULE_BITS,     // overflow
+        ];
+        for &t in times.iter().rev() {
+            w.push(t, timer(t));
+        }
+        assert_eq!(w.len(), times.len());
+        let popped: Vec<Time> = std::iter::from_fn(|| w.pop()).map(|s| s.time).collect();
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_granule_sorts_by_exact_time() {
+        let mut w = TimerWheel::default();
+        // All within one 1024 ns granule, inserted out of order.
+        for t in [900, 100, 512, 101] {
+            w.push(t, timer(t));
+        }
+        let order: Vec<Time> = std::iter::from_fn(|| w.pop()).map(|s| s.time).collect();
+        assert_eq!(order, vec![100, 101, 512, 900]);
+    }
+
+    #[test]
+    fn insert_behind_the_cursor_pops_next() {
+        let mut w = TimerWheel::default();
+        w.push(5_000_000, timer(1));
+        assert_eq!(w.peek_time(), Some(5_000_000)); // cursor advanced past 0
+        w.push(10, timer(2)); // in the drained past
+        assert_eq!(w.pop().map(|s| s.time), Some(10));
+        assert_eq!(w.pop().map(|s| s.time), Some(5_000_000));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        let mut w = TimerWheel::default();
+        w.push(1_000_000, timer(1));
+        w.push(2_000_000, timer(2));
+        assert_eq!(w.pop().map(|s| s.time), Some(1_000_000));
+        // Scheduled between the popped event and the pending one.
+        w.push(1_500_000, timer(3));
+        w.push(90_000_000, timer(4));
+        assert_eq!(w.pop().map(|s| s.time), Some(1_500_000));
+        assert_eq!(w.pop().map(|s| s.time), Some(2_000_000));
+        assert_eq!(w.pop().map(|s| s.time), Some(90_000_000));
+        assert_eq!(w.pop().map(|s| s.time), None);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::event::EventQueue;
+    use crate::node::NodeId;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The ordering contract: whatever the schedule, the wheel pops in
+        /// ascending `(time, seq)` — times from sub-granule to overflow.
+        #[test]
+        fn pops_in_time_seq_order(
+            times in proptest::collection::vec(0u64..1 << 38, 1..300),
+        ) {
+            let mut w = TimerWheel::default();
+            for (i, &t) in times.iter().enumerate() {
+                w.push(t, Event::Timer { node: NodeId(0), token: i as u64 });
+            }
+            let got: Vec<(Time, u64)> =
+                std::iter::from_fn(|| w.pop()).map(|s| (s.time, s.seq)).collect();
+            let mut expect: Vec<(Time, u64)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Interleaved push/pop rounds against the reference heap: both
+        /// backends see the same operations and must produce the same
+        /// pop stream (pushes after a pop land relative to its time, the
+        /// way protocols re-arm timers).
+        #[test]
+        fn matches_heap_under_interleaving(
+            ops in proptest::collection::vec((0u64..1 << 34, any::<bool>()), 1..300),
+        ) {
+            let mut w = TimerWheel::default();
+            let mut h = EventQueue::default();
+            let mut now: Time = 0;
+            for (i, &(delta, push)) in ops.iter().enumerate() {
+                if push {
+                    let ev = |token| Event::Timer { node: NodeId(0), token };
+                    w.push(now + delta, ev(i as u64));
+                    h.push(now + delta, ev(i as u64));
+                } else {
+                    let (a, b) = (w.pop(), h.pop());
+                    prop_assert_eq!(
+                        a.as_ref().map(|s| (s.time, s.seq)),
+                        b.as_ref().map(|s| (s.time, s.seq))
+                    );
+                    if let Some(s) = a {
+                        now = s.time;
+                    }
+                }
+            }
+            loop {
+                match (w.pop(), h.pop()) {
+                    (Some(a), Some(b)) => prop_assert_eq!((a.time, a.seq), (b.time, b.seq)),
+                    (None, None) => break,
+                    _ => prop_assert!(false, "backends disagree on queue length"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod stress {
+    use super::*;
+    use crate::node::NodeId;
+
+    /// Deterministic LCG stress: random interleaved pushes/pops must match
+    /// a reference sort. Exercises cascades, wrap-around and overflow.
+    #[test]
+    fn randomized_interleaving_matches_reference() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut w = TimerWheel::default();
+        let mut reference: Vec<(Time, u64)> = Vec::new();
+        let mut now: Time = 0;
+        let mut popped: Vec<(Time, u64)> = Vec::new();
+        for round in 0..20_000u64 {
+            if rand() % 3 != 0 {
+                // Push at now + random delta spanning all bands.
+                let band = rand() % 4;
+                let delta = match band {
+                    0 => rand() % (1 << 12),
+                    1 => rand() % (1 << 18),
+                    2 => rand() % (1 << 26),
+                    _ => rand() % (1 << 36),
+                };
+                let t = now + delta;
+                let seq = w.next_seq;
+                w.push(t, Event::Timer { node: NodeId(0), token: round });
+                reference.push((t, seq));
+            } else if let Some(s) = w.pop() {
+                assert!(s.time >= now, "time went backwards: {} < {}", s.time, now);
+                now = s.time;
+                popped.push((s.time, s.seq));
+            }
+        }
+        while let Some(s) = w.pop() {
+            popped.push((s.time, s.seq));
+        }
+        reference.sort_unstable();
+        assert_eq!(popped, reference);
+    }
+}

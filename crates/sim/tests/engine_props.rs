@@ -8,7 +8,7 @@ use std::any::Any;
 use proptest::prelude::*;
 
 use dcn_sim::link::LinkSpec;
-use dcn_sim::{Ctx, FrameClass, NodeId, PortId, Protocol, SimBuilder, TraceEvent};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, NodeId, PortId, Protocol, SimBuilder, TraceEvent};
 
 /// Sends a scripted sequence of (delay, payload-len) frames on port 0 and
 /// records arrivals.
@@ -24,7 +24,7 @@ impl Protocol for Scripted {
             ctx.set_timer(self.script[0].0, 0);
         }
     }
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: &FrameBuf) {
         self.received.push((ctx.now(), frame.to_vec()));
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {

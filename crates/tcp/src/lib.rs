@@ -25,7 +25,7 @@
 use std::collections::VecDeque;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_wire::{TcpFlags, TcpSegment};
+use dcn_wire::{FrameBuf, TcpFlags, TcpSegment};
 
 /// Fixed retransmission timeout (Linux's minimum RTO).
 pub const RTO: Duration = millis(200);
@@ -81,7 +81,7 @@ pub struct TcpConn {
     /// Application bytes queued but not yet segmented.
     tx_queue: VecDeque<u8>,
     /// Unacknowledged segments for retransmission: (seq, payload).
-    inflight: VecDeque<(u32, Vec<u8>)>,
+    inflight: VecDeque<(u32, FrameBuf)>,
     retx_deadline: Option<Time>,
     retx_count: u32,
     /// Initial sequence number (deterministic for reproducibility).
@@ -115,7 +115,7 @@ impl TcpConn {
         self.state == TcpState::Established
     }
 
-    fn seg(&self, now: Time, flags: TcpFlags, seq: u32, payload: Vec<u8>) -> TcpSegment {
+    fn seg(&self, now: Time, flags: TcpFlags, seq: u32, payload: impl Into<FrameBuf>) -> TcpSegment {
         TcpSegment {
             src_port: self.local_port,
             dst_port: self.remote_port,
@@ -125,7 +125,7 @@ impl TcpConn {
             window: 65535,
             ts_val: (now / millis(1)) as u32,
             ts_ecr: 0,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -133,8 +133,8 @@ impl TcpConn {
     pub fn connect(&mut self, now: Time) -> TcpOutput {
         let mut out = TcpOutput::default();
         self.reset_to(TcpState::SynSent);
-        let syn = self.seg(now, TcpFlags::SYN, self.snd_nxt, Vec::new());
-        self.inflight.push_back((self.snd_nxt, Vec::new()));
+        let syn = self.seg(now, TcpFlags::SYN, self.snd_nxt, FrameBuf::empty());
+        self.inflight.push_back((self.snd_nxt, FrameBuf::empty()));
         self.snd_nxt = self.snd_nxt.wrapping_add(1); // SYN consumes a seq
         self.arm_retx(now);
         out.segments.push(syn);
@@ -182,9 +182,10 @@ impl TcpConn {
         }
         while !self.tx_queue.is_empty() {
             let take = self.tx_queue.len().min(MSS);
-            let payload: Vec<u8> = self.tx_queue.drain(..take).collect();
+            let payload = FrameBuf::new(self.tx_queue.drain(..take).collect());
             let seq = self.snd_nxt;
             self.snd_nxt = self.snd_nxt.wrapping_add(payload.len() as u32);
+            // The inflight entry and the emitted segment share bytes.
             self.inflight.push_back((seq, payload.clone()));
             out.segments
                 .push(self.seg(now, TcpFlags::PSH | TcpFlags::ACK, seq, payload));
@@ -222,8 +223,8 @@ impl TcpConn {
                     self.rcv_nxt = seg.seq.wrapping_add(1);
                     self.state = TcpState::SynReceived;
                     let synack =
-                        self.seg(now, TcpFlags::SYN | TcpFlags::ACK, self.snd_nxt, Vec::new());
-                    self.inflight.push_back((self.snd_nxt, Vec::new()));
+                        self.seg(now, TcpFlags::SYN | TcpFlags::ACK, self.snd_nxt, FrameBuf::empty());
+                    self.inflight.push_back((self.snd_nxt, FrameBuf::empty()));
                     self.snd_nxt = self.snd_nxt.wrapping_add(1);
                     self.arm_retx(now);
                     out.segments.push(synack);
@@ -480,7 +481,7 @@ mod tests {
             window: 0,
             ts_val: 0,
             ts_ecr: 0,
-            payload: vec![1],
+            payload: vec![1].into(),
         };
         let out = closed.on_segment(&seg, 0);
         assert!(out.segments[0].flags.contains(TcpFlags::RST));

@@ -202,7 +202,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.set_timer(MILLIS, 0);
         }
-        fn on_frame(&mut self, _: &mut Ctx<'_>, _: dcn_sim::PortId, _: &[u8]) {}
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: dcn_sim::PortId, _: &dcn_sim::FrameBuf) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
             self.ticks += 1;
             ctx.send(dcn_sim::PortId(0), vec![0u8; 64], FrameClass::Keepalive);

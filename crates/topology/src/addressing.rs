@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn link_subnets_are_unique() {
-        let f = Fabric::build(ClosParams::scaled(8));
+        let f = Fabric::build(ClosParams::scaled(8).unwrap());
         let a = Addressing::new(&f);
         let mut seen = std::collections::HashSet::new();
         for li in 0..f.links.len() {

@@ -39,8 +39,27 @@ impl ClosParams {
 
     /// A scaled topology with `pods` PoDs and otherwise the paper's
     /// per-PoD shape (used by the §IX scalability extension).
-    pub fn scaled(pods: usize) -> ClosParams {
-        ClosParams { pods, ..ClosParams::two_pod() }
+    ///
+    /// The PoD count must be even and at least 2: each top-tier spine
+    /// splits its down-facing radix symmetrically across PoD pairs, so an
+    /// odd count would leave stranded ports. Degenerate shapes are
+    /// rejected with a descriptive error rather than building a fabric
+    /// that violates the addressing scheme.
+    pub fn scaled(pods: usize) -> Result<ClosParams, String> {
+        if pods < 2 {
+            return Err(format!(
+                "scaled fabric needs at least 2 PoDs for a folded-Clos top tier, got {pods}"
+            ));
+        }
+        if !pods.is_multiple_of(2) {
+            return Err(format!(
+                "scaled fabric needs an even PoD count so top-tier spine radix \
+                 splits symmetrically across PoD pairs, got {pods}"
+            ));
+        }
+        let params = ClosParams { pods, ..ClosParams::two_pod() };
+        params.validate()?;
+        Ok(params)
     }
 
     pub fn top_spines(&self) -> usize {
@@ -660,7 +679,22 @@ mod tests {
             .is_err());
         let too_many = ClosParams { pods: 200, tors_per_pod: 2, ..ClosParams::two_pod() };
         assert!(too_many.validate().is_err());
-        assert!(ClosParams::scaled(8).validate().is_ok());
+        assert!(ClosParams::scaled(8).is_ok());
+    }
+
+    #[test]
+    fn scaled_rejects_degenerate_pod_counts() {
+        let err = ClosParams::scaled(1).unwrap_err();
+        assert!(err.contains("at least 2 PoDs"), "got: {err}");
+        let err = ClosParams::scaled(3).unwrap_err();
+        assert!(err.contains("even PoD count"), "got: {err}");
+        assert!(ClosParams::scaled(0).is_err());
+        // Even counts within the addressing budget build fine.
+        let p = ClosParams::scaled(16).unwrap();
+        assert_eq!(p.pods, 16);
+        assert!(p.validate().is_ok());
+        // The one-byte VID budget still applies through `scaled`.
+        assert!(ClosParams::scaled(200).is_err());
     }
 
     #[test]

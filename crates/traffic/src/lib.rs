@@ -13,7 +13,7 @@
 use std::any::Any;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameClass, PortId, Protocol};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol};
 use dcn_wire::{
     EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, IPPROTO_UDP,
 };
@@ -214,7 +214,7 @@ impl Protocol for TrafficHost {
         }
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &FrameBuf) {
         self.ingest_frame(frame);
     }
 

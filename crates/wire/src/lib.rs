@@ -22,6 +22,7 @@ pub mod bgp;
 pub mod error;
 pub mod ethernet;
 pub mod flow;
+pub mod framebuf;
 pub mod ipv4;
 pub mod mrmtp;
 pub mod tcp;
@@ -35,6 +36,7 @@ pub use ethernet::{
     l2_wire_len, EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN, MIN_FRAME_LEN,
 };
 pub use flow::{ecmp_index, flow_hash, flow_hash_of};
+pub use framebuf::FrameBuf;
 pub use ipv4::{IpAddr4, Ipv4Packet, Prefix, IPPROTO_TCP, IPPROTO_UDP, IPV4_HEADER_LEN};
 pub use mrmtp::{MrmtpMsg, Vid, MRMTP_ETHERTYPE, MRMTP_HELLO_BYTE, VID_MAX_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};

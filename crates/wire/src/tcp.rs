@@ -6,6 +6,7 @@
 //! 32 TCP + 19 BGP); this encoder reproduces it.
 
 use crate::error::WireError;
+use crate::framebuf::FrameBuf;
 
 /// TCP base header length (without options).
 pub const TCP_HEADER_LEN: usize = 20;
@@ -54,7 +55,9 @@ pub struct TcpSegment {
     /// simulated milliseconds here; real stacks store jiffies).
     pub ts_val: u32,
     pub ts_ecr: u32,
-    pub payload: Vec<u8>,
+    /// Shared payload bytes: retransmission queues and the emitted
+    /// segment reference the same allocation.
+    pub payload: FrameBuf,
 }
 
 impl TcpSegment {
@@ -126,7 +129,7 @@ impl TcpSegment {
             window: u16::from_be_bytes([buf[14], buf[15]]),
             ts_val,
             ts_ecr,
-            payload: buf[data_offset..].to_vec(),
+            payload: FrameBuf::from(&buf[data_offset..]),
         })
     }
 }
@@ -136,6 +139,7 @@ mod tests {
     use super::*;
 
     fn seg(payload: Vec<u8>) -> TcpSegment {
+        let payload = FrameBuf::new(payload);
         TcpSegment {
             src_port: 44321,
             dst_port: 179,
@@ -185,7 +189,7 @@ mod tests {
         b[12] = 5 << 4;
         let no_opts: Vec<u8> = b[..20].iter().chain(&b[32..]).copied().collect();
         let s = TcpSegment::decode(&no_opts).unwrap();
-        assert_eq!(s.payload, vec![1, 2, 3]);
+        assert_eq!(s.payload.as_slice(), &[1, 2, 3]);
         assert_eq!(s.ts_val, 0);
     }
 }

@@ -60,7 +60,7 @@ proptest! {
                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
         let s = TcpSegment {
             src_port: sp, dst_port: dp, seq, ack,
-            flags: TcpFlags(flags), window, ts_val: ts, ts_ecr: ts ^ 7, payload,
+            flags: TcpFlags(flags), window, ts_val: ts, ts_ecr: ts ^ 7, payload: payload.into(),
         };
         prop_assert_eq!(TcpSegment::decode(&s.encode()).unwrap(), s);
     }

@@ -7,7 +7,7 @@
 //! cargo run --release --example failure_recovery [TC1|TC2|TC3|TC4]
 //! ```
 
-use dcn_experiments::{run, Scenario, Stack, TrafficDir};
+use dcn_experiments::{run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
 
     for stack in Stack::ALL {
         let r = run(
-            Scenario::new(ClosParams::two_pod(), stack)
+            RunSpec::new(ClosParams::two_pod(), stack)
                 .failing(tc)
                 .with_traffic(TrafficDir::NearToFar),
         );

@@ -80,7 +80,7 @@ fn main() {
         window: 65535,
         ts_val: 100,
         ts_ecr: 99,
-        payload: ka,
+        payload: ka.into(),
     };
     let ip = Ipv4Packet::new(
         IpAddr4::new(172, 16, 0, 1),

@@ -11,7 +11,7 @@
 use std::any::Any;
 
 use dcn_sim::time::secs;
-use dcn_sim::{Ctx, FrameClass, NodeId, PortId, Protocol};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, NodeId, PortId, Protocol};
 use dcn_topology::ClosParams;
 use dcn_wire::{
     EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, VxlanHeader,
@@ -35,7 +35,7 @@ impl Protocol for Vtep {
         }
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, frame: &FrameBuf) {
         // Outer: Ethernet / IPv4(server) / UDP(4789) / VXLAN / inner
         // Ethernet / IPv4(VM) / payload.
         let Ok(eth) = EthernetFrame::decode(frame) else { return };

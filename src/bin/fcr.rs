@@ -10,13 +10,14 @@
 //! fcr sweep [max_pods]             # §IX PoD sweep + tier comparison
 //! fcr ablations                    # design-choice ablations
 //! fcr keepalive                    # Figs. 9–10 summary
+//! fcr bench --scale 2,4,8,16       # scaling + scheduler benchmarks
 //! ```
 //!
 //! Stacks: `mrmtp`, `bgp`, `bgp-bfd`. Cases: `tc1`–`tc4`.
 
 use std::path::PathBuf;
 
-use dcn_experiments::{ablations, figures, run, Scenario, Stack, TrafficDir};
+use dcn_experiments::{ablations, bench, figures, run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
 fn usage() -> ! {
@@ -27,6 +28,8 @@ fn usage() -> ! {
          \x20 figures                       regenerate every paper figure\n\
          \x20 scenario <stack> <tc> [dir]   one experiment (stack: mrmtp|bgp|bgp-bfd;\n\
          \x20                               tc: tc1..tc4; dir: near|far, default near)\n\
+         \x20   --pods N             fabric size in PoDs (even, default 2)\n\
+         \x20   --seed N             seed (default 42)\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
          \x20   --seed N             seed (default 42)\n\
@@ -49,7 +52,12 @@ fn usage() -> ! {
          \x20   --loss-ppm N     frame loss during window (default 2000)\n\
          \x20   --corrupt-ppm N  frame corruption during window (default 10000)\n\
          \x20   --no-determinism skip the double-run digest comparison\n\
-         \x20   --telemetry-out DIR  write a replay bundle for every violating seed"
+         \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
+         \x20 bench [opts]                  scaling + scheduler benchmarks\n\
+         \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16)\n\
+         \x20   --quick          short windows (CI smoke mode)\n\
+         \x20   --out FILE       write BENCH_scale.json here (default stdout only)\n\
+         \x20   --baseline FILE  fail (exit 1) on >20% events/sec regression"
     );
     std::process::exit(2);
 }
@@ -66,23 +74,34 @@ fn parse_stack(s: &str) -> Stack {
     }
 }
 
-/// Pull `--telemetry-out DIR` and `--seed N` out of `args`, returning
-/// the remaining positional arguments.
-fn split_flags(args: &[String]) -> (Vec<&str>, Option<PathBuf>, Option<u64>) {
+/// Flags shared by the single-run subcommands.
+struct RunFlags {
+    telemetry_out: Option<PathBuf>,
+    seed: Option<u64>,
+    pods: Option<usize>,
+}
+
+/// Pull `--telemetry-out DIR`, `--seed N` and `--pods N` out of `args`,
+/// returning the remaining positional arguments.
+fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
     let mut positional = Vec::new();
-    let mut out = None;
-    let mut seed = None;
+    let mut flags = RunFlags { telemetry_out: None, seed: None, pods: None };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--telemetry-out" => {
                 let Some(dir) = args.get(i + 1) else { usage() };
-                out = Some(PathBuf::from(dir));
+                flags.telemetry_out = Some(PathBuf::from(dir));
                 i += 2;
             }
             "--seed" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
-                seed = Some(n);
+                flags.seed = Some(n);
+                i += 2;
+            }
+            "--pods" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
+                flags.pods = Some(n);
                 i += 2;
             }
             a => {
@@ -91,7 +110,18 @@ fn split_flags(args: &[String]) -> (Vec<&str>, Option<PathBuf>, Option<u64>) {
             }
         }
     }
-    (positional, out, seed)
+    (positional, flags)
+}
+
+/// Resolve `--pods` into fabric parameters (2-PoD paper testbed default).
+fn params_for(pods: Option<usize>) -> ClosParams {
+    match pods {
+        None | Some(2) => ClosParams::two_pod(),
+        Some(p) => ClosParams::scaled(p).unwrap_or_else(|e| {
+            eprintln!("--pods {p}: {e}");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn parse_tc(s: &str) -> FailureCase {
@@ -126,25 +156,23 @@ fn main() {
             println!("{}", figures::table_size_comparison(seed).render());
         }
         Some("scenario") => {
-            let (pos, tel_out, seed_flag) = split_flags(&args[1..]);
+            let (pos, flags) = split_flags(&args[1..]);
             let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
             let dir = match pos.get(2).copied() {
                 Some("far") => TrafficDir::FarToNear,
                 _ => TrafficDir::NearToFar,
             };
-            let s = Scenario::new(ClosParams::two_pod(), parse_stack(stack))
+            let s = RunSpec::new(params_for(flags.pods), parse_stack(stack))
                 .failing(parse_tc(tc))
                 .with_traffic(dir)
-                .seeded(seed_flag.unwrap_or(seed));
-            let r = match tel_out {
+                .seeded(flags.seed.unwrap_or(seed));
+            let r = match flags.telemetry_out {
                 None => run(s),
                 Some(out) => {
                     // Instrumented run: identical event processing, plus
                     // a trace bundle on disk.
                     let ir = dcn_experiments::run_instrumented(
-                        s,
-                        dcn_experiments::StackTuning::default(),
-                        dcn_telemetry::TelemetryConfig::default(),
+                        s.with_telemetry(dcn_telemetry::TelemetryConfig::default()),
                     );
                     let sub = out.join(format!("scenario-{}-{}", stack, tc.to_ascii_lowercase()));
                     match dcn_experiments::bundle_from_run(&ir, &s).write(&sub) {
@@ -178,17 +206,17 @@ fn main() {
             }
         }
         Some("report") => {
-            let (pos, tel_out, seed_flag) = split_flags(&args[1..]);
+            let (pos, flags) = split_flags(&args[1..]);
             let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
             let r = dcn_experiments::report::build(
                 parse_stack(stack),
                 parse_tc(tc),
-                seed_flag.unwrap_or(seed),
+                flags.seed.unwrap_or(seed),
             );
             print!("{}", r.text);
-            if let Some(out) = tel_out {
+            if let Some(out) = flags.telemetry_out {
                 let sub = out.join(format!("report-{}-{}", stack, tc.to_ascii_lowercase()));
-                match dcn_experiments::bundle_from_run(&r.run, &r.scenario).write(&sub) {
+                match dcn_experiments::bundle_from_run(&r.run, &r.spec).write(&sub) {
                     Ok(_) => eprintln!("trace bundle written to {}", sub.display()),
                     Err(e) => eprintln!("bundle write to {} failed: {e}", sub.display()),
                 }
@@ -206,16 +234,16 @@ fn main() {
             println!("{}", figures::encap_overhead_figure(seed).render());
         }
         Some("replicate") => {
-            let (pos, tel_out, _) = split_flags(&args[1..]);
+            let (pos, flags) = split_flags(&args[1..]);
             let n: u64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(5);
             let seeds: Vec<u64> = (1..=n).collect();
             eprintln!("replicating Fig. 4 over {n} seeds…");
             println!("{}", dcn_experiments::replicate::fig4_replicated(&seeds).render());
-            if let Some(out) = tel_out {
+            if let Some(out) = flags.telemetry_out {
                 // One instrumented replication per stack on the headline
                 // case (TC1, 2-PoD), a bundle per seed.
                 for stack in Stack::ALL {
-                    let s = Scenario::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1);
+                    let s = RunSpec::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1);
                     let r = dcn_experiments::replicate::run_replicated_instrumented(s, &seeds, &out);
                     if let Some(c) = r.convergence_ms {
                         eprintln!("{}: TC1 convergence {} ms", stack.label(), c.render(1));
@@ -295,6 +323,73 @@ fn main() {
         Some("keepalive") => {
             println!("{}", figures::fig9_keepalive(seed).render());
             println!("{}", figures::fig1_stack_comparison(seed).render());
+        }
+        Some("bench") => {
+            let mut pods: Vec<usize> = vec![2, 4, 8, 16];
+            let mut quick = false;
+            let mut out: Option<PathBuf> = None;
+            let mut baseline: Option<PathBuf> = None;
+            let mut i = 1;
+            while i < args.len() {
+                let val = |i: usize| -> &str {
+                    args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+                };
+                match args[i].as_str() {
+                    "--scale" => {
+                        pods = val(i)
+                            .split(',')
+                            .map(|p| p.parse().unwrap_or_else(|_| usage()))
+                            .collect();
+                        i += 2;
+                    }
+                    "--quick" => {
+                        quick = true;
+                        i += 1;
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(val(i)));
+                        i += 2;
+                    }
+                    "--baseline" => {
+                        baseline = Some(PathBuf::from(val(i)));
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            eprintln!(
+                "benchmarking scheduler + fabric scale at {pods:?} PoDs ({})…",
+                if quick { "quick" } else { "full" }
+            );
+            let report = match bench::run_bench(&pods, quick, seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    std::process::exit(2);
+                }
+            };
+            print!("{}", report.render_text());
+            let json = report.to_json().render();
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                    eprintln!("bench: write to {} failed: {e}", path.display());
+                    std::process::exit(2);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            if let Some(path) = baseline {
+                let base = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("bench: read baseline {} failed: {e}", path.display());
+                    std::process::exit(2);
+                });
+                match bench::check_regression(&report, &base, 0.20) {
+                    Ok(()) => eprintln!("no regression vs {}", path.display()),
+                    Err(e) => {
+                        eprintln!("FAIL: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         _ => usage(),
     }

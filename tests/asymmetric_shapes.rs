@@ -2,7 +2,7 @@
 //! more racks per PoD, multiple servers per rack. Exercises VID port
 //! labels above 2 and ECMP widths above 2 on both stacks.
 
-use dcn_experiments::{build_sim, flows::pin_flow, run, Scenario, Stack, TrafficDir};
+use dcn_experiments::{build_sim, flows::pin_flow, run, RunSpec, Stack, TrafficDir};
 use dcn_mrmtp::MrmtpRouter;
 use dcn_sim::time::{millis, secs};
 use dcn_sim::NodeId;
@@ -65,7 +65,7 @@ fn wide_fabric_failure_metrics_stay_sane() {
     // With 3-wide ECMP, losing one of three planes leaves two: blast
     // radius logic and pinning generalize.
     for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
-        let mut s = Scenario::new(wide(), stack)
+        let mut s = RunSpec::new(wide(), stack)
             .failing(FailureCase::Tc1)
             .with_traffic(TrafficDir::NearToFar)
             .seeded(6);

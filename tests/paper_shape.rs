@@ -2,11 +2,11 @@
 //! paper's *shapes* — who wins, by roughly what factor, and where the
 //! crossovers fall (DESIGN.md §4 lists the tolerances).
 
-use dcn_experiments::{run, Scenario, Stack, TrafficDir};
+use dcn_experiments::{run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
-fn scenario(stack: Stack, tc: FailureCase, dir: TrafficDir) -> Scenario {
-    Scenario::new(ClosParams::two_pod(), stack)
+fn scenario(stack: Stack, tc: FailureCase, dir: TrafficDir) -> RunSpec {
+    RunSpec::new(ClosParams::two_pod(), stack)
         .failing(tc)
         .with_traffic(dir)
 }
@@ -76,7 +76,7 @@ fn fig5_blast_radius_two_pod_shapes() {
 #[test]
 fn fig5_blast_radius_four_pod_shapes() {
     let base = |stack, tc| {
-        run(Scenario::new(ClosParams::four_pod(), stack).failing(tc)).blast_radius
+        run(RunSpec::new(ClosParams::four_pod(), stack).failing(tc)).blast_radius
     };
     assert_eq!(base(Stack::Mrmtp, FailureCase::Tc1), 7);
     assert_eq!(base(Stack::Mrmtp, FailureCase::Tc4), 3);
@@ -88,10 +88,10 @@ fn fig5_blast_radius_four_pod_shapes() {
 fn fig6_control_overhead_gap_and_scaling() {
     let mtp2 = run(scenario(Stack::Mrmtp, FailureCase::Tc1, TrafficDir::None)).control_bytes;
     let bgp2 = run(scenario(Stack::BgpEcmp, FailureCase::Tc1, TrafficDir::None)).control_bytes;
-    let mtp4 = run(Scenario::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
+    let mtp4 = run(RunSpec::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1))
         .control_bytes;
     let bgp4 =
-        run(Scenario::new(ClosParams::four_pod(), Stack::BgpEcmp).failing(FailureCase::Tc1))
+        run(RunSpec::new(ClosParams::four_pod(), Stack::BgpEcmp).failing(FailureCase::Tc1))
             .control_bytes;
     // Paper: 120→264 B for MR-MTP, 1023→2139 B for BGP (ours: ~133→285
     // and ~651→1395). The shape: BGP ≫ MR-MTP, and roughly 2× from 2-PoD
