@@ -42,6 +42,11 @@ pub struct BgpConfig {
     pub host_ports: Vec<(IpAddr4, PortId)>,
     /// Idle-to-connect backoff.
     pub connect_retry: Duration,
+    /// Use the compiled FIB and parse-once frame metadata on the data
+    /// plane. Behavior (routes chosen, bytes on the wire, trace) is
+    /// identical either way — the equivalence suite asserts bit-equal
+    /// trace digests — so this stays on except when running that proof.
+    pub fast_path: bool,
 }
 
 impl BgpConfig {
@@ -60,7 +65,13 @@ impl BgpConfig {
             rack_subnet: None,
             host_ports: Vec::new(),
             connect_retry: secs(1),
+            fast_path: true,
         }
+    }
+
+    pub fn with_fast_path(mut self, on: bool) -> BgpConfig {
+        self.fast_path = on;
+        self
     }
 
     pub fn with_bfd(mut self) -> BgpConfig {

@@ -1,0 +1,147 @@
+//! Compiled forwarding table: the BGP data-plane fast path.
+//!
+//! [`Rib::lookup`] scans every Loc-RIB key per packet and materializes a
+//! `Vec` of path references — fine for the control plane, wasteful per
+//! forwarded frame. The [`CompiledFib`] flattens the Loc-RIB into a list
+//! of `(prefix, next-hop ports)` pairs sorted by descending prefix
+//! length, so a lookup is a linear first-containing-match scan (DCN RIBs
+//! hold tens of prefixes, not an Internet table) and ECMP selection is
+//! an index into a [`SmallVec`] that stays inline for fabrics with up to
+//! eight equal-cost uplinks.
+//!
+//! Equivalence with the slow path: distinct same-length IPv4 prefixes are
+//! disjoint, so the first containing match in (length desc, addr asc)
+//! order is exactly the longest match `Rib::lookup` finds — and for the
+//! degenerate case of overlapping equal-length entries both orders keep
+//! the lowest address. The port list is `Rib::members` order (sorted by
+//! peer port), so `flow % n` picks the identical member.
+//!
+//! Rebuilds are keyed on [`Rib::version`] and happen only when the
+//! Loc-RIB actually changed; lookups never allocate.
+
+use dcn_sim::PortId;
+use dcn_wire::IpAddr4;
+use smallvec::SmallVec;
+
+use crate::rib::Rib;
+
+/// The compiled Loc-RIB. Next-hop port sets stay inline up to 8 members
+/// (a pod spine's uplink radix in the paper's topologies).
+#[derive(Default)]
+pub struct CompiledFib {
+    /// `(prefix, ECMP member ports)` sorted by (len desc, addr asc).
+    routes: Vec<(dcn_wire::Prefix, SmallVec<PortId, 8>)>,
+}
+
+impl CompiledFib {
+    pub fn new() -> CompiledFib {
+        CompiledFib::default()
+    }
+
+    /// Recompile from the RIB. Called lazily when [`Rib::version`] moved.
+    pub fn rebuild(&mut self, rib: &Rib) {
+        self.routes.clear();
+        for prefix in rib.learned_prefixes() {
+            let ports: SmallVec<PortId, 8> =
+                rib.members(prefix).iter().map(|e| e.peer_port).collect();
+            if !ports.is_empty() {
+                self.routes.push((prefix, ports));
+            }
+        }
+        self.routes.sort_by(|a, b| {
+            b.0.len.cmp(&a.0.len).then(a.0.addr.cmp(&b.0.addr))
+        });
+    }
+
+    /// Longest-prefix-match next hop for `dst` with flow hash `flow`.
+    /// Bit-for-bit the same port `Rib::lookup` + `ecmp_index` selects.
+    #[inline]
+    pub fn lookup(&self, dst: IpAddr4, flow: u64) -> Option<PortId> {
+        for (prefix, ports) in &self.routes {
+            if prefix.contains(dst) {
+                return Some(ports[dcn_wire::ecmp_index(flow, ports.len())]);
+            }
+        }
+        None
+    }
+
+    /// Number of compiled routes (introspection for tests and gauges).
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_wire::Prefix;
+
+    fn pfx(third: u8, len: u8) -> Prefix {
+        Prefix::new(IpAddr4::new(192, 168, third, 0), len)
+    }
+
+    /// Drive both paths over one RIB and assert identical picks for a
+    /// spread of destinations and flows.
+    fn assert_equivalent(rib: &Rib, dsts: &[IpAddr4]) {
+        let mut fib = CompiledFib::new();
+        fib.rebuild(rib);
+        for &dst in dsts {
+            for flow in [0u64, 1, 2, 3, 7, 100, 9999, u64::MAX] {
+                let slow = rib.lookup(dst).map(|(_, members)| {
+                    members[dcn_wire::ecmp_index(flow, members.len())].peer_port
+                });
+                assert_eq!(fib.lookup(dst, flow), slow, "dst {dst} flow {flow}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_rib_lookup_with_ecmp_and_default_route() {
+        let mut rib = Rib::new();
+        rib.ingest_advert(PortId(4), Prefix::new(IpAddr4(0), 0), vec![64512], IpAddr4(0));
+        rib.ingest_advert(PortId(2), pfx(11, 24), vec![64513, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(3), pfx(11, 24), vec![64514, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(5), pfx(12, 24), vec![64513, 65002], IpAddr4(0));
+        assert_equivalent(
+            &rib,
+            &[
+                IpAddr4::new(192, 168, 11, 7),
+                IpAddr4::new(192, 168, 12, 9),
+                IpAddr4::new(10, 0, 0, 1),
+            ],
+        );
+    }
+
+    #[test]
+    fn longest_prefix_wins_and_withdrawals_apply_after_rebuild() {
+        let mut rib = Rib::new();
+        rib.ingest_advert(PortId(0), pfx(11, 16), vec![1, 2], IpAddr4(0));
+        rib.ingest_advert(PortId(1), pfx(11, 24), vec![3, 4], IpAddr4(0));
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&rib);
+        let dst = IpAddr4::new(192, 168, 11, 50);
+        assert_eq!(fib.lookup(dst, 0), Some(PortId(1)), "/24 beats /16");
+        rib.ingest_withdraw(PortId(1), pfx(11, 24));
+        fib.rebuild(&rib);
+        assert_eq!(fib.lookup(dst, 0), Some(PortId(0)), "falls back to /16");
+        rib.ingest_withdraw(PortId(0), pfx(11, 16));
+        fib.rebuild(&rib);
+        assert_eq!(fib.lookup(dst, 0), None);
+        assert_eq!(fib.route_count(), 0);
+    }
+
+    #[test]
+    fn ecmp_sets_stay_inline() {
+        let mut rib = Rib::new();
+        for p in 0..8 {
+            rib.ingest_advert(PortId(p), pfx(14, 24), vec![64513 + p as u32, 65004], IpAddr4(0));
+        }
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&rib);
+        // Eight equal-cost uplinks: every member reachable, none heap-spilled.
+        let dst = IpAddr4::new(192, 168, 14, 1);
+        let picked: std::collections::BTreeSet<PortId> =
+            (0..64u64).filter_map(|f| fib.lookup(dst, f)).collect();
+        assert_eq!(picked.len(), 8);
+    }
+}

@@ -27,9 +27,11 @@
 //! graceful restart.
 
 pub mod config;
+pub mod fib;
 pub mod rib;
 pub mod router;
 
 pub use config::{BgpConfig, PeerConfig};
+pub use fib::CompiledFib;
 pub use rib::{PathEntry, Rib};
 pub use router::{BgpRouter, BgpStats};

@@ -38,6 +38,9 @@ pub struct Rib {
     loc: BTreeMap<Prefix, Vec<PathEntry>>,
     /// Connected subnets for rendering (link /24s, rack subnet).
     connected: Vec<(Prefix, PortId, IpAddr4)>,
+    /// Bumped whenever the Loc-RIB changes; the compiled FIB keys its
+    /// lazy rebuild on this.
+    version: u64,
 }
 
 impl Rib {
@@ -57,6 +60,13 @@ impl Rib {
 
     pub fn is_local(&self, prefix: Prefix) -> bool {
         self.local.contains(&prefix)
+    }
+
+    /// Loc-RIB generation counter. Moves exactly when a recomputation
+    /// reports anything other than [`RibChange::Unchanged`], so a stale
+    /// compiled FIB can be detected in O(1).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Record a received advertisement. Returns prefixes needing
@@ -149,6 +159,9 @@ impl Rib {
             self.loc.remove(&prefix);
         } else {
             self.loc.insert(prefix, members);
+        }
+        if change != RibChange::Unchanged {
+            self.version += 1;
         }
         change
     }
@@ -355,6 +368,20 @@ mod tests {
         assert!(s.contains("192.168.2.0/24 proto bgp metric 20"));
         assert!(s.contains("\tnexthop via 172.16.3.1 dev eth3 weight 1"));
         assert!(s.contains("\tnexthop via 172.16.4.1 dev eth4 weight 1"));
+    }
+
+    #[test]
+    fn version_moves_exactly_on_loc_rib_change() {
+        let mut rib = Rib::new();
+        let v0 = rib.version();
+        rib.ingest_advert(PortId(0), pfx(11), vec![64513], IpAddr4(0));
+        assert_eq!(rib.version(), v0 + 1, "gained");
+        rib.ingest_advert(PortId(1), pfx(11), vec![64514, 64512, 64513], IpAddr4(0));
+        assert_eq!(rib.version(), v0 + 1, "longer path: unchanged");
+        rib.ingest_withdraw(PortId(0), pfx(11));
+        assert_eq!(rib.version(), v0 + 2, "best set changed");
+        rib.ingest_withdraw(PortId(0), pfx(11));
+        assert_eq!(rib.version(), v0 + 2, "idempotent withdraw: unchanged");
     }
 
     #[test]

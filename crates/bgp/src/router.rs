@@ -4,15 +4,20 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
+use dcn_sim::{
+    alloc_track, Ctx, FrameBuf, FrameClass, FrameMeta, PortId, Protocol, RouteChangeKind,
+    SpanEvent, StatsSnapshot,
+};
 use dcn_tcp::{TcpConn, TcpEvent};
 use dcn_bfd::{BfdEvent, BfdSession};
 use dcn_wire::{
     flow_hash_of, BgpMessage, BgpUpdate, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr,
-    Prefix, TcpSegment, UdpDatagram, BFD_CTRL_PORT, BGP_PORT, IPPROTO_TCP, IPPROTO_UDP,
+    Prefix, TcpSegment, UdpDatagram, BFD_CTRL_PORT, BGP_PORT, ETHERNET_HEADER_LEN,
+    IPPROTO_TCP, IPPROTO_UDP, IPV4_HEADER_LEN,
 };
 
 use crate::config::BgpConfig;
+use crate::fib::CompiledFib;
 use crate::rib::{Rib, RibChange};
 
 const TOKEN_TICK: u64 = 1;
@@ -84,6 +89,10 @@ pub struct BgpRouter {
     port_peer: BTreeMap<PortId, usize>,
     /// Adj-RIB-Out: what we last advertised to each peer.
     adj_out: BTreeMap<PortId, BTreeMap<Prefix, Vec<u32>>>,
+    /// Compiled Loc-RIB for the data-plane fast path, rebuilt lazily
+    /// whenever `fib_key` no longer matches [`Rib::version`].
+    fib: CompiledFib,
+    fib_key: Option<u64>,
     stats: BgpStats,
 }
 
@@ -131,7 +140,16 @@ impl BgpRouter {
                 bfd_frame: None,
             });
         }
-        BgpRouter { cfg, rib, peers, port_peer, adj_out: BTreeMap::new(), stats: BgpStats::default() }
+        BgpRouter {
+            cfg,
+            rib,
+            peers,
+            port_peer,
+            adj_out: BTreeMap::new(),
+            fib: CompiledFib::new(),
+            fib_key: None,
+            stats: BgpStats::default(),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -566,6 +584,74 @@ impl BgpRouter {
         ctx.send(port, frame.encode(), FrameClass::Data);
     }
 
+    /// The data-plane fast path: forward using the parsed-at-ingress
+    /// [`FrameMeta`] and the compiled FIB, without re-decoding the frame.
+    ///
+    /// Every branch mirrors [`Self::forward_data`] in order (rack
+    /// delivery, TTL guard, longest-prefix lookup), and the transit
+    /// rewrite is byte-identical to the slow path's decode → `ttl -= 1` →
+    /// re-encode: our canonical IPv4 headers differ only in the TTL and
+    /// checksum bytes, so one copy plus an in-place patch produces the
+    /// same frame the struct round-trip would. Unlike MR-MTP transit
+    /// (immutable frames, pure refcount bump), IP's TTL rewrite makes one
+    /// buffer per forwarded packet unavoidable — the copy here is the
+    /// only allocation.
+    fn forward_fast(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        frame: &FrameBuf,
+        dst: IpAddr4,
+        flow: u64,
+        ttl: u8,
+    ) {
+        const IP: usize = ETHERNET_HEADER_LEN;
+        if let Some(rack) = self.cfg.rack_subnet {
+            if rack.contains(dst) {
+                match self.cfg.host_ports.iter().find(|&&(ip, _)| ip == dst) {
+                    Some(&(_, port)) => {
+                        // Terminal delivery re-frames the unchanged IP
+                        // bytes toward the host port.
+                        let mac = MacAddr::for_node_port(ctx.node().0, port.0);
+                        let mut out = Vec::with_capacity(frame.len());
+                        EthernetFrame::put_header(&mut out, mac, mac, EtherType::Ipv4);
+                        out.extend_from_slice(&frame[IP..]);
+                        self.stats.data_delivered += 1;
+                        ctx.send(port, FrameBuf::new(out), FrameClass::Data);
+                    }
+                    None => self.stats.data_dropped += 1,
+                }
+                return;
+            }
+        }
+        if ttl <= 1 {
+            self.stats.data_dropped += 1;
+            return;
+        }
+        let key = self.rib.version();
+        if self.fib_key != Some(key) {
+            self.fib.rebuild(&self.rib);
+            self.fib_key = Some(key);
+        }
+        let _scope = alloc_track::scope();
+        let Some(port) = self.fib.lookup(dst, flow) else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        let mac = MacAddr::for_node_port(ctx.node().0, port.0);
+        let out = frame.mutate_copy(|out| {
+            out[..6].copy_from_slice(&mac.0);
+            out[6..12].copy_from_slice(&mac.0);
+            out[IP + 8] = ttl - 1;
+            out[IP + 10] = 0;
+            out[IP + 11] = 0;
+            let csum = dcn_wire::internet_checksum(&out[IP..IP + IPV4_HEADER_LEN]);
+            out[IP + 10..IP + 12].copy_from_slice(&csum.to_be_bytes());
+        });
+        self.stats.data_forwarded += 1;
+        ctx.send_meta(port, out, FrameClass::Data, FrameMeta::Ipv4Data { dst, flow, ttl: ttl - 1 });
+        alloc_track::note_forward();
+    }
+
     // ------------------------------------------------------------------
     // Housekeeping
     // ------------------------------------------------------------------
@@ -769,6 +855,32 @@ impl Protocol for BgpRouter {
         }
         // Otherwise: transit data.
         self.forward_data(ctx, pkt);
+    }
+
+    fn on_frame_meta(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        frame: &FrameBuf,
+        meta: Option<FrameMeta>,
+    ) {
+        if self.cfg.fast_path {
+            if let Some(FrameMeta::Ipv4Data { dst, flow, ttl }) = meta {
+                // Control-demux guard: anything addressed to our side of
+                // a fabric link is session traffic and takes the full
+                // decode path. Data frames never are, so this is one
+                // map probe per packet.
+                let is_control = self
+                    .port_peer
+                    .get(&port)
+                    .is_some_and(|&i| dst == self.peers[i].cfg.local_ip);
+                if !is_control {
+                    self.forward_fast(ctx, frame, dst, flow, ttl);
+                    return;
+                }
+            }
+        }
+        self.on_frame(ctx, port, frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

@@ -76,18 +76,35 @@ pub struct MrmtpConfig {
     /// Present on ToRs only.
     pub tor: Option<TorConfig>,
     pub timers: MrmtpTimers,
+    /// Use the compiled FIB and parse-once frame metadata on the data
+    /// plane. Behavior (routes chosen, bytes on the wire, trace) is
+    /// identical either way — the equivalence suite asserts bit-equal
+    /// trace digests — so this stays on except when running that proof.
+    pub fast_path: bool,
 }
 
 impl MrmtpConfig {
     /// Configuration for a spine at `tier` (2 or higher).
     pub fn spine(name: impl Into<String>, tier: u8) -> MrmtpConfig {
         assert!(tier >= 2, "spines live at tier 2+");
-        MrmtpConfig { name: name.into(), tier, tor: None, timers: MrmtpTimers::default() }
+        MrmtpConfig {
+            name: name.into(),
+            tier,
+            tor: None,
+            timers: MrmtpTimers::default(),
+            fast_path: true,
+        }
     }
 
     /// Configuration for a ToR.
     pub fn tor(name: impl Into<String>, tor: TorConfig) -> MrmtpConfig {
-        MrmtpConfig { name: name.into(), tier: 1, tor: Some(tor), timers: MrmtpTimers::default() }
+        MrmtpConfig {
+            name: name.into(),
+            tier: 1,
+            tor: Some(tor),
+            timers: MrmtpTimers::default(),
+            fast_path: true,
+        }
     }
 }
 

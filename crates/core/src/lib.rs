@@ -33,12 +33,14 @@
 //! used in the paper's evaluation.
 
 pub mod config;
+pub mod fib;
 pub mod neighbor;
 pub mod reliable;
 pub mod router;
 pub mod vid_table;
 
 pub use config::{MrmtpConfig, MrmtpTimers, TorConfig};
+pub use fib::CompiledFib;
 pub use neighbor::{NeighborState, NeighborTable};
 pub use router::{MrmtpRouter, RouterStats};
 pub use vid_table::{OwnVid, VidTable};

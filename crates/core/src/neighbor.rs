@@ -47,6 +47,10 @@ pub struct NeighborTable {
     entries: Vec<Entry>,
     dead_interval: Duration,
     accept_hellos: u32,
+    /// Bumped on every change that can alter which ports are usable for
+    /// forwarding (state, carrier, tier). The compiled FIB keys its
+    /// rebuild on this.
+    version: u64,
 }
 
 /// Outcome of feeding a received frame into the table.
@@ -68,11 +72,18 @@ impl NeighborTable {
             entries: vec![Entry::default(); ports],
             dead_interval,
             accept_hellos,
+            version: 0,
         }
     }
 
     pub fn port_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Monotonic change counter (see the `version` field).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn state(&self, port: PortId) -> NeighborState {
@@ -89,6 +100,9 @@ impl NeighborTable {
     }
 
     pub fn set_tier(&mut self, port: PortId, tier: u8) {
+        if self.entries[port.index()].tier != Some(tier) {
+            self.version += 1;
+        }
         self.entries[port.index()].tier = Some(tier);
     }
 
@@ -107,6 +121,9 @@ impl NeighborTable {
     /// Local carrier change. Returns `true` if the neighbor was up and is
     /// now effectively lost (caller should run its failure handling).
     pub fn set_carrier(&mut self, port: PortId, up: bool) -> bool {
+        if self.entries[port.index()].carrier != up {
+            self.version += 1;
+        }
         let e = &mut self.entries[port.index()];
         let was_usable = e.carrier && e.state == NeighborState::Up;
         e.carrier = up;
@@ -128,7 +145,7 @@ impl NeighborTable {
         let e = &mut self.entries[port.index()];
         let gap = now.saturating_sub(e.last_rx);
         e.last_rx = now;
-        match e.state {
+        let outcome = match e.state {
             NeighborState::Up => RxOutcome::Still,
             NeighborState::Unknown => {
                 // Cold start: first contact accepted immediately.
@@ -154,7 +171,11 @@ impl NeighborTable {
                     RxOutcome::SuppressedByDamping
                 }
             }
+        };
+        if outcome == RxOutcome::CameUp {
+            self.version += 1;
         }
+        outcome
     }
 
     /// Sweep for dead neighbors: any port whose neighbor was up but has
@@ -168,6 +189,9 @@ impl NeighborTable {
                 e.consec = 0;
                 dead.push(PortId(i as u16));
             }
+        }
+        if !dead.is_empty() {
+            self.version += 1;
         }
         dead
     }

@@ -28,12 +28,16 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol, RouteChangeKind, SpanEvent, StatsSnapshot};
+use dcn_sim::{
+    alloc_track, Ctx, FrameBuf, FrameClass, FrameMeta, PortId, Protocol, RouteChangeKind,
+    SpanEvent, StatsSnapshot,
+};
 use dcn_wire::{
     flow_hash_of, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, MrmtpMsg, Vid,
 };
 
 use crate::config::MrmtpConfig;
+use crate::fib::CompiledFib;
 use crate::neighbor::{NeighborTable, RxOutcome};
 use crate::reliable::ReliableTx;
 use crate::vid_table::VidTable;
@@ -96,6 +100,12 @@ pub struct MrmtpRouter {
     /// Pre-encoded hello frame per port (hellos are position-dependent but
     /// time-independent, so the keepalive fast path is a refcount bump).
     hello_frames: Vec<Option<FrameBuf>>,
+    /// Compiled forwarding table (see [`crate::fib`]).
+    fib: CompiledFib,
+    /// The `(VidTable, NeighborTable)` versions the FIB was compiled
+    /// from; `None` forces a rebuild (also used to invalidate on
+    /// `upper_lost` changes, which have no table version of their own).
+    fib_key: Option<(u64, u64)>,
     last_advertise: Time,
     started: bool,
     stats: RouterStats,
@@ -103,9 +113,15 @@ pub struct MrmtpRouter {
 
 impl MrmtpRouter {
     /// Create a router for a node with `ports` ports.
-    pub fn new(cfg: MrmtpConfig, ports: usize) -> MrmtpRouter {
+    pub fn new(mut cfg: MrmtpConfig, ports: usize) -> MrmtpRouter {
         let my_root = cfg.tor.as_ref().map(|t| Vid::root(t.derive_vid()));
-        let host_ports = cfg.tor.as_ref().map(|t| t.host_ports.clone()).unwrap_or_default();
+        // The router owns the config: move the host-port list out instead
+        // of cloning it (the config copy is never consulted again).
+        let host_ports = cfg
+            .tor
+            .as_mut()
+            .map(|t| std::mem::take(&mut t.host_ports))
+            .unwrap_or_default();
         let nbr = NeighborTable::new(ports, cfg.timers.dead_interval, cfg.timers.accept_hellos);
         MrmtpRouter {
             cfg,
@@ -121,6 +137,8 @@ impl MrmtpRouter {
             upper_lost: BTreeSet::new(),
             host_ports,
             hello_frames: vec![None; ports],
+            fib: CompiledFib::new(),
+            fib_key: None,
             last_advertise: 0,
             started: false,
             stats: RouterStats::default(),
@@ -207,7 +225,7 @@ impl MrmtpRouter {
             })
             .clone();
         self.nbr.note_tx(port, ctx.now());
-        ctx.send(port, frame, FrameClass::Keepalive);
+        ctx.send_meta(port, frame, FrameClass::Keepalive, FrameMeta::MrmtpHello);
     }
 
     /// Send a reliable (acknowledged, retransmitted) message.
@@ -324,7 +342,9 @@ impl MrmtpRouter {
             ctx.trace_span(SpanEvent::VidInstall { root: vid.root_id(), port });
             if was_absent {
                 let root = vid.root_id();
-                self.upper_lost.remove(&root);
+                if self.upper_lost.remove(&root) {
+                    self.fib_key = None;
+                }
                 if self.self_lost.remove(&root) {
                     regained.push(root);
                 }
@@ -448,6 +468,9 @@ impl MrmtpRouter {
                 ctx.trace_route_change(RouteChangeKind::Install, root as u64);
             }
             let regained: Vec<u8> = std::mem::take(&mut self.upper_lost).into_iter().collect();
+            if !regained.is_empty() {
+                self.fib_key = None;
+            }
             if !regained.is_empty() && self.cfg.tier > 1 {
                 self.flood_update_to_tier(ctx, &regained, self.cfg.tier - 1, false);
             }
@@ -554,6 +577,7 @@ impl MrmtpRouter {
                 // No uplink reaches this root: hand the loss down; there
                 // is nothing to discriminate locally.
                 self.upper_lost.insert(root);
+                self.fib_key = None;
                 totals = totals.saturating_add(1);
                 ctx.trace_span(SpanEvent::UpperLossTotal { root });
                 if self.cfg.tier > 1 {
@@ -595,6 +619,7 @@ impl MrmtpRouter {
                     ctx.trace_route_change(RouteChangeKind::Install, root as u64);
                 }
                 if self.upper_lost.remove(&root) {
+                    self.fib_key = None;
                     forward_down.push(root);
                 }
             }
@@ -611,7 +636,20 @@ impl MrmtpRouter {
     /// Choose the output port for traffic to `root` with flow hash
     /// `flow`. Downward VID-table entries win; otherwise hash across live
     /// uplinks, honoring negative entries.
-    fn route_for(&self, ctx: &Ctx<'_>, root: u8, flow: u16) -> Option<PortId> {
+    ///
+    /// With the fast path enabled this consults the [`CompiledFib`]
+    /// (recompiled lazily when a table version moved) instead of walking
+    /// the tables; the decision is identical by construction and by the
+    /// property tests in `tests/proptests.rs`.
+    fn route_for(&mut self, ctx: &Ctx<'_>, root: u8, flow: u16) -> Option<PortId> {
+        if self.cfg.fast_path && ctx.port_count() <= 128 {
+            let key = (self.table.version(), self.nbr.version());
+            if self.fib_key != Some(key) {
+                self.fib.rebuild(&self.table, &self.nbr, &self.upper_lost, self.cfg.tier);
+                self.fib_key = Some(key);
+            }
+            return self.fib.lookup(root, flow, ctx.port_up_mask());
+        }
         self.forwarding_port(root, flow, |p| ctx.port(p).up)
     }
 
@@ -636,27 +674,14 @@ impl MrmtpRouter {
     /// The sorted ECMP candidate set [`MrmtpRouter::forwarding_port`]
     /// hashes over (empty when traffic to `root` would be dropped).
     pub fn forwarding_candidates(&self, root: u8, port_up: impl Fn(PortId) -> bool) -> Vec<PortId> {
-        let mut down: Vec<PortId> = self
-            .table
-            .vids_for(root)
-            .iter()
-            .map(|o| o.port)
-            .filter(|&p| port_up(p) && self.nbr.is_up(p) && !self.table.is_negative(root, p))
-            .collect();
-        if !down.is_empty() {
-            down.sort_unstable();
-            return down;
-        }
-        if self.upper_lost.contains(&root) {
-            return Vec::new();
-        }
-        let mut ups: Vec<PortId> = self
-            .nbr
-            .up_ports_at_tier(self.cfg.tier + 1)
-            .filter(|&p| port_up(p) && !self.table.is_negative(root, p))
-            .collect();
-        ups.sort_unstable();
-        ups
+        crate::fib::reference_candidates(
+            &self.table,
+            &self.nbr,
+            &self.upper_lost,
+            self.cfg.tier,
+            root,
+            port_up,
+        )
     }
 
     /// An IP packet arrived from a rack port (ToR ingress).
@@ -679,50 +704,123 @@ impl MrmtpRouter {
         let rack = tor.rack_subnet;
         if rack.contains(pkt.dst) {
             // Intra-rack: bounce to the right server port.
-            self.deliver_to_host(ctx, &pkt, frame.payload.clone());
+            self.deliver_to_host(ctx, pkt.dst, &frame.payload);
             return;
         }
         // Derive the destination ToR VID from the destination address
         // (paper §III-D) and encapsulate.
         let dst_root = pkt.dst.third_octet();
+        let dst_vid = Vid::root(dst_root);
         let flow = (flow_hash_of(&pkt) & 0xFFFF) as u16;
-        let msg = MrmtpMsg::Data {
-            src: my_root,
-            dst: Vid::root(dst_root),
-            flow,
-            payload: frame.payload.clone(),
-        };
         match self.route_for(ctx, dst_root, flow) {
             Some(port) => {
                 self.stats.data_forwarded += 1;
-                self.send_msg(ctx, port, &msg, FrameClass::Data);
+                // Single-allocation encapsulation: Ethernet header +
+                // MR-MTP data header + IP bytes composed directly into
+                // the output buffer — byte-identical to encoding an
+                // `MrmtpMsg::Data` into an `EthernetFrame`, without the
+                // intermediate payload copies.
+                let hdr = MrmtpMsg::data_header_len(my_root, dst_vid);
+                let mut out = Vec::with_capacity(14 + hdr + frame.payload.len());
+                EthernetFrame::put_header(
+                    &mut out,
+                    MacAddr::BROADCAST,
+                    MacAddr::for_node_port(ctx.node().0, port.0),
+                    EtherType::Mrmtp,
+                );
+                MrmtpMsg::put_data_header(&mut out, my_root, dst_vid, flow);
+                out.extend_from_slice(&frame.payload);
+                self.nbr.note_tx(port, ctx.now());
+                ctx.send_meta(
+                    port,
+                    out,
+                    FrameClass::Data,
+                    FrameMeta::MrmtpData {
+                        dst_root,
+                        flow,
+                        payload_off: (14 + hdr) as u16,
+                        ip_dst: pkt.dst,
+                    },
+                );
             }
             None => self.stats.data_dropped += 1,
         }
     }
 
-    fn deliver_to_host(&mut self, ctx: &mut Ctx<'_>, pkt: &Ipv4Packet, ip_bytes: Vec<u8>) {
-        let Some(&(_, port)) = self.host_ports.iter().find(|(ip, _)| *ip == pkt.dst) else {
+    /// Host ingress with parse-once metadata: same decisions as
+    /// [`Self::on_host_ip`] (`flow` is the full hash the slow path would
+    /// recompute with `flow_hash_of`), minus the IPv4 decode.
+    fn on_host_ip_fast(&mut self, ctx: &mut Ctx<'_>, frame: &FrameBuf, dst: IpAddr4, flow64: u64) {
+        let Some(my_root) = self.my_root else {
             self.stats.data_dropped += 1;
             return;
         };
-        let out = EthernetFrame {
-            dst: MacAddr::for_node_port(ctx.node().0, port.0), // host accepts any
-            src: MacAddr::for_node_port(ctx.node().0, port.0),
-            ethertype: EtherType::Ipv4,
-            payload: ip_bytes,
+        let Some(tor) = self.cfg.tor.as_ref() else {
+            self.stats.data_dropped += 1;
+            return;
         };
-        self.stats.data_delivered += 1;
-        ctx.send(port, out.encode(), FrameClass::Data);
+        let ip_bytes_start = dcn_wire::ETHERNET_HEADER_LEN;
+        if tor.rack_subnet.contains(dst) {
+            self.deliver_to_host(ctx, dst, &frame[ip_bytes_start..]);
+            return;
+        }
+        let dst_root = dst.third_octet();
+        let dst_vid = Vid::root(dst_root);
+        let flow = (flow64 & 0xFFFF) as u16;
+        match self.route_for(ctx, dst_root, flow) {
+            Some(port) => {
+                self.stats.data_forwarded += 1;
+                let ip_bytes = &frame[ip_bytes_start..];
+                let hdr = MrmtpMsg::data_header_len(my_root, dst_vid);
+                let mut out = Vec::with_capacity(14 + hdr + ip_bytes.len());
+                EthernetFrame::put_header(
+                    &mut out,
+                    MacAddr::BROADCAST,
+                    MacAddr::for_node_port(ctx.node().0, port.0),
+                    EtherType::Mrmtp,
+                );
+                MrmtpMsg::put_data_header(&mut out, my_root, dst_vid, flow);
+                out.extend_from_slice(ip_bytes);
+                self.nbr.note_tx(port, ctx.now());
+                ctx.send_meta(
+                    port,
+                    out,
+                    FrameClass::Data,
+                    FrameMeta::MrmtpData {
+                        dst_root,
+                        flow,
+                        payload_off: (14 + hdr) as u16,
+                        ip_dst: dst,
+                    },
+                );
+            }
+            None => self.stats.data_dropped += 1,
+        }
     }
 
-    /// An encapsulated data frame arrived from the fabric.
+    fn deliver_to_host(&mut self, ctx: &mut Ctx<'_>, dst: IpAddr4, ip_bytes: &[u8]) {
+        let Some(&(_, port)) = self.host_ports.iter().find(|(ip, _)| *ip == dst) else {
+            self.stats.data_dropped += 1;
+            return;
+        };
+        // Compose the host-facing frame in one allocation (the host
+        // accepts any MAC, so both addresses are this port's).
+        let mac = MacAddr::for_node_port(ctx.node().0, port.0);
+        let mut out = Vec::with_capacity(14 + ip_bytes.len());
+        EthernetFrame::put_header(&mut out, mac, mac, EtherType::Ipv4);
+        out.extend_from_slice(ip_bytes);
+        self.stats.data_delivered += 1;
+        ctx.send(port, out, FrameClass::Data);
+    }
+
+    /// An encapsulated data frame arrived from the fabric (slow path:
+    /// the frame was re-parsed because no metadata accompanied it).
     fn on_data(&mut self, ctx: &mut Ctx<'_>, raw_frame: &FrameBuf, dst: Vid, flow: u16, payload: &[u8]) {
         let root = dst.root_id();
         if self.my_root.map(|v| v.root_id()) == Some(root) {
             // Terminal ToR: de-encapsulate and hand to the server.
             match Ipv4Packet::decode(payload) {
-                Ok(pkt) => self.deliver_to_host(ctx, &pkt, payload.to_vec()),
+                Ok(pkt) => self.deliver_to_host(ctx, pkt.dst, payload),
                 Err(_) => {
                     self.stats.data_dropped += 1;
                     self.stats.malformed_frames_dropped += 1;
@@ -740,6 +838,24 @@ impl MrmtpRouter {
                 ctx.send(port, raw_frame.clone(), FrameClass::Data);
             }
             None => self.stats.data_dropped += 1,
+        }
+    }
+
+    /// Keep-alive accounting shared by the slow and fast receive paths:
+    /// every MR-MTP frame proves the neighbor alive; Slow-to-Accept may
+    /// suppress protocol processing (returns `true`) while a flapping
+    /// neighbor re-proves itself.
+    fn note_keepalive(&mut self, ctx: &mut Ctx<'_>, port: PortId) -> bool {
+        match self.nbr.note_rx(port, ctx.now()) {
+            RxOutcome::SuppressedByDamping => true,
+            RxOutcome::CameUp => {
+                ctx.trace_span(SpanEvent::NeighborUp { port });
+                // Give the neighbor a chance to (re)join our trees.
+                self.advertise_on(ctx, port);
+                self.resync_after_rejoin(ctx, port);
+                false
+            }
+            RxOutcome::Still => false,
         }
     }
 
@@ -840,16 +956,8 @@ impl Protocol for MrmtpRouter {
         };
         // Every frame is a keep-alive; Slow-to-Accept may suppress
         // protocol processing while a flapping neighbor re-proves itself.
-        let outcome = self.nbr.note_rx(port, ctx.now());
-        match outcome {
-            RxOutcome::SuppressedByDamping => return,
-            RxOutcome::CameUp => {
-                ctx.trace_span(SpanEvent::NeighborUp { port });
-                // Give the neighbor a chance to (re)join our trees.
-                self.advertise_on(ctx, port);
-                self.resync_after_rejoin(ctx, port);
-            }
-            RxOutcome::Still => {}
+        if self.note_keepalive(ctx, port) {
+            return;
         }
         match msg {
             MrmtpMsg::Hello => {}
@@ -868,6 +976,72 @@ impl Protocol for MrmtpRouter {
                 self.on_data(ctx, frame, dst, flow, &payload)
             }
         }
+    }
+
+    /// The fast path: trust the sender's parse-once metadata instead of
+    /// re-decoding the frame at every hop. The engine clears the metadata
+    /// if impairment corrupted the frame in flight, so a metadata-bearing
+    /// frame always decodes to exactly what the metadata describes — the
+    /// branches below are behaviorally identical to [`Self::on_frame`]
+    /// (the equivalence suite asserts bit-equal trace digests).
+    fn on_frame_meta(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        frame: &FrameBuf,
+        meta: Option<FrameMeta>,
+    ) {
+        if self.cfg.fast_path && ctx.port_count() <= 128 {
+            match meta {
+                Some(FrameMeta::MrmtpHello) => {
+                    // Pure keep-alive: skip both decodes entirely.
+                    self.note_keepalive(ctx, port);
+                    return;
+                }
+                Some(FrameMeta::MrmtpData { dst_root, flow, payload_off, ip_dst }) => {
+                    if self.note_keepalive(ctx, port) {
+                        return;
+                    }
+                    if self.my_root.map(|v| v.root_id()) == Some(dst_root) {
+                        // Terminal ToR: the metadata already carries the
+                        // inner destination, so de-encapsulation is a
+                        // slice, not a parse.
+                        self.deliver_to_host(ctx, ip_dst, &frame[payload_off as usize..]);
+                        return;
+                    }
+                    // Transit: compiled-FIB pick + refcount re-send. The
+                    // alloc_track scope is how the soak benchmark proves
+                    // this block allocates nothing in steady state.
+                    let _scope = alloc_track::scope();
+                    match self.route_for(ctx, dst_root, flow) {
+                        Some(out) => {
+                            self.stats.data_forwarded += 1;
+                            self.nbr.note_tx(out, ctx.now());
+                            ctx.send_meta(
+                                out,
+                                frame.clone(),
+                                FrameClass::Data,
+                                FrameMeta::MrmtpData { dst_root, flow, payload_off, ip_dst },
+                            );
+                            alloc_track::note_forward();
+                        }
+                        None => self.stats.data_dropped += 1,
+                    }
+                    return;
+                }
+                Some(FrameMeta::Ipv4Data { dst, flow, .. }) => {
+                    // Host ingress without the IPv4 re-parse; IPv4 frames
+                    // on fabric ports are ignored exactly as in the slow
+                    // path's ethertype dispatch.
+                    if self.is_host_port(port) {
+                        self.on_host_ip_fast(ctx, frame, dst, flow);
+                    }
+                    return;
+                }
+                None => {}
+            }
+        }
+        self.on_frame(ctx, port, frame)
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

@@ -27,6 +27,10 @@ pub struct VidTable {
     /// Negative reachability: for a destination root, ports that loss
     /// updates have ruled out.
     negative: BTreeMap<u8, BTreeSet<PortId>>,
+    /// Bumped on every mutation that can change forwarding candidates.
+    /// The compiled FIB keys its rebuild on this, so lookups between
+    /// route changes never re-scan the table.
+    version: u64,
 }
 
 impl VidTable {
@@ -34,11 +38,18 @@ impl VidTable {
         VidTable::default()
     }
 
+    /// Monotonic change counter (see the `version` field).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Install an acquired VID. Replaces a previous VID with the same root
     /// acquired on the same port (re-join after recovery). Returns `true`
     /// if the root was previously absent entirely (the router *regained*
     /// the root).
     pub fn install(&mut self, vid: Vid, port: PortId) -> bool {
+        self.version += 1;
         let entry = self.own.entry(vid.root_id()).or_default();
         let was_empty = entry.is_empty();
         if let Some(slot) = entry.iter_mut().find(|o| o.port == port) {
@@ -53,6 +64,7 @@ impl VidTable {
     /// the root is now entirely lost.
     pub fn remove_via(&mut self, root: u8, port: PortId) -> bool {
         if let Some(entry) = self.own.get_mut(&root) {
+            self.version += 1;
             let before = entry.len();
             entry.retain(|o| o.port != port);
             let lost = entry.is_empty();
@@ -103,12 +115,14 @@ impl VidTable {
 
     /// Install a negative entry. Returns `true` if it is new.
     pub fn add_negative(&mut self, root: u8, port: PortId) -> bool {
+        self.version += 1;
         self.negative.entry(root).or_default().insert(port)
     }
 
     /// Clear a negative entry. Returns `true` if one was present.
     pub fn clear_negative(&mut self, root: u8, port: PortId) -> bool {
         if let Some(set) = self.negative.get_mut(&root) {
+            self.version += 1;
             let removed = set.remove(&port);
             if set.is_empty() {
                 self.negative.remove(&root);
@@ -129,7 +143,16 @@ impl VidTable {
             }
             !set.is_empty()
         });
+        if !roots.is_empty() {
+            self.version += 1;
+        }
         roots
+    }
+
+    /// Iterate negative entries as `(root, ports ruled out)` (compiled-FIB
+    /// rebuild input).
+    pub fn negatives(&self) -> impl Iterator<Item = (u8, &BTreeSet<PortId>)> + '_ {
+        self.negative.iter().map(|(&r, s)| (r, s))
     }
 
     /// Is `port` ruled out for `root`?

@@ -1,8 +1,12 @@
-//! Property tests on MR-MTP's core data structures: VID-table invariants
-//! and the Quick-to-Detect / Slow-to-Accept neighbor state machine.
+//! Property tests on MR-MTP's core data structures: VID-table invariants,
+//! the Quick-to-Detect / Slow-to-Accept neighbor state machine, and the
+//! compiled FIB's equivalence to the reference forwarding walk.
+
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
+use dcn_mrmtp::fib::{reference_candidates, CompiledFib};
 use dcn_mrmtp::{NeighborState, NeighborTable, VidTable};
 use dcn_sim::PortId;
 use dcn_wire::Vid;
@@ -113,6 +117,66 @@ proptest! {
                 return Ok(());
             } else {
                 prop_assert!(timely_run < accept, "should have come up by now");
+            }
+        }
+    }
+
+    /// The compiled FIB is a *lookup table*, not a reimplementation: for
+    /// any table state (installs, removals, negative entries), neighbor
+    /// state (tiers, carrier loss), upper-loss set, and admin port mask,
+    /// `CompiledFib::lookup` picks bit-for-bit the same next hop as the
+    /// slow path's `reference_candidates` + `ecmp_index`.
+    #[test]
+    fn compiled_fib_matches_reference_walk(
+        ops in proptest::collection::vec(arb_op(), 0..48),
+        tiers in proptest::collection::vec(1u8..5, 6),
+        carrier_down in proptest::collection::vec(any::<bool>(), 6),
+        lost in proptest::collection::vec(1u8..=40, 0..4),
+        tier in 1u8..4,
+        up_bits in any::<u8>(),
+        flows in proptest::collection::vec(any::<u16>(), 1..6),
+    ) {
+        let mut t = VidTable::new();
+        for op in ops {
+            match op {
+                TableOp::Install(v, p) => { t.install(v, PortId(p)); }
+                TableOp::RemoveVia(r, p) => { t.remove_via(r, PortId(p)); }
+                TableOp::AddNeg(r, p) => { t.add_negative(r, PortId(p)); }
+                TableOp::ClearNeg(r, p) => { t.clear_negative(r, PortId(p)); }
+                TableOp::ClearPort(p) => { t.clear_negatives_on_port(PortId(p)); }
+            }
+        }
+        let mut nbr = NeighborTable::new(6, 100, 3);
+        for p in 0..6u16 {
+            nbr.note_rx(PortId(p), 10);
+        }
+        for (p, &tr) in tiers.iter().enumerate() {
+            nbr.set_tier(PortId(p as u16), tr);
+        }
+        for (p, &down) in carrier_down.iter().enumerate() {
+            if down {
+                nbr.set_carrier(PortId(p as u16), false);
+            }
+        }
+        let upper_lost: BTreeSet<u8> = lost.into_iter().collect();
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&t, &nbr, &upper_lost, tier);
+        let mask = up_bits as u128;
+        let port_up = |p: PortId| p.index() < 128 && mask & (1 << p.index()) != 0;
+        // Roots 1..=40 may be present; 0 and 41..=45 never are, checking
+        // the default-route (uplink) path for unknown destinations.
+        for root in 0u8..=45 {
+            for &flow in &flows {
+                let cands = reference_candidates(&t, &nbr, &upper_lost, tier, root, port_up);
+                let slow = if cands.is_empty() {
+                    None
+                } else {
+                    Some(cands[dcn_wire::ecmp_index(flow as u64, cands.len())])
+                };
+                prop_assert_eq!(
+                    fib.lookup(root, flow, mask), slow,
+                    "root {} flow {} mask {:#x}", root, flow, mask
+                );
             }
         }
     }

@@ -13,14 +13,26 @@
 //! [`check_regression`] compares a fresh report against a committed
 //! baseline and fails when throughput drops by more than a tolerance,
 //! which is what the CI smoke job gates on.
+//!
+//! A third measurement backs the data-plane fast path:
+//!
+//! * **Traffic soak** — converge a fabric, then pump cross-pod flows
+//!   through it (N flows × 5 router hops each) and measure forwarded
+//!   data packets per CPU second with the fast path on and off, plus
+//!   heap allocations per forwarded packet when the binary installed
+//!   the counting `#[global_allocator]`. Emitted as `BENCH_traffic.json`
+//!   (`schema: "bench_traffic/v1"`) and gated by
+//!   [`check_traffic_regression`] the same way.
 
 use std::time::Instant;
 
-use dcn_sim::{SchedulerKind, SimConfig};
+use dcn_sim::time::{MICROS, SECONDS};
+use dcn_sim::{alloc_track, SchedulerKind, SimConfig};
 use dcn_telemetry::Json;
-use dcn_topology::{ClosParams, Fabric};
+use dcn_topology::{Addressing, ClosParams, Fabric};
+use dcn_traffic::SendSpec;
 
-use crate::fabric::{build_fabric_sim_cfg, Stack, StackTuning};
+use crate::fabric::{build_fabric_sim_cfg, BuiltSim, Stack, StackTuning};
 use crate::scenario::Timing;
 
 /// One fabric size in the scale sweep.
@@ -242,6 +254,260 @@ impl BenchReport {
     }
 }
 
+// ----------------------------------------------------------------------
+// Traffic soak (the data-plane fast-path benchmark)
+// ----------------------------------------------------------------------
+
+/// One (fabric size × stack) point of the traffic soak.
+#[derive(Clone, Debug)]
+pub struct TrafficPoint {
+    pub pods: usize,
+    pub stack: Stack,
+    /// Concurrent cross-pod flows.
+    pub flows: usize,
+    /// Router hops each packet crosses (up one side, down the other).
+    pub hops: usize,
+    /// Data packets forwarded by routers over one measured window.
+    pub packets: u64,
+    /// Forwarded packets per CPU second, fast path on / off.
+    pub pkts_per_sec_fast: f64,
+    pub pkts_per_sec_slow: f64,
+    pub speedup: f64,
+    /// Heap allocations per forwarded packet on the fast path. `None`
+    /// when the process has no counting allocator (library tests);
+    /// `Some(0.0)` is a real measured zero.
+    pub allocs_per_packet: Option<f64>,
+}
+
+/// The full `fcr bench --traffic` output.
+#[derive(Clone, Debug)]
+pub struct TrafficReport {
+    pub quick: bool,
+    /// Was a counting `#[global_allocator]` installed in this process?
+    pub alloc_counter: bool,
+    pub points: Vec<TrafficPoint>,
+}
+
+/// Sum of `data_forwarded` across every router (transit decisions, the
+/// soak's unit of work).
+fn total_forwarded(built: &BuiltSim) -> u64 {
+    built
+        .fabric
+        .routers()
+        .map(|r| match built.stack {
+            Stack::Mrmtp => built.mrmtp(r).stats().data_forwarded,
+            _ => built.bgp(r).stats().data_forwarded,
+        })
+        .sum()
+}
+
+/// Soak one (pods × stack × fast_path) combination: converge, then
+/// extend the horizon in fixed steady-state windows until enough CPU
+/// time is banked. Returns (packets forwarded per window, packets/sec,
+/// allocations inside forwarding scopes, fast-path forward count).
+fn soak_one(
+    pods: usize,
+    stack: Stack,
+    fast_path: bool,
+    quick: bool,
+    seed: u64,
+) -> Result<(u64, f64, u64, u64), String> {
+    let params = ClosParams::scaled(pods)?;
+    let fabric = Fabric::build(params);
+    let addr = Addressing::new(&fabric);
+    // Cross-pod flows, both directions, one per ToR pair: every packet
+    // crosses the full up/down diameter of the fabric.
+    let far = params.pods - 1;
+    let mut senders = Vec::new();
+    // BGP needs session establishment plus the initial table dumps;
+    // MR-MTP's trees converge in well under a second.
+    let warmup = if stack == Stack::Mrmtp { 2 * SECONDS } else { 6 * SECONDS };
+    let window = if quick { SECONDS / 2 } else { SECONDS };
+    let horizon_cap = warmup + 4096 * window;
+    for t in 0..params.tors_per_pod {
+        let spec = |dst_tor: usize| {
+            let mut s = SendSpec::new(
+                addr.server_addr(dst_tor, 0).expect("server address"),
+                warmup,
+                horizon_cap,
+            );
+            // The load shape is identical in quick mode — only windows and
+            // rep counts shrink — so quick CI smoke rates stay comparable
+            // with a committed full-mode baseline.
+            s.interval = 50 * MICROS;
+            s
+        };
+        senders.push((fabric.server(0, t, 0), spec(fabric.tor(far, t))));
+        senders.push((fabric.server(far, t, 0), spec(fabric.tor(0, t))));
+    }
+    let cfg = SimConfig { trace: false, ..SimConfig::default() };
+    let tuning = StackTuning { fast_path, ..StackTuning::default() };
+    let mut built = build_fabric_sim_cfg(fabric, stack, seed, &senders, tuning, cfg);
+    built.sim.run_until(warmup);
+    let warm_forwarded = total_forwarded(&built);
+    alloc_track::reset();
+    let mut horizon = warmup;
+    let target = if quick { 0.05 } else { 0.25 };
+    let (reps, cpu, _wall) = measure(target, if quick { 4 } else { 64 }, || {
+        horizon += window;
+        built.sim.run_until(horizon);
+    });
+    let delta = total_forwarded(&built) - warm_forwarded;
+    Ok((
+        delta / reps as u64,
+        delta as f64 / cpu,
+        alloc_track::scoped_allocs(),
+        alloc_track::forwarded(),
+    ))
+}
+
+/// Run the traffic soak across `pods` for both data-plane stacks
+/// (MR-MTP and BGP/ECMP; BFD adds keepalive load, not forwarding work).
+pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<TrafficReport, String> {
+    let mut points = Vec::new();
+    for &p in pods {
+        for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
+            let (packets, fast_rate, allocs, fast_fwd) = soak_one(p, stack, true, quick, seed)?;
+            let (_, slow_rate, _, _) = soak_one(p, stack, false, quick, seed)?;
+            let allocs_per_packet = (alloc_track::counting_allocator_installed()
+                && fast_fwd > 0)
+                .then(|| allocs as f64 / fast_fwd as f64);
+            points.push(TrafficPoint {
+                pods: p,
+                stack,
+                flows: ClosParams::scaled(p)?.tors_per_pod * 2,
+                hops: Fabric::build(ClosParams::scaled(p)?).cross_pod_router_hops(),
+                packets,
+                pkts_per_sec_fast: fast_rate,
+                pkts_per_sec_slow: slow_rate,
+                speedup: fast_rate / slow_rate,
+                allocs_per_packet,
+            });
+        }
+    }
+    Ok(TrafficReport {
+        quick,
+        alloc_counter: alloc_track::counting_allocator_installed(),
+        points,
+    })
+}
+
+impl TrafficReport {
+    /// Serialize to the committed `BENCH_traffic.json` schema
+    /// (`bench_traffic/v1`; see EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("bench_traffic/v1")),
+            ("quick", Json::Bool(self.quick)),
+            ("alloc_counter_installed", Json::Bool(self.alloc_counter)),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("pods", Json::UInt(p.pods as u64)),
+                                ("stack", Json::str(p.stack.slug())),
+                                ("flows", Json::UInt(p.flows as u64)),
+                                ("hops", Json::UInt(p.hops as u64)),
+                                ("packets", Json::UInt(p.packets)),
+                                ("pkts_per_sec_fast", Json::Float(p.pkts_per_sec_fast)),
+                                ("pkts_per_sec_slow", Json::Float(p.pkts_per_sec_slow)),
+                                ("speedup", Json::Float(p.speedup)),
+                                (
+                                    "allocs_per_forwarded_packet",
+                                    p.allocs_per_packet.map_or(Json::Null, Json::Float),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "traffic soak (cross-pod flows, fast path vs slow path; allocs {}):\n",
+            if self.alloc_counter { "measured" } else { "not measured" },
+        ));
+        out.push_str(
+            "pods  stack         flows  hops    packets     fast pkt/s     slow pkt/s  speedup  allocs/pkt\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>4}  {:<12}  {:>5}  {:>4}  {:>9}  {:>13.0}  {:>13.0}  {:>6.2}x  {}\n",
+                p.pods,
+                p.stack.label(),
+                p.flows,
+                p.hops,
+                p.packets,
+                p.pkts_per_sec_fast,
+                p.pkts_per_sec_slow,
+                p.speedup,
+                p.allocs_per_packet
+                    .map_or("n/a".into(), |a| format!("{a:.3}")),
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a fresh traffic report against a committed baseline
+/// (`BENCH_traffic.json` contents). Fails when fast-path packets/sec at
+/// any matching (pods, stack) point dropped by more than `tolerance`, or
+/// when MR-MTP transit — measured with a counting allocator — allocates
+/// at all (the zero-alloc invariant is a hard gate, not a trend).
+pub fn check_traffic_regression(
+    current: &TrafficReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<(), String> {
+    let base = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let points = base
+        .get("points")
+        .and_then(|s| s.as_arr())
+        .ok_or("baseline missing points array")?;
+    for point in &current.points {
+        if current.alloc_counter && point.stack == Stack::Mrmtp {
+            if let Some(a) = point.allocs_per_packet {
+                if a > 0.0 {
+                    return Err(format!(
+                        "MR-MTP transit allocates: {a:.3} allocs/packet at {} pods (expected 0)",
+                        point.pods
+                    ));
+                }
+            }
+        }
+        let Some(b) = points.iter().find(|b| {
+            b.get("pods").and_then(|p| p.as_u64()) == Some(point.pods as u64)
+                && b.get("stack").and_then(|s| s.as_str()) == Some(point.stack.slug())
+        }) else {
+            continue;
+        };
+        let base_rate = b
+            .get("pkts_per_sec_fast")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| {
+                format!("baseline {} pods {} missing pkts_per_sec_fast", point.pods, point.stack.slug())
+            })?;
+        if point.pkts_per_sec_fast < base_rate * (1.0 - tolerance) {
+            return Err(format!(
+                "traffic regression at {} pods ({}): {:.0} pkt/s vs baseline {:.0} (>{:.0}% drop)",
+                point.pods,
+                point.stack.label(),
+                point.pkts_per_sec_fast,
+                base_rate,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Compare a fresh report against a committed baseline (`BENCH_scale.json`
 /// contents). Fails if events/sec at any matching PoD count dropped by
 /// more than `tolerance` (0.20 = 20%), or the scheduler microbench
@@ -321,5 +587,44 @@ mod tests {
     #[test]
     fn odd_pod_count_is_rejected() {
         assert!(run_bench(&[3], true, 7).is_err());
+    }
+
+    #[test]
+    fn quick_traffic_soak_produces_sane_report() {
+        let report = run_traffic_bench(&[2], true, 7).expect("2-pod soak runs");
+        assert!(report.quick);
+        assert_eq!(report.points.len(), 2, "one point per stack");
+        for p in &report.points {
+            assert_eq!(p.pods, 2);
+            assert_eq!(p.flows, 4);
+            assert_eq!(p.hops, 5);
+            assert!(p.packets > 0, "{:?}: no packets forwarded", p.stack);
+            assert!(p.pkts_per_sec_fast > 0.0);
+            assert!(p.pkts_per_sec_slow > 0.0);
+            // Library tests have no counting allocator, so allocs/packet
+            // must be honestly absent rather than a fake zero.
+            assert_eq!(p.allocs_per_packet, None);
+        }
+        assert!(!report.alloc_counter);
+
+        // JSON round-trips through the schema.
+        let rendered = report.to_json().render();
+        let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_traffic/v1"));
+        assert_eq!(
+            parsed.get("points").and_then(|s| s.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+
+        // A report never regresses against itself...
+        check_traffic_regression(&report, &rendered, 0.20).expect("self-baseline passes");
+
+        // ...but does against an inflated baseline.
+        let mut inflated = report.clone();
+        for p in &mut inflated.points {
+            p.pkts_per_sec_fast *= 10.0;
+        }
+        let inflated_json = inflated.to_json().render();
+        assert!(check_traffic_regression(&report, &inflated_json, 0.20).is_err());
     }
 }

@@ -86,6 +86,9 @@ pub struct ChaosConfig {
     /// Event-scheduler backend (the equivalence suite runs the same
     /// seeds on both backends and compares digests).
     pub scheduler: SchedulerKind,
+    /// Data-plane fast path on every router (the equivalence suite runs
+    /// the same seeds with it off and compares digests).
+    pub fast_path: bool,
 }
 
 impl Default for ChaosConfig {
@@ -114,6 +117,7 @@ impl Default for ChaosConfig {
             convergence_bound: 6 * SECONDS,
             flows_per_pair: 4,
             scheduler: SchedulerKind::default(),
+            fast_path: true,
         }
     }
 }
@@ -313,7 +317,7 @@ fn run_chaos_once(
         stack,
         seed,
         &[],
-        StackTuning::default(),
+        StackTuning { fast_path: cfg.fast_path, ..StackTuning::default() },
         cfg.scheduler,
     );
     let schedule = FaultSchedule::generate(seed, &built.fabric, cfg);

@@ -42,7 +42,7 @@ impl Stack {
 /// Tunable protocol parameters for ablation studies (§IX: "tune timers
 /// for optimal performance of the protocols"). `None` fields keep the
 /// paper's defaults.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct StackTuning {
     /// Override every MR-MTP router's timer block.
     pub mrmtp_timers: Option<dcn_mrmtp::MrmtpTimers>,
@@ -52,6 +52,22 @@ pub struct StackTuning {
     pub bgp_hold: Option<dcn_sim::time::Duration>,
     /// Override the BFD transmit interval (paper: 100 ms).
     pub bfd_tx_interval: Option<dcn_sim::time::Duration>,
+    /// Data-plane fast path (compiled FIBs + parse-once metadata) on
+    /// every router. On by default; the equivalence suite turns it off
+    /// to prove trace digests are bit-identical either way.
+    pub fast_path: bool,
+}
+
+impl Default for StackTuning {
+    fn default() -> StackTuning {
+        StackTuning {
+            mrmtp_timers: None,
+            bgp_keepalive: None,
+            bgp_hold: None,
+            bfd_tx_interval: None,
+            fast_path: true,
+        }
+    }
 }
 
 /// A ready-to-run emulation plus the structural handles needed to inject
@@ -242,6 +258,7 @@ fn build_mrmtp(
     if let Some(t) = tuning.mrmtp_timers {
         cfg.timers = t;
     }
+    cfg.fast_path = tuning.fast_path;
     Box::new(MrmtpRouter::new(cfg, fabric.ports[i].len()))
 }
 
@@ -270,6 +287,7 @@ fn build_bgp(
     if let Some(b) = tuning.bfd_tx_interval {
         cfg.bfd_tx_interval = b;
     }
+    cfg.fast_path = tuning.fast_path;
     for (pi, pr) in fabric.ports[i].iter().enumerate() {
         match pr.kind {
             PortKind::Host => {}

@@ -103,6 +103,15 @@ impl RunSpec {
         self
     }
 
+    /// Enable or disable the data-plane fast path on every router
+    /// (compiled FIBs + parse-once frame metadata). On by default; the
+    /// equivalence suite runs each spec both ways and asserts bit-equal
+    /// trace digests.
+    pub fn with_fast_path(mut self, on: bool) -> RunSpec {
+        self.tuning.fast_path = on;
+        self
+    }
+
     /// Attach a telemetry sink configuration for instrumented runs.
     pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> RunSpec {
         self.telemetry = Some(cfg);

@@ -1,8 +1,17 @@
-//! Scheduler-equivalence suite: the timer wheel must be an *invisible*
-//! replacement for the reference binary heap. For every paper failure
-//! case on both protocol stacks, and for randomized chaos schedules, a
-//! run's trace digest must be bit-identical whichever backend the spec
-//! selects — same events, same order, same bytes on the wire.
+//! Equivalence suite for the engine's *invisible* optimizations.
+//!
+//! Two independent substitutions must never change observable behavior:
+//!
+//! 1. **Scheduler backends** — the timer wheel must be a drop-in
+//!    replacement for the reference binary heap.
+//! 2. **The data-plane fast path** — compiled FIBs plus parse-once frame
+//!    metadata must forward every packet exactly as the slow path's
+//!    decode → table-walk → re-encode does.
+//!
+//! For every paper failure case on both protocol stacks, and for
+//! randomized chaos schedules, a run's trace digest must be
+//! bit-identical whichever variant the spec selects — same events, same
+//! order, same bytes on the wire.
 
 use dcn_experiments::chaos::{run_chaos, trace_digest};
 use dcn_experiments::{run_digest, ChaosConfig, RunSpec, Stack, TrafficDir};
@@ -73,6 +82,64 @@ fn chaos_seeds_digest_identically_across_backends() {
             "chaos seed {seed}: backends diverged"
         );
     }
+}
+
+// ----------------------------------------------------------------------
+// Fast-path equivalence: compiled FIBs + parse-once metadata on vs off
+// ----------------------------------------------------------------------
+
+fn fast_path_invisible(spec: RunSpec) {
+    let on = run_digest(spec.with_fast_path(true));
+    let off = run_digest(spec.with_fast_path(false));
+    assert_eq!(on, off, "fast path changed behavior for {spec:?}");
+}
+
+#[test]
+fn fast_path_digest_identical_on_mrmtp_tc_cases() {
+    // Traffic pins monitored flows onto the failure chain so the digest
+    // covers data forwarding through the event, not just control plane.
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        fast_path_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+                .failing(tc)
+                .with_traffic(TrafficDir::NearToFar),
+        );
+    }
+}
+
+#[test]
+fn fast_path_digest_identical_on_bgp_tc_cases() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        fast_path_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp)
+                .failing(tc)
+                .with_traffic(TrafficDir::FarToNear),
+        );
+    }
+}
+
+#[test]
+fn fast_path_digest_identical_with_bfd() {
+    fast_path_invisible(
+        RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmpBfd)
+            .failing(FailureCase::Tc1)
+            .with_traffic(TrafficDir::NearToFar),
+    );
+}
+
+#[test]
+fn fast_path_digest_identical_under_chaos() {
+    // Chaos adds loss, corruption, jitter, flaps, and crashes — the
+    // fast path must shrug all of it off (corrupted frames drop their
+    // metadata in transit and fall back to the slow path).
+    for seed in [21u64, 22] {
+        let on = run_chaos(seed, Stack::Mrmtp, &ChaosConfig { fast_path: true, ..quick_chaos() });
+        let off = run_chaos(seed, Stack::Mrmtp, &ChaosConfig { fast_path: false, ..quick_chaos() });
+        assert_eq!(on.digest, off.digest, "chaos seed {seed}: fast path diverged");
+    }
+    let on = run_chaos(23, Stack::BgpEcmp, &ChaosConfig { fast_path: true, ..quick_chaos() });
+    let off = run_chaos(23, Stack::BgpEcmp, &ChaosConfig { fast_path: false, ..quick_chaos() });
+    assert_eq!(on.digest, off.digest, "chaos seed 23: fast path diverged on BGP");
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! Forwarding-path allocation accounting.
+//!
+//! The traffic soak benchmark claims a concrete number — heap
+//! allocations per forwarded data packet — and this module is how that
+//! number is measured rather than asserted. Routers bracket their data
+//! forwarding code in a [`scope`] guard and tick [`note_forward`] per
+//! packet; a binary that installs [`CountingAllocator`] as its
+//! `#[global_allocator]` then counts every allocation landing inside a
+//! scope. The quotient `scoped_allocs() / forwarded()` is the honest
+//! per-packet figure: endpoint work (packet generation, terminal host
+//! delivery) and engine bookkeeping stay outside the scope.
+//!
+//! With no counting allocator installed (the normal case: library tests,
+//! the simulation proper) the cost is two relaxed atomic stores per
+//! forwarded packet and the counters simply stay zero —
+//! [`counting_allocator_installed`] lets reports distinguish "measured
+//! zero" from "not measured".
+//!
+//! The counters are process-wide atomics, not thread-locals: the
+//! simulator is single-threaded by design, and a `#[global_allocator]`
+//! must be safe to call before any thread-local machinery exists.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+static IN_SCOPE: AtomicBool = AtomicBool::new(false);
+static SCOPED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FORWARDED: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// RAII guard marking the current extent as forwarding-path code.
+/// Nested scopes are harmless (the guard restores the previous state).
+pub struct ScopeGuard {
+    prev: bool,
+}
+
+/// Enter a forwarding scope: allocations until the guard drops are
+/// charged to the forwarding path.
+#[inline]
+pub fn scope() -> ScopeGuard {
+    ScopeGuard { prev: IN_SCOPE.swap(true, Relaxed) }
+}
+
+impl Drop for ScopeGuard {
+    #[inline]
+    fn drop(&mut self) {
+        IN_SCOPE.store(self.prev, Relaxed);
+    }
+}
+
+/// Record one forwarded data packet (the denominator).
+#[inline]
+pub fn note_forward() {
+    FORWARDED.fetch_add(1, Relaxed);
+}
+
+/// Zero both counters (start of a measurement window).
+pub fn reset() {
+    SCOPED_ALLOCS.store(0, Relaxed);
+    FORWARDED.store(0, Relaxed);
+}
+
+/// Allocations observed inside forwarding scopes since [`reset`].
+pub fn scoped_allocs() -> u64 {
+    SCOPED_ALLOCS.load(Relaxed)
+}
+
+/// Forwarded packets recorded since [`reset`].
+pub fn forwarded() -> u64 {
+    FORWARDED.load(Relaxed)
+}
+
+/// Has a [`CountingAllocator`] observed any allocation in this process?
+/// `false` means `scoped_allocs()` is trivially zero and must not be
+/// reported as a measurement.
+pub fn counting_allocator_installed() -> bool {
+    INSTALLED.load(Relaxed)
+}
+
+/// A `System`-delegating allocator that attributes allocations to the
+/// active forwarding scope. Install in a *binary* (never a library):
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: dcn_sim::alloc_track::CountingAllocator =
+///     dcn_sim::alloc_track::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    #[inline]
+    fn count(&self) {
+        if !INSTALLED.load(Relaxed) {
+            INSTALLED.store(true, Relaxed);
+        }
+        if IN_SCOPE.load(Relaxed) {
+            SCOPED_ALLOCS.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+// SAFETY: pure delegation to `System`; the counters never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.count();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow that moves is a fresh allocation from the forwarding
+        // path's point of view.
+        self.count();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_nesting_restores_state() {
+        assert!(!IN_SCOPE.load(Relaxed));
+        {
+            let _a = scope();
+            assert!(IN_SCOPE.load(Relaxed));
+            {
+                let _b = scope();
+                assert!(IN_SCOPE.load(Relaxed));
+            }
+            assert!(IN_SCOPE.load(Relaxed), "inner guard restored outer scope");
+        }
+        assert!(!IN_SCOPE.load(Relaxed));
+    }
+
+    #[test]
+    fn forward_counter_counts() {
+        reset();
+        note_forward();
+        note_forward();
+        assert_eq!(forwarded(), 2);
+        reset();
+        assert_eq!(forwarded(), 0);
+        // No counting allocator in unit tests: scoped allocs stay zero.
+        assert_eq!(scoped_allocs(), 0);
+    }
+}

@@ -30,6 +30,10 @@ struct NodeSlot {
     /// Engine-managed periodic timers: `(token, every)`. At most a
     /// handful per node (a coalesced protocol tick), hence a flat vec.
     periodic: Vec<(u64, Duration)>,
+    /// Bit `i` set ⟺ `views[i].up`, for the first 128 ports. Kept in
+    /// lockstep with `views` so [`Ctx::port_up_mask`] is a load instead
+    /// of a per-port scan on every forwarded packet.
+    up_mask: u128,
     rng: DetRng,
 }
 
@@ -97,6 +101,7 @@ impl SimBuilder {
             views: Vec::new(),
             admin_target: Vec::new(),
             periodic: Vec::new(),
+            up_mask: 0,
             rng: DetRng::new(self.seed, id.0 as u64),
         });
         id
@@ -122,6 +127,9 @@ impl SimBuilder {
         let p = PortId(slot.port_links.len() as u16);
         slot.port_links.push(link);
         slot.views.push(PortView { connected: true, up: true });
+        if p.index() < 128 {
+            slot.up_mask |= 1 << p.index();
+        }
         slot.admin_target.push(true);
         p
     }
@@ -364,11 +372,13 @@ impl Sim {
                     }
                 }
             }
-            Event::Deliver { node, port, frame } => {
+            Event::Deliver { node, port, frame, meta } => {
                 // Receiver interface must still be up.
                 if self.nodes[node.index()].views[port.index()].up {
                     self.frames_delivered += 1;
-                    self.with_proto(node, |proto, ctx| proto.on_frame(ctx, port, &frame));
+                    self.with_proto(node, |proto, ctx| {
+                        proto.on_frame_meta(ctx, port, &frame, meta)
+                    });
                 }
             }
             Event::AdminPortDown { node, port } => {
@@ -398,6 +408,13 @@ impl Sim {
     fn set_iface(&mut self, node: NodeId, port: PortId, up: bool) {
         let slot = &mut self.nodes[node.index()];
         slot.views[port.index()].up = up;
+        if port.index() < 128 {
+            if up {
+                slot.up_mask |= 1 << port.index();
+            } else {
+                slot.up_mask &= !(1 << port.index());
+            }
+        }
         let lid = slot.port_links[port.index()];
         let link = &mut self.links[lid.index()];
         if link.a.node == node && link.a.port == port {
@@ -423,6 +440,7 @@ impl Sim {
                 now: self.time,
                 node,
                 ports: &slot.views,
+                up_mask: slot.up_mask,
                 out: &mut actions,
                 rng: &mut slot.rng,
             };
@@ -441,7 +459,9 @@ impl Sim {
         self.periodic_just_set.clear();
         for action in actions.drain(..) {
             match action {
-                Action::Send { port, frame, class } => self.transmit(node, port, frame, class),
+                Action::Send { port, frame, class, meta } => {
+                    self.transmit(node, port, frame, class, meta)
+                }
                 Action::Timer { delay, token } => {
                     self.queue.push(self.time + delay, Event::Timer { node, token });
                 }
@@ -459,7 +479,14 @@ impl Sim {
         }
     }
 
-    fn transmit(&mut self, node: NodeId, port: PortId, mut frame: FrameBuf, class: crate::trace::FrameClass) {
+    fn transmit(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        mut frame: FrameBuf,
+        class: crate::trace::FrameClass,
+        mut meta: Option<dcn_wire::FrameMeta>,
+    ) {
         let slot = &self.nodes[node.index()];
         let Some(&lid) = slot.port_links.get(port.index()) else {
             return; // unconnected port: nothing to do
@@ -505,6 +532,9 @@ impl Sim {
                 // copy-on-write keeps sharers of the buffer (retransmit
                 // queues, frame caches) unaffected by in-flight damage.
                 frame = frame.with_corrupted_byte(idx, 1 + self.chaos_rng.below(255) as u8);
+                // The metadata described the original bytes; after
+                // corruption it would lie, so the receiver must re-parse.
+                meta = None;
                 self.frames_corrupted += 1;
             }
             if imp.jitter > 0 {
@@ -512,7 +542,7 @@ impl Sim {
             }
         }
         self.queue
-            .push(arrive, Event::Deliver { node: peer.node, port: peer.port, frame });
+            .push(arrive, Event::Deliver { node: peer.node, port: peer.port, frame, meta });
     }
 }
 

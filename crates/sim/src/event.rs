@@ -12,7 +12,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use dcn_wire::FrameBuf;
+use dcn_wire::{FrameBuf, FrameMeta};
 
 use crate::node::{NodeId, PortId};
 use crate::time::Time;
@@ -21,8 +21,11 @@ use crate::wheel::TimerWheel;
 /// A scheduled occurrence.
 #[derive(Debug)]
 pub enum Event {
-    /// A frame arrives at `node`/`port`.
-    Deliver { node: NodeId, port: PortId, frame: FrameBuf },
+    /// A frame arrives at `node`/`port`. `meta` is the sender's
+    /// parse-once metadata (dropped by the engine on in-flight
+    /// corruption); it never influences scheduling, tracing, or the
+    /// bytes delivered.
+    Deliver { node: NodeId, port: PortId, frame: FrameBuf, meta: Option<FrameMeta> },
     /// A protocol timer fires at `node`.
     Timer { node: NodeId, token: u64 },
     /// Failure injection: take `node`'s interface `port` down (carrier

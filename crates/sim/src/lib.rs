@@ -25,6 +25,7 @@
 //! reproducible. Parallelism is applied one level up (the experiment
 //! harness fans independent scenarios out over threads).
 
+pub mod alloc_track;
 pub mod engine;
 pub mod event;
 pub mod link;
@@ -34,7 +35,7 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
-pub use dcn_wire::FrameBuf;
+pub use dcn_wire::{FrameBuf, FrameMeta};
 pub use engine::{Sim, SimBuilder, SimConfig};
 pub use event::{scheduler_stress, Event, SchedulerKind};
 pub use link::{Impairment, LinkId, LinkSpec};

@@ -4,7 +4,7 @@
 
 use std::any::Any;
 
-use dcn_wire::FrameBuf;
+use dcn_wire::{FrameBuf, FrameMeta};
 
 use crate::rng::DetRng;
 use crate::time::{Duration, Time};
@@ -59,11 +59,14 @@ impl std::fmt::Display for PortId {
 #[derive(Debug)]
 pub enum Action {
     /// Transmit `frame` out of `port`. `class` is metadata for tracing only;
-    /// it never affects delivery.
+    /// it never affects delivery. `meta` is optional parse-once metadata
+    /// delivered alongside the frame to the receiving protocol; it never
+    /// affects the wire bytes, the trace, or delivery order.
     Send {
         port: PortId,
         frame: FrameBuf,
         class: FrameClass,
+        meta: Option<FrameMeta>,
     },
     /// Deliver `on_timer(token)` back to this node after `delay`.
     Timer { delay: Duration, token: u64 },
@@ -96,6 +99,7 @@ pub struct Ctx<'a> {
     pub(crate) now: Time,
     pub(crate) node: NodeId,
     pub(crate) ports: &'a [PortView],
+    pub(crate) up_mask: u128,
     pub(crate) out: &'a mut Vec<Action>,
     pub(crate) rng: &'a mut DetRng,
 }
@@ -125,6 +129,15 @@ impl<'a> Ctx<'a> {
         self.ports[port.index()]
     }
 
+    /// Bitmask of administratively-up ports: bit `i` set ⟺
+    /// `self.port(PortId(i)).up`, for the first 128 ports. Maintained
+    /// incrementally by the engine so compiled-FIB candidate selection is
+    /// a branchless mask-and-pick instead of a per-port loop.
+    #[inline]
+    pub fn port_up_mask(&self) -> u128 {
+        self.up_mask
+    }
+
     /// Iterate over all connected ports.
     pub fn connected_ports(&self) -> impl Iterator<Item = PortId> + '_ {
         self.ports
@@ -139,7 +152,22 @@ impl<'a> Ctx<'a> {
     /// dropped by the engine, mirroring a real kernel's behaviour with a
     /// carrier-less interface.
     pub fn send(&mut self, port: PortId, frame: impl Into<FrameBuf>, class: FrameClass) {
-        self.out.push(Action::Send { port, frame: frame.into(), class });
+        self.out.push(Action::Send { port, frame: frame.into(), class, meta: None });
+    }
+
+    /// Transmit a frame with parse-once metadata attached. The metadata
+    /// rides alongside the bytes to the receiving protocol's
+    /// [`Protocol::on_frame_meta`]; it must describe exactly what the
+    /// frame encodes (attach it only where the frame is encoded). The
+    /// engine drops it if impairment corrupts the frame in flight.
+    pub fn send_meta(
+        &mut self,
+        port: PortId,
+        frame: impl Into<FrameBuf>,
+        class: FrameClass,
+        meta: FrameMeta,
+    ) {
+        self.out.push(Action::Send { port, frame: frame.into(), class, meta: Some(meta) });
     }
 
     /// Arm a one-shot timer. There is deliberately no cancellation: stale
@@ -237,6 +265,23 @@ pub trait Protocol: Send {
     /// consume it unchanged; forwarding planes clone it to re-send the same
     /// bytes without copying.
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf);
+
+    /// A frame arrived on `port`, possibly with parse-once metadata
+    /// attached by the sender (see [`Ctx::send_meta`]). This is the entry
+    /// point the engine actually calls; the default implementation
+    /// ignores the metadata and delegates to [`Protocol::on_frame`], so
+    /// protocols without a fast path need not change. Implementations
+    /// overriding this must treat the metadata as advisory: behavior with
+    /// and without it must be identical.
+    fn on_frame_meta(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        frame: &FrameBuf,
+        _meta: Option<FrameMeta>,
+    ) {
+        self.on_frame(ctx, port, frame)
+    }
 
     /// A timer armed via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);

@@ -1,0 +1,277 @@
+//! Offline in-repo small-vector shim (the workspace builds without
+//! registry access). Exposes the subset of the `smallvec` v2 API this
+//! workspace uses: a vector that stores up to `N` elements inline on the
+//! stack and spills to the heap only past that — so short, bounded lists
+//! (ECMP candidate sets, per-prefix next-hop arrays) never allocate on
+//! the forwarding fast path.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector with inline storage for `N` elements.
+pub struct SmallVec<T, const N: usize> {
+    inline: [MaybeUninit<T>; N],
+    /// Number of initialized elements in `inline`; meaningless once
+    /// spilled.
+    len: usize,
+    /// Heap storage once the inline capacity is exceeded. `Some` means
+    /// every element lives in the `Vec` and `inline`/`len` are unused.
+    spill: Option<Vec<T>>,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    pub const fn new() -> SmallVec<T, N> {
+        SmallVec {
+            // SAFETY: an array of MaybeUninit needs no initialization.
+            inline: unsafe { MaybeUninit::uninit().assume_init() },
+            len: 0,
+            spill: None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.spill {
+            Some(v) => v.len(),
+            None => self.len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Did the vector spill to the heap?
+    pub fn spilled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    pub fn push(&mut self, value: T) {
+        if let Some(v) = &mut self.spill {
+            v.push(value);
+            return;
+        }
+        if self.len < N {
+            self.inline[self.len].write(value);
+            self.len += 1;
+            return;
+        }
+        // Spill: move the inline elements to the heap, then push.
+        let mut v = Vec::with_capacity(N * 2);
+        for slot in &mut self.inline[..self.len] {
+            // SAFETY: the first `len` slots are initialized, and we reset
+            // `len` below so they are never read (or dropped) again.
+            v.push(unsafe { slot.assume_init_read() });
+        }
+        self.len = 0;
+        v.push(value);
+        self.spill = Some(v);
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        if let Some(v) = &mut self.spill {
+            return v.pop();
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: slot `len` was initialized and is now out of bounds.
+        Some(unsafe { self.inline[self.len].assume_init_read() })
+    }
+
+    pub fn clear(&mut self) {
+        if let Some(v) = &mut self.spill {
+            v.clear();
+            return;
+        }
+        for slot in &mut self.inline[..self.len] {
+            // SAFETY: the first `len` slots are initialized.
+            unsafe { slot.assume_init_drop() };
+        }
+        self.len = 0;
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        match &self.spill {
+            Some(v) => v.as_slice(),
+            // SAFETY: the first `len` inline slots are initialized.
+            None => unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr().cast(), self.len)
+            },
+        }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.spill {
+            Some(v) => v.as_mut_slice(),
+            // SAFETY: the first `len` inline slots are initialized.
+            None => unsafe {
+                std::slice::from_raw_parts_mut(self.inline.as_mut_ptr().cast(), self.len)
+            },
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    pub fn from_slice(slice: &[T]) -> SmallVec<T, N>
+    where
+        T: Clone,
+    {
+        let mut out = SmallVec::new();
+        out.extend(slice.iter().cloned());
+        out
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> SmallVec<T, N> {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<&[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u16, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_preserves_order() {
+        let mut v: SmallVec<u16, 2> = SmallVec::new();
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(v.pop(), Some(6));
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn pop_and_clear_inline() {
+        let mut v: SmallVec<u8, 4> = SmallVec::from_slice(&[9, 8]);
+        assert_eq!(v.pop(), Some(8));
+        assert_eq!(v.pop(), Some(9));
+        assert_eq!(v.pop(), None);
+        v.extend([1, 2, 3]);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn drops_inline_elements() {
+        use std::rc::Rc;
+        let tracker = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(tracker.clone());
+            v.push(tracker.clone());
+        }
+        assert_eq!(Rc::strong_count(&tracker), 1, "inline elements dropped");
+    }
+
+    #[test]
+    fn sort_and_index_via_deref() {
+        let mut v: SmallVec<u32, 8> = SmallVec::from_slice(&[3, 1, 2]);
+        v.sort_unstable();
+        assert_eq!(v[0], 1);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_and_from_iterator() {
+        let v: SmallVec<u8, 2> = [1u8, 2, 3].into_iter().collect();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(v, &[1u8, 2, 3][..]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+    }
+}

@@ -549,6 +549,18 @@ impl Fabric {
         self.ports[node].iter().position(|p| p.peer == peer)
     }
 
+    /// Router hops a data packet crosses between servers in *different*
+    /// PoDs: up one side of the folded Clos and down the other (ToR →
+    /// PoD spine → top spine → PoD spine → ToR = 5 in three-tier
+    /// fabrics; four-tier adds a zone-spine layer each way). The traffic
+    /// soak benchmark reports its workload as N flows × this many hops.
+    pub fn cross_pod_router_hops(&self) -> usize {
+        match self.tiers {
+            3 => 5,
+            _ => 7,
+        }
+    }
+
     /// MR-MTP root VID of a ToR node.
     pub fn tor_vid(&self, node: usize) -> Option<u8> {
         match self.nodes[node].role {
@@ -596,6 +608,15 @@ mod tests {
         assert_eq!(p.num_routers(), 20, "the paper says 15 of the 20 routers");
         let f = Fabric::build(p);
         assert_eq!(f.nodes.len(), 20 + 8);
+    }
+
+    #[test]
+    fn cross_pod_hop_count_by_tier() {
+        assert_eq!(Fabric::build(ClosParams::two_pod()).cross_pod_router_hops(), 5);
+        assert_eq!(
+            Fabric::build_four_tier(FourTierParams::small()).cross_pod_router_hops(),
+            7
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@
 use std::any::Any;
 
 use dcn_sim::time::{millis, Duration, Time};
-use dcn_sim::{Ctx, FrameBuf, FrameClass, PortId, Protocol};
+use dcn_sim::{Ctx, FrameBuf, FrameClass, FrameMeta, PortId, Protocol};
 use dcn_wire::{
-    EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, IPPROTO_UDP,
+    flow_hash, EtherType, EthernetFrame, IpAddr4, Ipv4Packet, MacAddr, UdpDatagram, IPPROTO_UDP,
 };
 
 /// Magic marker identifying generator packets (so stray traffic never
@@ -170,7 +170,15 @@ impl TrafficHost {
             ethertype: EtherType::Ipv4,
             payload: pkt.encode(),
         };
-        ctx.send(PortId(0), frame.encode(), FrameClass::Data);
+        // Parse-once: the 5-tuple is fixed per spec, so the first-hop
+        // router can skip the IPv4 decode entirely (the hash never
+        // covers TTL, so it stays valid across hops).
+        let meta = FrameMeta::Ipv4Data {
+            dst: spec.dst,
+            flow: flow_hash(self.ip, spec.dst, IPPROTO_UDP, spec.src_port, spec.dst_port),
+            ttl: pkt.ttl,
+        };
+        ctx.send_meta(PortId(0), frame.encode(), FrameClass::Data, meta);
     }
 
     /// Test/analysis entry point: process one raw Ethernet frame as if it

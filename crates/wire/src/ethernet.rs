@@ -115,6 +115,17 @@ impl EthernetFrame {
         out
     }
 
+    /// Append the 14-byte header for (`dst`, `src`, `ethertype`) to `out`.
+    ///
+    /// Lets an encapsulating router build `header + borrowed payload` in a
+    /// single pre-sized allocation instead of cloning the payload into an
+    /// `EthernetFrame` first; the bytes are identical to [`Self::encode`].
+    pub fn put_header(out: &mut Vec<u8>, dst: MacAddr, src: MacAddr, ethertype: EtherType) {
+        out.extend_from_slice(&dst.0);
+        out.extend_from_slice(&src.0);
+        out.extend_from_slice(&ethertype.to_u16().to_be_bytes());
+    }
+
     /// Decode from raw bytes.
     pub fn decode(buf: &[u8]) -> Result<EthernetFrame, WireError> {
         if buf.len() < ETHERNET_HEADER_LEN {

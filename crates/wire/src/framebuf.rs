@@ -59,9 +59,20 @@ impl FrameBuf {
     /// except `bytes[idx] ^= xor`. Sharers of the original are unaffected.
     /// `xor` must be nonzero and `idx` in range for a real change.
     pub fn with_corrupted_byte(&self, idx: usize, xor: u8) -> FrameBuf {
-        let mut copy: Vec<u8> = self.bytes.to_vec();
-        copy[idx] ^= xor;
-        FrameBuf::new(copy)
+        self.mutate_copy(|bytes| bytes[idx] ^= xor)
+    }
+
+    /// Copy-and-patch: duplicate the bytes into a fresh buffer — one
+    /// allocation, one copy — and let `patch` rewrite them in place
+    /// before the buffer is frozen. This is the per-hop primitive for
+    /// TTL-rewriting forwarders: building the output in a `Vec` and
+    /// wrapping it with [`FrameBuf::new`] would pay a second
+    /// allocation-plus-copy converting `Vec<u8>` to `Arc<[u8]>`.
+    pub fn mutate_copy(&self, patch: impl FnOnce(&mut [u8])) -> FrameBuf {
+        let mut bytes: Arc<[u8]> = Arc::from(&*self.bytes);
+        // A freshly constructed Arc is uniquely owned.
+        patch(Arc::get_mut(&mut bytes).expect("fresh Arc is unique"));
+        FrameBuf { bytes }
     }
 }
 

@@ -24,6 +24,7 @@ pub mod ethernet;
 pub mod flow;
 pub mod framebuf;
 pub mod ipv4;
+pub mod meta;
 pub mod mrmtp;
 pub mod tcp;
 pub mod udp;
@@ -37,7 +38,10 @@ pub use ethernet::{
 };
 pub use flow::{ecmp_index, flow_hash, flow_hash_of};
 pub use framebuf::FrameBuf;
-pub use ipv4::{IpAddr4, Ipv4Packet, Prefix, IPPROTO_TCP, IPPROTO_UDP, IPV4_HEADER_LEN};
+pub use ipv4::{
+    internet_checksum, IpAddr4, Ipv4Packet, Prefix, IPPROTO_TCP, IPPROTO_UDP, IPV4_HEADER_LEN,
+};
+pub use meta::FrameMeta;
 pub use mrmtp::{MrmtpMsg, Vid, MRMTP_ETHERTYPE, MRMTP_HELLO_BYTE, VID_MAX_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};

@@ -216,6 +216,22 @@ impl MrmtpMsg {
         }
     }
 
+    /// Append a `Data` message header (type, flow, src VID, dst VID) to
+    /// `out`. Following it with the encapsulated IP bytes produces output
+    /// byte-identical to `MrmtpMsg::Data { .. }.encode()`, without ever
+    /// cloning the payload into the message struct.
+    pub fn put_data_header(out: &mut Vec<u8>, src: Vid, dst: Vid, flow: u16) {
+        out.push(T_DATA);
+        out.extend_from_slice(&flow.to_be_bytes());
+        put_vid(out, src);
+        put_vid(out, dst);
+    }
+
+    /// Encoded length of the header [`Self::put_data_header`] writes.
+    pub fn data_header_len(src: Vid, dst: Vid) -> usize {
+        1 + 2 + (1 + src.depth()) + (1 + dst.depth())
+    }
+
     fn encode_update(ty: u8, seq: u16, roots: &[u8]) -> Vec<u8> {
         let mut out = vec![ty];
         out.extend_from_slice(&seq.to_be_bytes());

@@ -11,6 +11,7 @@
 //! fcr ablations                    # design-choice ablations
 //! fcr keepalive                    # Figs. 9–10 summary
 //! fcr bench --scale 2,4,8,16       # scaling + scheduler benchmarks
+//! fcr bench --traffic              # data-plane forwarding soak
 //! ```
 //!
 //! Stacks: `mrmtp`, `bgp`, `bgp-bfd`. Cases: `tc1`–`tc4`.
@@ -19,6 +20,13 @@ use std::path::PathBuf;
 
 use dcn_experiments::{ablations, bench, figures, run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
+
+/// Count heap allocations landing inside forwarding scopes, so
+/// `fcr bench --traffic` reports a measured allocations-per-forwarded-
+/// packet figure instead of a trivial zero.
+#[global_allocator]
+static ALLOC: dcn_sim::alloc_track::CountingAllocator =
+    dcn_sim::alloc_track::CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
@@ -55,9 +63,12 @@ fn usage() -> ! {
          \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
          \x20 bench [opts]                  scaling + scheduler benchmarks\n\
          \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16)\n\
+         \x20   --traffic        forwarding soak instead: packets/sec and\n\
+         \x20                    allocs per forwarded packet, fast vs slow path\n\
          \x20   --quick          short windows (CI smoke mode)\n\
-         \x20   --out FILE       write BENCH_scale.json here (default stdout only)\n\
-         \x20   --baseline FILE  fail (exit 1) on >20% events/sec regression"
+         \x20   --out FILE       write BENCH_scale.json (or BENCH_traffic.json\n\
+         \x20                    with --traffic) here (default stdout only)\n\
+         \x20   --baseline FILE  fail (exit 1) on >20% throughput regression"
     );
     std::process::exit(2);
 }
@@ -327,6 +338,7 @@ fn main() {
         Some("bench") => {
             let mut pods: Vec<usize> = vec![2, 4, 8, 16];
             let mut quick = false;
+            let mut traffic = false;
             let mut out: Option<PathBuf> = None;
             let mut baseline: Option<PathBuf> = None;
             let mut i = 1;
@@ -346,6 +358,10 @@ fn main() {
                         quick = true;
                         i += 1;
                     }
+                    "--traffic" => {
+                        traffic = true;
+                        i += 1;
+                    }
                     "--out" => {
                         out = Some(PathBuf::from(val(i)));
                         i += 2;
@@ -356,6 +372,46 @@ fn main() {
                     }
                     _ => usage(),
                 }
+            }
+            let write_out = |json: String, out: Option<PathBuf>| {
+                if let Some(path) = out {
+                    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                        eprintln!("bench: write to {} failed: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {}", path.display());
+                }
+            };
+            let read_baseline = |path: &PathBuf| -> String {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("bench: read baseline {} failed: {e}", path.display());
+                    std::process::exit(2);
+                })
+            };
+            if traffic {
+                eprintln!(
+                    "traffic soak at {pods:?} PoDs, fast path vs slow path ({})…",
+                    if quick { "quick" } else { "full" }
+                );
+                let report = match bench::run_traffic_bench(&pods, quick, seed) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("bench: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                print!("{}", report.render_text());
+                write_out(report.to_json().render(), out);
+                if let Some(path) = baseline {
+                    match bench::check_traffic_regression(&report, &read_baseline(&path), 0.20) {
+                        Ok(()) => eprintln!("no regression vs {}", path.display()),
+                        Err(e) => {
+                            eprintln!("FAIL: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                return;
             }
             eprintln!(
                 "benchmarking scheduler + fabric scale at {pods:?} PoDs ({})…",
@@ -369,20 +425,9 @@ fn main() {
                 }
             };
             print!("{}", report.render_text());
-            let json = report.to_json().render();
-            if let Some(path) = out {
-                if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
-                    eprintln!("bench: write to {} failed: {e}", path.display());
-                    std::process::exit(2);
-                }
-                eprintln!("wrote {}", path.display());
-            }
+            write_out(report.to_json().render(), out);
             if let Some(path) = baseline {
-                let base = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                    eprintln!("bench: read baseline {} failed: {e}", path.display());
-                    std::process::exit(2);
-                });
-                match bench::check_regression(&report, &base, 0.20) {
+                match bench::check_regression(&report, &read_baseline(&path), 0.20) {
                     Ok(()) => eprintln!("no regression vs {}", path.display()),
                     Err(e) => {
                         eprintln!("FAIL: {e}");
