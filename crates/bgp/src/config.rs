@@ -47,6 +47,13 @@ pub struct BgpConfig {
     /// identical either way — the equivalence suite asserts bit-equal
     /// trace digests — so this stays on except when running that proof.
     pub fast_path: bool,
+    /// Local fast reroute: when the hashed ECMP member is locally dead,
+    /// re-spread over surviving members, then over the precomputed
+    /// next-best backup set — in the data plane, before BFD/hold timers
+    /// notice. At most one repair per packet (metadata loop guard);
+    /// requires `fast_path`. Off by default so baseline behavior — and
+    /// the trace digest — is exactly the pre-repair protocol.
+    pub local_repair: bool,
 }
 
 impl BgpConfig {
@@ -66,11 +73,17 @@ impl BgpConfig {
             host_ports: Vec::new(),
             connect_retry: secs(1),
             fast_path: true,
+            local_repair: false,
         }
     }
 
     pub fn with_fast_path(mut self, on: bool) -> BgpConfig {
         self.fast_path = on;
+        self
+    }
+
+    pub fn with_local_repair(mut self, on: bool) -> BgpConfig {
+        self.local_repair = on;
         self
     }
 

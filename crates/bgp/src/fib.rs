@@ -25,12 +25,24 @@ use smallvec::SmallVec;
 
 use crate::rib::Rib;
 
+/// One compiled route: the ECMP best set plus the precomputed
+/// local-repair backup set (next-best Adj-RIB-In candidates).
+struct Route {
+    prefix: dcn_wire::Prefix,
+    /// ECMP member ports, `Rib::members` order (sorted by peer port).
+    ports: SmallVec<PortId, 8>,
+    /// Local-repair fallback: [`Rib::backup_members`] — the ports the
+    /// control plane would promote once the best set is withdrawn.
+    /// Consulted only by [`CompiledFib::lookup_repair`].
+    backups: SmallVec<PortId, 8>,
+}
+
 /// The compiled Loc-RIB. Next-hop port sets stay inline up to 8 members
 /// (a pod spine's uplink radix in the paper's topologies).
 #[derive(Default)]
 pub struct CompiledFib {
-    /// `(prefix, ECMP member ports)` sorted by (len desc, addr asc).
-    routes: Vec<(dcn_wire::Prefix, SmallVec<PortId, 8>)>,
+    /// Routes sorted by (len desc, addr asc).
+    routes: Vec<Route>,
 }
 
 impl CompiledFib {
@@ -45,11 +57,13 @@ impl CompiledFib {
             let ports: SmallVec<PortId, 8> =
                 rib.members(prefix).iter().map(|e| e.peer_port).collect();
             if !ports.is_empty() {
-                self.routes.push((prefix, ports));
+                let backups: SmallVec<PortId, 8> =
+                    rib.backup_members(prefix).into_iter().collect();
+                self.routes.push(Route { prefix, ports, backups });
             }
         }
         self.routes.sort_by(|a, b| {
-            b.0.len.cmp(&a.0.len).then(a.0.addr.cmp(&b.0.addr))
+            b.prefix.len.cmp(&a.prefix.len).then(a.prefix.addr.cmp(&b.prefix.addr))
         });
     }
 
@@ -57,9 +71,55 @@ impl CompiledFib {
     /// Bit-for-bit the same port `Rib::lookup` + `ecmp_index` selects.
     #[inline]
     pub fn lookup(&self, dst: IpAddr4, flow: u64) -> Option<PortId> {
-        for (prefix, ports) in &self.routes {
-            if prefix.contains(dst) {
-                return Some(ports[dcn_wire::ecmp_index(flow, ports.len())]);
+        for r in &self.routes {
+            if r.prefix.contains(dst) {
+                return Some(r.ports[dcn_wire::ecmp_index(flow, r.ports.len())]);
+            }
+        }
+        None
+    }
+
+    /// Like [`CompiledFib::lookup`], but with local fast reroute: the
+    /// ECMP pick is filtered through `port_up` (the router's own admin
+    /// view), and when every best-set member is dead the precomputed
+    /// backup set answers instead, flagged as a repair (`true`). Repair
+    /// picks avoid `arrival` unless it is the only survivor. When the
+    /// plain pick's port is up the decision is bit-identical to
+    /// [`CompiledFib::lookup`] — which keeps `local_repair=off` behavior
+    /// byte-for-byte unchanged. Never allocates.
+    #[inline]
+    pub fn lookup_repair(
+        &self,
+        dst: IpAddr4,
+        flow: u64,
+        port_up: impl Fn(PortId) -> bool,
+        arrival: Option<PortId>,
+    ) -> Option<(PortId, bool)> {
+        let r = self.routes.iter().find(|r| r.prefix.contains(dst))?;
+        let plain = r.ports[dcn_wire::ecmp_index(flow, r.ports.len())];
+        if port_up(plain) {
+            return Some((plain, false));
+        }
+        // The hashed member is locally dead: re-spread the flow over the
+        // surviving members, then over the backup set.
+        for set in [&r.ports, &r.backups] {
+            let avoid = |p: PortId| !port_up(p) || arrival == Some(p);
+            let mut live = set.iter().filter(|&&p| !avoid(p)).count();
+            let mut back_ok = false;
+            if live == 0 {
+                // Arrival may be the only survivor: better back than dropped.
+                live = set.iter().filter(|&&p| port_up(p)).count();
+                back_ok = true;
+            }
+            if live > 0 {
+                let k = dcn_wire::ecmp_index(flow, live);
+                let pick = set
+                    .iter()
+                    .filter(|&&p| if back_ok { port_up(p) } else { !avoid(p) })
+                    .nth(k)
+                    .copied()
+                    .expect("k < live");
+                return Some((pick, true));
             }
         }
         None
@@ -128,6 +188,46 @@ mod tests {
         fib.rebuild(&rib);
         assert_eq!(fib.lookup(dst, 0), None);
         assert_eq!(fib.route_count(), 0);
+    }
+
+    #[test]
+    fn repair_respreads_then_falls_back_to_next_best() {
+        let mut rib = Rib::new();
+        // Best set {0, 1}; next-best {2}; a worse path on 3 stays unused.
+        rib.ingest_advert(PortId(0), pfx(11, 24), vec![64513, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(1), pfx(11, 24), vec![64514, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(2), pfx(11, 24), vec![64515, 64512, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(3), pfx(11, 24), vec![1, 2, 3, 4], IpAddr4(0));
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&rib);
+        let dst = IpAddr4::new(192, 168, 11, 7);
+        for flow in [0u64, 1, 7, 100, 9999] {
+            let plain = fib.lookup(dst, flow).unwrap();
+            // All up: identical unflagged pick.
+            assert_eq!(fib.lookup_repair(dst, flow, |_| true, None), Some((plain, false)));
+            // Hashed member dead: re-spread over the surviving member.
+            let other = if plain == PortId(0) { PortId(1) } else { PortId(0) };
+            assert_eq!(
+                fib.lookup_repair(dst, flow, |p| p != plain, None),
+                Some((other, true))
+            );
+            // Whole best set dead: the next-best backup answers.
+            let up = |p: PortId| p != PortId(0) && p != PortId(1);
+            assert_eq!(fib.lookup_repair(dst, flow, up, None), Some((PortId(2), true)));
+            // ...unless the packet arrived there and another port lives.
+            assert_eq!(
+                fib.lookup_repair(dst, flow, up, Some(PortId(2))),
+                Some((PortId(2), true)),
+                "arrival is the only survivor: better back than dropped"
+            );
+            // Everything dead: still a drop.
+            assert_eq!(fib.lookup_repair(dst, flow, |_| false, None), None);
+        }
+        // Unknown destination stays a drop either way.
+        assert_eq!(
+            fib.lookup_repair(IpAddr4::new(10, 0, 0, 1), 0, |_| true, None),
+            None
+        );
     }
 
     #[test]

@@ -64,9 +64,18 @@ impl Rib {
 
     /// Loc-RIB generation counter. Moves exactly when a recomputation
     /// reports anything other than [`RibChange::Unchanged`], so a stale
-    /// compiled FIB can be detected in O(1).
+    /// compiled FIB can be detected in O(1). Bumps use wrapping
+    /// arithmetic and consumers compare snapshots for *equality* only,
+    /// so the counter stays correct across a `u64` wraparound.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Test hook: park the generation counter at an arbitrary value
+    /// (e.g. `u64::MAX`) to exercise wraparound.
+    #[cfg(test)]
+    pub(crate) fn set_version(&mut self, v: u64) {
+        self.version = v;
     }
 
     /// Record a received advertisement. Returns prefixes needing
@@ -161,7 +170,7 @@ impl Rib {
             self.loc.insert(prefix, members);
         }
         if change != RibChange::Unchanged {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         change
     }
@@ -192,6 +201,55 @@ impl Rib {
     /// The representative (first) best path for advertisement.
     pub fn best(&self, prefix: Prefix) -> Option<&PathEntry> {
         self.members(prefix).first().copied()
+    }
+
+    /// Local-repair backup candidates for `prefix`: the peer ports of the
+    /// *next-best* Adj-RIB-In paths — the shortest AS-path length strictly
+    /// worse than the Loc-RIB best set, excluding any port already an
+    /// ECMP member. Sorted ascending. These are the routes the control
+    /// plane itself would promote once the best set is withdrawn, so a
+    /// data-plane repair through them forwards exactly where the
+    /// post-convergence FIB will.
+    ///
+    /// Best-effort by design: an Adj-RIB-In-only change (a longer path
+    /// learned or withdrawn) does not bump [`Rib::version`], so a
+    /// compiled backup set can lag such changes until the next Loc-RIB
+    /// change triggers a rebuild. Primary forwarding is unaffected.
+    pub fn backup_members(&self, prefix: Prefix) -> Vec<PortId> {
+        let best: Vec<PortId> = self
+            .loc
+            .get(&prefix)
+            .map(|m| m.iter().map(|e| e.peer_port).collect())
+            .unwrap_or_default();
+        let best_len = self
+            .loc
+            .get(&prefix)
+            .and_then(|m| m.first())
+            .map(|e| e.as_path.len())
+            .unwrap_or(usize::MAX);
+        let mut next_len = usize::MAX;
+        let mut ports: Vec<PortId> = Vec::new();
+        for (&port, routes) in &self.adj_in {
+            if best.contains(&port) {
+                continue;
+            }
+            if let Some(path) = routes.get(&prefix) {
+                if path.len() <= best_len {
+                    continue;
+                }
+                match path.len().cmp(&next_len) {
+                    std::cmp::Ordering::Less => {
+                        next_len = path.len();
+                        ports.clear();
+                        ports.push(port);
+                    }
+                    std::cmp::Ordering::Equal => ports.push(port),
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+        ports.sort_unstable();
+        ports
     }
 
     /// All prefixes currently reachable (learned), for initial table
@@ -393,5 +451,39 @@ mod tests {
         assert_eq!(rib.route_count(), 1);
         assert_eq!(rib.path_count(), 2);
         assert_eq!(rib.approx_bytes(), 2 * (5 + 8 + 6));
+    }
+
+    #[test]
+    fn backup_members_are_the_next_best_tier() {
+        let mut rib = Rib::new();
+        // Two equal best paths, two next-best, one even worse.
+        rib.ingest_advert(PortId(0), pfx(11), vec![64513, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(1), pfx(11), vec![64514, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(3), pfx(11), vec![64515, 64512, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(2), pfx(11), vec![64516, 64517, 65001], IpAddr4(0));
+        rib.ingest_advert(PortId(4), pfx(11), vec![1, 2, 3, 4], IpAddr4(0));
+        assert_eq!(rib.members(pfx(11)).len(), 2);
+        assert_eq!(rib.backup_members(pfx(11)), vec![PortId(2), PortId(3)]);
+        // No worse paths → no backups.
+        rib.ingest_advert(PortId(0), pfx(12), vec![64513, 65002], IpAddr4(0));
+        assert!(rib.backup_members(pfx(12)).is_empty());
+        // Unknown prefix → no backups.
+        assert!(rib.backup_members(pfx(99)).is_empty());
+    }
+
+    /// Regression: the generation counter wraps at `u64::MAX` instead of
+    /// panicking/sticking, and a wrapped bump still differs from the
+    /// pre-wrap snapshot (compiled-FIB staleness is an equality check).
+    #[test]
+    fn version_counter_wraps_safely() {
+        let mut rib = Rib::new();
+        rib.set_version(u64::MAX);
+        let snapshot = rib.version();
+        assert_eq!(
+            rib.ingest_advert(PortId(0), pfx(11), vec![64513, 65001], IpAddr4(0)),
+            RibChange::Gained
+        );
+        assert_eq!(rib.version(), 0, "wrapped to zero");
+        assert_ne!(rib.version(), snapshot);
     }
 }

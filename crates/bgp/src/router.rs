@@ -78,6 +78,15 @@ pub struct BgpStats {
     /// Frames that failed wire decoding (e.g. corrupted in flight) and
     /// were dropped instead of processed.
     pub malformed_frames_dropped: u64,
+    /// Data packets the local-repair fast path steered around a dead
+    /// egress (always 0 with `local_repair` off).
+    pub locally_repaired: u64,
+    /// Loss-window blackholes: packets with no route left, plus packets
+    /// the ECMP hash sent into a locally-dead egress (the send still
+    /// happens with `local_repair` off — BGP's lookup has no liveness
+    /// mask — so the counter, maintained identically in both modes, is
+    /// what makes on-vs-off loss windows comparable).
+    pub blackholed_in_window: u64,
 }
 
 /// A BGP router bound to one emulated node.
@@ -93,6 +102,10 @@ pub struct BgpRouter {
     /// whenever `fib_key` no longer matches [`Rib::version`].
     fib: CompiledFib,
     fib_key: Option<u64>,
+    /// Whether the first local repair of the current FIB generation was
+    /// already traced (the repair span fires once per generation, not
+    /// per packet, and never allocates on the forwarding path).
+    repair_noted: bool,
     stats: BgpStats,
 }
 
@@ -148,6 +161,7 @@ impl BgpRouter {
             adj_out: BTreeMap::new(),
             fib: CompiledFib::new(),
             fib_key: None,
+            repair_noted: false,
             stats: BgpStats::default(),
         }
     }
@@ -568,10 +582,17 @@ impl BgpRouter {
         }
         let Some((_, members)) = self.rib.lookup(pkt.dst) else {
             self.stats.data_dropped += 1;
+            self.stats.blackholed_in_window += 1;
             return;
         };
         let hash = flow_hash_of(&pkt);
         let port = members[dcn_wire::ecmp_index(hash, members.len())].peer_port;
+        if !ctx.port(port).up {
+            // The hash landed on a locally-dead egress: the send below
+            // still happens (the RIB carries no liveness), but the packet
+            // is lost on the wire — count it toward the loss window.
+            self.stats.blackholed_in_window += 1;
+        }
         let mut out = pkt;
         out.ttl -= 1;
         let frame = EthernetFrame {
@@ -596,13 +617,16 @@ impl BgpRouter {
     /// (immutable frames, pure refcount bump), IP's TTL rewrite makes one
     /// buffer per forwarded packet unavoidable — the copy here is the
     /// only allocation.
+    #[allow(clippy::too_many_arguments)]
     fn forward_fast(
         &mut self,
         ctx: &mut Ctx<'_>,
+        arrival: PortId,
         frame: &FrameBuf,
         dst: IpAddr4,
         flow: u64,
         ttl: u8,
+        repaired: bool,
     ) {
         const IP: usize = ETHERNET_HEADER_LEN;
         if let Some(rack) = self.cfg.rack_subnet {
@@ -631,25 +655,60 @@ impl BgpRouter {
         if self.fib_key != Some(key) {
             self.fib.rebuild(&self.rib);
             self.fib_key = Some(key);
+            // New FIB generation: the once-per-generation repair-span
+            // dedup starts over.
+            self.repair_noted = false;
         }
-        let _scope = alloc_track::scope();
-        let Some(port) = self.fib.lookup(dst, flow) else {
-            self.stats.data_dropped += 1;
-            return;
-        };
-        let mac = MacAddr::for_node_port(ctx.node().0, port.0);
-        let out = frame.mutate_copy(|out| {
-            out[..6].copy_from_slice(&mac.0);
-            out[6..12].copy_from_slice(&mac.0);
-            out[IP + 8] = ttl - 1;
-            out[IP + 10] = 0;
-            out[IP + 11] = 0;
-            let csum = dcn_wire::internet_checksum(&out[IP..IP + IPV4_HEADER_LEN]);
-            out[IP + 10..IP + 12].copy_from_slice(&csum.to_be_bytes());
-        });
-        self.stats.data_forwarded += 1;
-        ctx.send_meta(port, out, FrameClass::Data, FrameMeta::Ipv4Data { dst, flow, ttl: ttl - 1 });
-        alloc_track::note_forward();
+        let mut note_repair = None;
+        {
+            let _scope = alloc_track::scope();
+            // Local fast reroute: a not-yet-repaired packet may be
+            // steered around a locally-dead egress; a repaired one gets
+            // exactly the plain (off-mode) pick — the loop guard.
+            let pick = if self.cfg.local_repair && !repaired {
+                self.fib
+                    .lookup_repair(dst, flow, |p| ctx.port(p).up, Some(arrival))
+            } else {
+                self.fib.lookup(dst, flow).map(|p| (p, false))
+            };
+            let Some((port, fixed)) = pick else {
+                self.stats.data_dropped += 1;
+                self.stats.blackholed_in_window += 1;
+                return;
+            };
+            if fixed {
+                self.stats.locally_repaired += 1;
+                if !self.repair_noted {
+                    self.repair_noted = true;
+                    note_repair = Some(port);
+                }
+            } else if !ctx.port(port).up {
+                // Off-mode (or unrepaired) pick into a dead egress: the
+                // send still happens, the packet dies on the wire.
+                self.stats.blackholed_in_window += 1;
+            }
+            let mac = MacAddr::for_node_port(ctx.node().0, port.0);
+            let out = frame.mutate_copy(|out| {
+                out[..6].copy_from_slice(&mac.0);
+                out[6..12].copy_from_slice(&mac.0);
+                out[IP + 8] = ttl - 1;
+                out[IP + 10] = 0;
+                out[IP + 11] = 0;
+                let csum = dcn_wire::internet_checksum(&out[IP..IP + IPV4_HEADER_LEN]);
+                out[IP + 10..IP + 12].copy_from_slice(&csum.to_be_bytes());
+            });
+            self.stats.data_forwarded += 1;
+            ctx.send_meta(
+                port,
+                out,
+                FrameClass::Data,
+                FrameMeta::Ipv4Data { dst, flow, ttl: ttl - 1, repaired: repaired || fixed },
+            );
+            alloc_track::note_forward();
+        }
+        if let Some(port) = note_repair {
+            ctx.trace_span(SpanEvent::LocalRepair { port });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -746,6 +805,8 @@ impl StatsSnapshot for BgpRouter {
             ("data_delivered", s.data_delivered),
             ("data_dropped", s.data_dropped),
             ("malformed_frames_dropped", s.malformed_frames_dropped),
+            ("locally_repaired", s.locally_repaired),
+            ("blackholed_in_window", s.blackholed_in_window),
         ]
     }
 
@@ -865,7 +926,7 @@ impl Protocol for BgpRouter {
         meta: Option<FrameMeta>,
     ) {
         if self.cfg.fast_path {
-            if let Some(FrameMeta::Ipv4Data { dst, flow, ttl }) = meta {
+            if let Some(FrameMeta::Ipv4Data { dst, flow, ttl, repaired }) = meta {
                 // Control-demux guard: anything addressed to our side of
                 // a fabric link is session traffic and takes the full
                 // decode path. Data frames never are, so this is one
@@ -875,7 +936,7 @@ impl Protocol for BgpRouter {
                     .get(&port)
                     .is_some_and(|&i| dst == self.peers[i].cfg.local_ip);
                 if !is_control {
-                    self.forward_fast(ctx, frame, dst, flow, ttl);
+                    self.forward_fast(ctx, port, frame, dst, flow, ttl, repaired);
                     return;
                 }
             }

@@ -81,6 +81,13 @@ pub struct MrmtpConfig {
     /// identical either way — the equivalence suite asserts bit-equal
     /// trace digests — so this stays on except when running that proof.
     pub fast_path: bool,
+    /// Local fast reroute: let the data plane steer a packet around a
+    /// locally-dead egress using the precomputed backup FIB, without
+    /// waiting for the control plane. At most one repair per packet (the
+    /// metadata loop guard); requires `fast_path`. Off by default so the
+    /// baseline behavior — and the trace digest — is exactly the
+    /// pre-repair protocol.
+    pub local_repair: bool,
 }
 
 impl MrmtpConfig {
@@ -93,6 +100,7 @@ impl MrmtpConfig {
             tor: None,
             timers: MrmtpTimers::default(),
             fast_path: true,
+            local_repair: false,
         }
     }
 
@@ -104,6 +112,7 @@ impl MrmtpConfig {
             tor: Some(tor),
             timers: MrmtpTimers::default(),
             fast_path: true,
+            local_repair: false,
         }
     }
 }

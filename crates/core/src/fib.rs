@@ -40,12 +40,20 @@ struct FibEntry {
     down: u128,
     /// Upward ports: live uplinks minus negative entries for this root.
     ups: u128,
+    /// Local-repair detour ports: live down-tier neighbors that are not
+    /// already a downward port for this root (and carry no negative
+    /// entry for it). In a folded Clos every such sibling still reaches
+    /// the root through its own uplinks, so when both `down` and `ups`
+    /// are masked dead a single bounce through `backup` restores
+    /// delivery. Consulted only by [`CompiledFib::lookup_repair`] — the
+    /// off-mode [`CompiledFib::lookup`] never reads it.
+    backup: u128,
     /// Total upward loss: traffic for this root is dropped when no
     /// downward port survives the mask.
     upper_lost: bool,
 }
 
-const EMPTY: FibEntry = FibEntry { down: 0, ups: 0, upper_lost: false };
+const EMPTY: FibEntry = FibEntry { down: 0, ups: 0, backup: 0, upper_lost: false };
 
 /// The compiled forwarding table. Allocates once at construction; every
 /// rebuild and lookup thereafter is allocation-free.
@@ -79,8 +87,19 @@ impl CompiledFib {
                 default_ups |= 1 << p.index();
             }
         }
+        // Down-tier siblings form the local-repair detour pool; a ToR
+        // (tier 1) has only hosts below it, which never appear as live
+        // neighbors, so the pool is naturally empty there.
+        let mut default_backup = 0u128;
+        if tier > 0 {
+            for p in nbr.up_ports_at_tier(tier - 1) {
+                if p.index() < 128 {
+                    default_backup |= 1 << p.index();
+                }
+            }
+        }
         for e in self.entries.iter_mut() {
-            *e = FibEntry { down: 0, ups: default_ups, upper_lost: false };
+            *e = FibEntry { down: 0, ups: default_ups, backup: default_backup, upper_lost: false };
         }
         for root in table.roots() {
             let e = &mut self.entries[root as usize];
@@ -90,12 +109,16 @@ impl CompiledFib {
                     e.down |= 1 << p.index();
                 }
             }
+            // A port already carrying the primary down-tree route is not
+            // a detour.
+            e.backup &= !e.down;
         }
         for (root, ports) in table.negatives() {
             let e = &mut self.entries[root as usize];
             for &p in ports {
                 if p.index() < 128 {
                     e.ups &= !(1 << p.index());
+                    e.backup &= !(1 << p.index());
                 }
             }
         }
@@ -123,6 +146,56 @@ impl CompiledFib {
         } else {
             None
         }
+    }
+
+    /// Like [`CompiledFib::lookup`], but with local fast reroute: when
+    /// the primary candidate set is masked dead, fall back to the next
+    /// stage and flag the pick as a *repair* (`true` in the returned
+    /// pair). Stages, all branchless mask-and-pick:
+    ///
+    /// 1. `down ∧ up_mask` — the primary route, never a repair.
+    /// 2. `ups ∧ up_mask` — primary when no down-tree port was compiled
+    ///    (`down == 0`), a **repair** when the compiled down-tree ports
+    ///    are all administratively dead. Skipped on a total upper loss.
+    /// 3. `backup ∧ up_mask` — the down-tier detour, always a repair.
+    ///
+    /// Repair stages avoid `arrival` (the bit of the port the packet
+    /// came in on) unless it is the only survivor, so a detour is not a
+    /// straight bounce-back. Decisions where no repair fires are
+    /// bit-identical to [`CompiledFib::lookup`], which is what keeps
+    /// `local_repair=off` runs byte-for-byte unchanged.
+    #[inline]
+    pub fn lookup_repair(
+        &self,
+        root: u8,
+        flow: u16,
+        up_mask: u128,
+        arrival: u128,
+    ) -> Option<(PortId, bool)> {
+        let e = &self.entries[root as usize];
+        let down = e.down & up_mask;
+        if down != 0 {
+            return Some((pick(down, flow), false));
+        }
+        if !e.upper_lost {
+            let ups = e.ups & up_mask;
+            if e.down == 0 {
+                // No down-tree route was ever compiled: uplinks are this
+                // root's primary path, exactly as in off mode.
+                if ups != 0 {
+                    return Some((pick(ups, flow), false));
+                }
+            } else if ups != 0 {
+                let pref = ups & !arrival;
+                return Some((pick(if pref != 0 { pref } else { ups }, flow), true));
+            }
+        }
+        let b = e.backup & up_mask;
+        if b != 0 {
+            let pref = b & !arrival;
+            return Some((pick(if pref != 0 { pref } else { b }, flow), true));
+        }
+        None
     }
 }
 
@@ -171,6 +244,35 @@ pub fn reference_candidates(
         .collect();
     ups.sort_unstable();
     ups
+}
+
+/// The slow-path mirror of the compiled `backup` mask: live down-tier
+/// sibling ports that are not a (live-neighbor, non-negative) down-tree
+/// port for `root`. Property tests pit the repair stage of
+/// [`CompiledFib::lookup_repair`] against this, and the chaos walker
+/// replays repair decisions through it.
+pub fn reference_backup_candidates(
+    table: &VidTable,
+    nbr: &NeighborTable,
+    tier: u8,
+    root: u8,
+    port_up: impl Fn(PortId) -> bool,
+) -> Vec<PortId> {
+    if tier == 0 {
+        return Vec::new();
+    }
+    let down: BTreeSet<PortId> = table
+        .vids_for(root)
+        .iter()
+        .map(|o| o.port)
+        .filter(|&p| nbr.is_up(p) && !table.is_negative(root, p))
+        .collect();
+    let mut backup: Vec<PortId> = nbr
+        .up_ports_at_tier(tier - 1)
+        .filter(|&p| port_up(p) && !table.is_negative(root, p) && !down.contains(&p))
+        .collect();
+    backup.sort_unstable();
+    backup
 }
 
 #[cfg(test)]
@@ -239,6 +341,119 @@ mod tests {
         assert_eq!(pick(mask, 1), PortId(5));
         assert_eq!(pick(mask, 2), PortId(9));
         assert_eq!(pick(mask, 3), PortId(2));
+    }
+
+    /// When `lookup` finds a candidate, `lookup_repair` must return the
+    /// identical unflagged pick; it may only *add* answers (flagged as
+    /// repairs) where `lookup` gives up.
+    #[test]
+    fn repair_lookup_is_superset_of_plain_lookup() {
+        let mut table = VidTable::new();
+        table.install(v("11.1"), PortId(0));
+        table.install(v("12.1"), PortId(1));
+        table.install(v("12.2"), PortId(2));
+        table.add_negative(13, PortId(3));
+        let mut nbr = NeighborTable::new(6, 100, 3);
+        for p in 0..6 {
+            nbr.note_rx(PortId(p), 10);
+        }
+        nbr.set_tier(PortId(0), 1);
+        nbr.set_tier(PortId(1), 1);
+        nbr.set_tier(PortId(2), 1);
+        nbr.set_tier(PortId(3), 3);
+        nbr.set_tier(PortId(4), 3);
+        let mut upper_lost = BTreeSet::new();
+        upper_lost.insert(14);
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&table, &nbr, &upper_lost, 2);
+        for mask in [0u128, 0b1, 0b111111, 0b101010, 0b011101, 0b110000] {
+            for root in 0..=255u8 {
+                for flow in [0u16, 1, 7, 9999] {
+                    let plain = fib.lookup(root, flow, mask);
+                    let repair = fib.lookup_repair(root, flow, mask, 0);
+                    match plain {
+                        // With no arrival port to avoid, the repair
+                        // lookup picks the same port wherever the plain
+                        // lookup finds one; it may additionally flag the
+                        // pick when the down-tree primary was masked out.
+                        Some(p) => assert_eq!(repair.map(|(q, _)| q), Some(p)),
+                        None => {
+                            if let Some((p, repaired)) = repair {
+                                assert!(repaired, "unflagged repair at root {root}");
+                                assert!(mask & (1 << p.index()) != 0, "repair onto dead port");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The detour stages: dead down-tree → flagged uplink bounce; dead
+    /// uplinks too → flagged down-tier sibling, avoiding the arrival
+    /// port when another sibling survives.
+    #[test]
+    fn repair_bounces_up_then_down_and_avoids_arrival() {
+        let mut table = VidTable::new();
+        // Root 11 reached down-tree via port 0; ports 1–2 are more
+        // down-tier neighbors, ports 3–4 uplinks.
+        table.install(v("11.1"), PortId(0));
+        let mut nbr = NeighborTable::new(5, 100, 3);
+        for p in 0..5 {
+            nbr.note_rx(PortId(p), 10);
+        }
+        for p in 0..3 {
+            nbr.set_tier(PortId(p), 1);
+        }
+        nbr.set_tier(PortId(3), 3);
+        nbr.set_tier(PortId(4), 3);
+        let none = BTreeSet::new();
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&table, &nbr, &none, 2);
+
+        // All ports up: primary pick, no repair.
+        assert_eq!(fib.lookup_repair(11, 0, !0, 0), Some((PortId(0), false)));
+        // Down port masked dead: bounce up, flagged.
+        let mask = !0u128 & !(1 << 0);
+        assert_eq!(fib.lookup_repair(11, 0, mask, 0), Some((PortId(3), true)));
+        // Uplinks dead too: down-tier detour, flagged.
+        let mask = mask & !(1 << 3) & !(1 << 4);
+        assert_eq!(fib.lookup_repair(11, 0, mask, 0), Some((PortId(1), true)));
+        // Same, but the packet arrived on port 1: detour prefers port 2.
+        assert_eq!(fib.lookup_repair(11, 0, mask, 1 << 1), Some((PortId(2), true)));
+        // Arrival is the only survivor: better back than dropped.
+        let only1 = mask & !(1 << 2);
+        assert_eq!(fib.lookup_repair(11, 0, only1, 1 << 1), Some((PortId(1), true)));
+        // Everything dead: still a drop.
+        assert_eq!(fib.lookup_repair(11, 0, 0, 0), None);
+
+        // The reference mirror agrees with the compiled detour pool.
+        let alive = |p: PortId| p != PortId(0) && p.index() < 3;
+        assert_eq!(
+            reference_backup_candidates(&table, &nbr, 2, 11, alive),
+            vec![PortId(1), PortId(2)]
+        );
+    }
+
+    /// `upper_lost` suppresses the uplink bounce but not the down-tier
+    /// detour: the sibling may still hold a live tree for the root.
+    #[test]
+    fn repair_skips_uplinks_on_upper_lost() {
+        let mut table = VidTable::new();
+        table.install(v("20.1"), PortId(0));
+        let mut nbr = NeighborTable::new(4, 100, 3);
+        for p in 0..4 {
+            nbr.note_rx(PortId(p), 10);
+        }
+        nbr.set_tier(PortId(0), 1);
+        nbr.set_tier(PortId(1), 1);
+        nbr.set_tier(PortId(2), 3);
+        let mut upper_lost = BTreeSet::new();
+        upper_lost.insert(20);
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&table, &nbr, &upper_lost, 2);
+        let mask = !0u128 & !(1 << 0); // down port dead
+        assert_eq!(fib.lookup_repair(20, 0, mask, 0), Some((PortId(1), true)));
     }
 
     #[test]

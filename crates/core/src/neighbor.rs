@@ -80,10 +80,19 @@ impl NeighborTable {
         self.entries.len()
     }
 
-    /// Monotonic change counter (see the `version` field).
+    /// Change counter (see the `version` field). Bumps use wrapping
+    /// arithmetic and consumers compare snapshots for *equality* only,
+    /// so the counter stays correct across a `u64` wraparound.
     #[inline]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Test hook: park the change counter at an arbitrary value (e.g.
+    /// `u64::MAX`) to exercise wraparound.
+    #[cfg(test)]
+    pub(crate) fn set_version(&mut self, v: u64) {
+        self.version = v;
     }
 
     pub fn state(&self, port: PortId) -> NeighborState {
@@ -101,7 +110,7 @@ impl NeighborTable {
 
     pub fn set_tier(&mut self, port: PortId, tier: u8) {
         if self.entries[port.index()].tier != Some(tier) {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         self.entries[port.index()].tier = Some(tier);
     }
@@ -122,7 +131,7 @@ impl NeighborTable {
     /// now effectively lost (caller should run its failure handling).
     pub fn set_carrier(&mut self, port: PortId, up: bool) -> bool {
         if self.entries[port.index()].carrier != up {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         let e = &mut self.entries[port.index()];
         let was_usable = e.carrier && e.state == NeighborState::Up;
@@ -173,7 +182,7 @@ impl NeighborTable {
             }
         };
         if outcome == RxOutcome::CameUp {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         outcome
     }
@@ -191,7 +200,7 @@ impl NeighborTable {
             }
         }
         if !dead.is_empty() {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         dead
     }
@@ -293,5 +302,18 @@ mod tests {
     fn carrier_down_of_unknown_neighbor_reports_nothing() {
         let mut t = table();
         assert!(!t.set_carrier(PortId(0), false));
+    }
+
+    /// Regression: the change counter wraps at `u64::MAX` instead of
+    /// panicking/sticking, and a wrapped bump still differs from the
+    /// pre-wrap snapshot (FIB staleness is an equality check).
+    #[test]
+    fn version_counter_wraps_safely() {
+        let mut t = table();
+        t.set_version(u64::MAX);
+        let snapshot = t.version();
+        t.note_rx(PortId(0), 10); // Unknown → counting, bumps version
+        assert_eq!(t.version(), 0, "wrapped to zero");
+        assert_ne!(t.version(), snapshot);
     }
 }

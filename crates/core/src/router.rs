@@ -72,6 +72,13 @@ pub struct RouterStats {
     /// Frames that failed wire decoding (e.g. corrupted in flight) and
     /// were dropped instead of processed.
     pub malformed_frames_dropped: u64,
+    /// Data packets the local-repair fast path steered around a dead
+    /// egress (always 0 with `local_repair` off).
+    pub locally_repaired: u64,
+    /// Data packets dropped because no forwarding candidate was left —
+    /// the loss-window blackhole count. Maintained identically with
+    /// `local_repair` on or off so the two can be compared.
+    pub blackholed_in_window: u64,
 }
 
 /// An MR-MTP router bound to one emulated node.
@@ -106,6 +113,10 @@ pub struct MrmtpRouter {
     /// from; `None` forces a rebuild (also used to invalidate on
     /// `upper_lost` changes, which have no table version of their own).
     fib_key: Option<(u64, u64)>,
+    /// Roots (bit per root id) whose first local repair in the current
+    /// FIB generation was already traced — the repair span is emitted
+    /// once per (root, generation), not per packet.
+    repair_noted: [u128; 2],
     last_advertise: Time,
     started: bool,
     stats: RouterStats,
@@ -139,6 +150,7 @@ impl MrmtpRouter {
             hello_frames: vec![None; ports],
             fib: CompiledFib::new(),
             fib_key: None,
+            repair_noted: [0; 2],
             last_advertise: 0,
             started: false,
             stats: RouterStats::default(),
@@ -643,14 +655,24 @@ impl MrmtpRouter {
     /// property tests in `tests/proptests.rs`.
     fn route_for(&mut self, ctx: &Ctx<'_>, root: u8, flow: u16) -> Option<PortId> {
         if self.cfg.fast_path && ctx.port_count() <= 128 {
-            let key = (self.table.version(), self.nbr.version());
-            if self.fib_key != Some(key) {
-                self.fib.rebuild(&self.table, &self.nbr, &self.upper_lost, self.cfg.tier);
-                self.fib_key = Some(key);
-            }
+            self.ensure_fib();
             return self.fib.lookup(root, flow, ctx.port_up_mask());
         }
         self.forwarding_port(root, flow, |p| ctx.port(p).up)
+    }
+
+    /// Recompile the FIB if a table version moved since the last compile.
+    /// Version comparisons are equality-only, so the wrapping counters
+    /// stay correct across a `u64` wraparound.
+    fn ensure_fib(&mut self) {
+        let key = (self.table.version(), self.nbr.version());
+        if self.fib_key != Some(key) {
+            self.fib.rebuild(&self.table, &self.nbr, &self.upper_lost, self.cfg.tier);
+            self.fib_key = Some(key);
+            // New FIB generation: the once-per-root repair-span dedup
+            // starts over.
+            self.repair_noted = [0; 2];
+        }
     }
 
     /// Offline forwarding introspection for invariant checkers: the port
@@ -669,6 +691,14 @@ impl MrmtpRouter {
         } else {
             Some(c[dcn_wire::ecmp_index(flow as u64, c.len())])
         }
+    }
+
+    /// Offline repair introspection for invariant checkers: the backup
+    /// candidate set local fast reroute falls back to when every plain
+    /// candidate toward `root` is locally dead. Mirrors the compiled
+    /// backup mask exactly (see [`crate::fib::reference_backup_candidates`]).
+    pub fn repair_candidates(&self, root: u8, port_up: impl Fn(PortId) -> bool) -> Vec<PortId> {
+        crate::fib::reference_backup_candidates(&self.table, &self.nbr, self.cfg.tier, root, port_up)
     }
 
     /// The sorted ECMP candidate set [`MrmtpRouter::forwarding_port`]
@@ -740,10 +770,14 @@ impl MrmtpRouter {
                         flow,
                         payload_off: (14 + hdr) as u16,
                         ip_dst: pkt.dst,
+                        repaired: false,
                     },
                 );
             }
-            None => self.stats.data_dropped += 1,
+            None => {
+                self.stats.data_dropped += 1;
+                self.stats.blackholed_in_window += 1;
+            }
         }
     }
 
@@ -791,10 +825,14 @@ impl MrmtpRouter {
                         flow,
                         payload_off: (14 + hdr) as u16,
                         ip_dst: dst,
+                        repaired: false,
                     },
                 );
             }
-            None => self.stats.data_dropped += 1,
+            None => {
+                self.stats.data_dropped += 1;
+                self.stats.blackholed_in_window += 1;
+            }
         }
     }
 
@@ -837,7 +875,10 @@ impl MrmtpRouter {
                 self.nbr.note_tx(port, ctx.now());
                 ctx.send(port, raw_frame.clone(), FrameClass::Data);
             }
-            None => self.stats.data_dropped += 1,
+            None => {
+                self.stats.data_dropped += 1;
+                self.stats.blackholed_in_window += 1;
+            }
         }
     }
 
@@ -909,6 +950,8 @@ impl StatsSnapshot for MrmtpRouter {
             ("negatives_installed", s.negatives_installed),
             ("negatives_cleared", s.negatives_cleared),
             ("malformed_frames_dropped", s.malformed_frames_dropped),
+            ("locally_repaired", s.locally_repaired),
+            ("blackholed_in_window", s.blackholed_in_window),
         ]
     }
 
@@ -998,7 +1041,7 @@ impl Protocol for MrmtpRouter {
                     self.note_keepalive(ctx, port);
                     return;
                 }
-                Some(FrameMeta::MrmtpData { dst_root, flow, payload_off, ip_dst }) => {
+                Some(FrameMeta::MrmtpData { dst_root, flow, payload_off, ip_dst, repaired }) => {
                     if self.note_keepalive(ctx, port) {
                         return;
                     }
@@ -1011,21 +1054,62 @@ impl Protocol for MrmtpRouter {
                     }
                     // Transit: compiled-FIB pick + refcount re-send. The
                     // alloc_track scope is how the soak benchmark proves
-                    // this block allocates nothing in steady state.
-                    let _scope = alloc_track::scope();
-                    match self.route_for(ctx, dst_root, flow) {
-                        Some(out) => {
-                            self.stats.data_forwarded += 1;
-                            self.nbr.note_tx(out, ctx.now());
-                            ctx.send_meta(
-                                out,
-                                frame.clone(),
-                                FrameClass::Data,
-                                FrameMeta::MrmtpData { dst_root, flow, payload_off, ip_dst },
-                            );
-                            alloc_track::note_forward();
+                    // this block allocates nothing in steady state —
+                    // including with local repair active: the deduped
+                    // repair span is emitted after the scope closes.
+                    let mut note_repair = None;
+                    {
+                        let _scope = alloc_track::scope();
+                        // Local fast reroute: the not-yet-repaired packet
+                        // may bounce around a locally-dead egress via the
+                        // backup FIB. A repaired packet gets exactly the
+                        // plain (off-mode) pick — the loop guard.
+                        let pick = if self.cfg.local_repair && !repaired {
+                            self.ensure_fib();
+                            self.fib.lookup_repair(
+                                dst_root,
+                                flow,
+                                ctx.port_up_mask(),
+                                1u128 << port.index(),
+                            )
+                        } else {
+                            self.route_for(ctx, dst_root, flow).map(|p| (p, false))
+                        };
+                        match pick {
+                            Some((out, fixed)) => {
+                                self.stats.data_forwarded += 1;
+                                if fixed {
+                                    self.stats.locally_repaired += 1;
+                                    let (w, b) =
+                                        (dst_root as usize / 128, dst_root as usize % 128);
+                                    if self.repair_noted[w] & (1 << b) == 0 {
+                                        self.repair_noted[w] |= 1 << b;
+                                        note_repair = Some(out);
+                                    }
+                                }
+                                self.nbr.note_tx(out, ctx.now());
+                                ctx.send_meta(
+                                    out,
+                                    frame.clone(),
+                                    FrameClass::Data,
+                                    FrameMeta::MrmtpData {
+                                        dst_root,
+                                        flow,
+                                        payload_off,
+                                        ip_dst,
+                                        repaired: repaired || fixed,
+                                    },
+                                );
+                                alloc_track::note_forward();
+                            }
+                            None => {
+                                self.stats.data_dropped += 1;
+                                self.stats.blackholed_in_window += 1;
+                            }
                         }
-                        None => self.stats.data_dropped += 1,
+                    }
+                    if let Some(out) = note_repair {
+                        ctx.trace_span(SpanEvent::LocalRepair { port: out });
                     }
                     return;
                 }

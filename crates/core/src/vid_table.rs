@@ -38,10 +38,19 @@ impl VidTable {
         VidTable::default()
     }
 
-    /// Monotonic change counter (see the `version` field).
+    /// Change counter (see the `version` field). Bumps use wrapping
+    /// arithmetic and consumers compare snapshots for *equality* only,
+    /// so the counter stays correct across a `u64` wraparound.
     #[inline]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Test hook: park the change counter at an arbitrary value (e.g.
+    /// `u64::MAX`) to exercise wraparound.
+    #[cfg(test)]
+    pub(crate) fn set_version(&mut self, v: u64) {
+        self.version = v;
     }
 
     /// Install an acquired VID. Replaces a previous VID with the same root
@@ -49,7 +58,7 @@ impl VidTable {
     /// if the root was previously absent entirely (the router *regained*
     /// the root).
     pub fn install(&mut self, vid: Vid, port: PortId) -> bool {
-        self.version += 1;
+        self.version = self.version.wrapping_add(1);
         let entry = self.own.entry(vid.root_id()).or_default();
         let was_empty = entry.is_empty();
         if let Some(slot) = entry.iter_mut().find(|o| o.port == port) {
@@ -64,7 +73,7 @@ impl VidTable {
     /// the root is now entirely lost.
     pub fn remove_via(&mut self, root: u8, port: PortId) -> bool {
         if let Some(entry) = self.own.get_mut(&root) {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
             let before = entry.len();
             entry.retain(|o| o.port != port);
             let lost = entry.is_empty();
@@ -115,14 +124,14 @@ impl VidTable {
 
     /// Install a negative entry. Returns `true` if it is new.
     pub fn add_negative(&mut self, root: u8, port: PortId) -> bool {
-        self.version += 1;
+        self.version = self.version.wrapping_add(1);
         self.negative.entry(root).or_default().insert(port)
     }
 
     /// Clear a negative entry. Returns `true` if one was present.
     pub fn clear_negative(&mut self, root: u8, port: PortId) -> bool {
         if let Some(set) = self.negative.get_mut(&root) {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
             let removed = set.remove(&port);
             if set.is_empty() {
                 self.negative.remove(&root);
@@ -144,7 +153,7 @@ impl VidTable {
             !set.is_empty()
         });
         if !roots.is_empty() {
-            self.version += 1;
+            self.version = self.version.wrapping_add(1);
         }
         roots
     }
@@ -307,5 +316,21 @@ mod tests {
         t.install(v("11.1.1"), PortId(0));
         t.add_negative(12, PortId(1));
         assert_eq!(t.approx_bytes(), VID_ENTRY_BYTES + NEG_ENTRY_BYTES);
+    }
+
+    /// Regression: a version bump at `u64::MAX` must wrap, not panic
+    /// (debug builds) or stick (release), and every bump past the wrap
+    /// must still produce a *different* value than the pre-wrap
+    /// snapshot — FIB staleness checks compare for equality.
+    #[test]
+    fn version_counter_wraps_safely() {
+        let mut t = VidTable::new();
+        t.set_version(u64::MAX);
+        let snapshot = t.version();
+        t.install(v("11.1.1"), PortId(0));
+        assert_eq!(t.version(), 0, "wrapped to zero");
+        assert_ne!(t.version(), snapshot, "stale snapshot still detectable");
+        t.add_negative(12, PortId(1));
+        assert_eq!(t.version(), 1);
     }
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use dcn_mrmtp::fib::{reference_candidates, CompiledFib};
+use dcn_mrmtp::fib::{reference_backup_candidates, reference_candidates, CompiledFib};
 use dcn_mrmtp::{NeighborState, NeighborTable, VidTable};
 use dcn_sim::PortId;
 use dcn_wire::Vid;
@@ -33,6 +33,58 @@ fn arb_op() -> impl Strategy<Value = TableOp> {
         (1u8..=40, 0u16..4).prop_map(|(r, p)| TableOp::ClearNeg(r, p)),
         (0u16..4).prop_map(TableOp::ClearPort),
     ]
+}
+
+/// The slow-path model of [`CompiledFib::lookup_repair`], built from the
+/// two exported reference walks plus the documented staging rules.
+#[allow(clippy::too_many_arguments)]
+fn staged_repair_reference(
+    t: &VidTable,
+    nbr: &NeighborTable,
+    upper_lost: &BTreeSet<u8>,
+    tier: u8,
+    root: u8,
+    flow: u16,
+    port_up: &dyn Fn(PortId) -> bool,
+    arrival: PortId,
+) -> Option<(PortId, bool)> {
+    let pick = |cands: &[PortId]| cands[dcn_wire::ecmp_index(flow as u64, cands.len())];
+    // Repair stages steer away from the arrival port unless it is the
+    // only survivor.
+    let avoid = |cands: Vec<PortId>| {
+        let pref: Vec<PortId> = cands.iter().copied().filter(|&p| p != arrival).collect();
+        if pref.is_empty() { cands } else { pref }
+    };
+    // The compiled down-tree port set (live neighbor, non-negative) —
+    // *before* the admin mask, which is what distinguishes "uplinks are
+    // this root's primary path" from "the primary was masked dead".
+    let down_compiled: BTreeSet<PortId> = t
+        .vids_for(root)
+        .iter()
+        .map(|o| o.port)
+        .filter(|&p| nbr.is_up(p) && !t.is_negative(root, p))
+        .collect();
+    let down_up: Vec<PortId> =
+        down_compiled.iter().copied().filter(|&p| port_up(p)).collect();
+    if !down_up.is_empty() {
+        return Some((pick(&down_up), false));
+    }
+    if !upper_lost.contains(&root) {
+        let mut ups: Vec<PortId> = nbr
+            .up_ports_at_tier(tier + 1)
+            .filter(|&p| port_up(p) && !t.is_negative(root, p))
+            .collect();
+        ups.sort_unstable();
+        if down_compiled.is_empty() {
+            if !ups.is_empty() {
+                return Some((pick(&ups), false));
+            }
+        } else if !ups.is_empty() {
+            return Some((pick(&avoid(ups)), true));
+        }
+    }
+    let backup = reference_backup_candidates(t, nbr, tier, root, port_up);
+    if backup.is_empty() { None } else { Some((pick(&avoid(backup)), true)) }
 }
 
 proptest! {
@@ -176,6 +228,67 @@ proptest! {
                 prop_assert_eq!(
                     fib.lookup(root, flow, mask), slow,
                     "root {} flow {} mask {:#x}", root, flow, mask
+                );
+            }
+        }
+    }
+
+    /// The local-repair lookup is the same staged walk a slow path would
+    /// do: primary down-tree pick (never a repair), uplink bounce
+    /// (a repair exactly when a compiled down-tree route was masked
+    /// dead, skipped on total upper loss), then the down-tier detour
+    /// from [`reference_backup_candidates`] — the repair stages avoiding
+    /// the arrival port unless it is the only survivor. For any table
+    /// state, neighbor state, mask and arrival port,
+    /// `CompiledFib::lookup_repair` must match that model bit-for-bit.
+    #[test]
+    fn repair_lookup_matches_staged_reference_walk(
+        ops in proptest::collection::vec(arb_op(), 0..48),
+        tiers in proptest::collection::vec(1u8..5, 6),
+        carrier_down in proptest::collection::vec(any::<bool>(), 6),
+        lost in proptest::collection::vec(1u8..=40, 0..4),
+        tier in 1u8..4,
+        up_bits in any::<u8>(),
+        arrival in 0u16..8,
+        flows in proptest::collection::vec(any::<u16>(), 1..4),
+    ) {
+        let mut t = VidTable::new();
+        for op in ops {
+            match op {
+                TableOp::Install(v, p) => { t.install(v, PortId(p)); }
+                TableOp::RemoveVia(r, p) => { t.remove_via(r, PortId(p)); }
+                TableOp::AddNeg(r, p) => { t.add_negative(r, PortId(p)); }
+                TableOp::ClearNeg(r, p) => { t.clear_negative(r, PortId(p)); }
+                TableOp::ClearPort(p) => { t.clear_negatives_on_port(PortId(p)); }
+            }
+        }
+        let mut nbr = NeighborTable::new(6, 100, 3);
+        for p in 0..6u16 {
+            nbr.note_rx(PortId(p), 10);
+        }
+        for (p, &tr) in tiers.iter().enumerate() {
+            nbr.set_tier(PortId(p as u16), tr);
+        }
+        for (p, &down) in carrier_down.iter().enumerate() {
+            if down {
+                nbr.set_carrier(PortId(p as u16), false);
+            }
+        }
+        let upper_lost: BTreeSet<u8> = lost.into_iter().collect();
+        let mut fib = CompiledFib::new();
+        fib.rebuild(&t, &nbr, &upper_lost, tier);
+        let mask = up_bits as u128;
+        let arrival = PortId(arrival);
+        let port_up = |p: PortId| p.index() < 128 && mask & (1 << p.index()) != 0;
+        for root in 0u8..=45 {
+            for &flow in &flows {
+                let expect = staged_repair_reference(
+                    &t, &nbr, &upper_lost, tier, root, flow, &port_up, arrival,
+                );
+                prop_assert_eq!(
+                    fib.lookup_repair(root, flow, mask, 1u128 << arrival.index()),
+                    expect,
+                    "root {} flow {} mask {:#x} arrival {:?}", root, flow, mask, arrival
                 );
             }
         }

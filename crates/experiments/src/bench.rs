@@ -20,13 +20,17 @@
 //!   through it (N flows × 5 router hops each) and measure forwarded
 //!   data packets per CPU second with the fast path on and off, plus
 //!   heap allocations per forwarded packet when the binary installed
-//!   the counting `#[global_allocator]`. Emitted as `BENCH_traffic.json`
-//!   (`schema: "bench_traffic/v1"`) and gated by
+//!   the counting `#[global_allocator]`. Each point also carries the
+//!   **loss-window probe**: pinned cross-pod flows paced at 25 µs while
+//!   S-1-1's first uplink is carrier-failed mid-run, counting packets
+//!   blackholed in the carrier-detection window with `local_repair` off
+//!   and on (see EXPERIMENTS.md). Emitted as `BENCH_traffic.json`
+//!   (`schema: "bench_traffic/v2"`) and gated by
 //!   [`check_traffic_regression`] the same way.
 
 use std::time::Instant;
 
-use dcn_sim::time::{MICROS, SECONDS};
+use dcn_sim::time::{MICROS, MILLIS, SECONDS};
 use dcn_sim::{alloc_track, SchedulerKind, SimConfig};
 use dcn_telemetry::Json;
 use dcn_topology::{Addressing, ClosParams, Fabric};
@@ -277,6 +281,16 @@ pub struct TrafficPoint {
     /// when the process has no counting allocator (library tests);
     /// `Some(0.0)` is a real measured zero.
     pub allocs_per_packet: Option<f64>,
+    /// Loss-window probe: packets blackholed during the carrier-detection
+    /// window of a scripted uplink failure, with `local_repair` off.
+    /// MR-MTP masks port liveness inside every lookup, so its off-mode
+    /// window is natively ~zero; BGP applies none, so its window spans
+    /// the full carrier latency at the failing hop.
+    pub window_blackholed_off: u64,
+    /// Same probe with `local_repair` on.
+    pub window_blackholed_on: u64,
+    /// Packets locally repaired during the `on` probe.
+    pub window_repaired_on: u64,
 }
 
 /// The full `fcr bench --traffic` output.
@@ -361,6 +375,72 @@ fn soak_one(
     ))
 }
 
+/// Sum of `(blackholed_in_window, locally_repaired)` across every
+/// router.
+fn window_totals(built: &BuiltSim) -> (u64, u64) {
+    let mut blackholed = 0;
+    let mut repaired = 0;
+    for r in built.fabric.routers() {
+        let (b, rep) = match built.stack {
+            Stack::Mrmtp => {
+                let s = built.mrmtp(r).stats();
+                (s.blackholed_in_window, s.locally_repaired)
+            }
+            _ => {
+                let s = built.bgp(r).stats();
+                (s.blackholed_in_window, s.locally_repaired)
+            }
+        };
+        blackholed += b;
+        repaired += rep;
+    }
+    (blackholed, repaired)
+}
+
+/// The loss-window probe: pinned cross-pod flows (one per ToR pair, all
+/// riding the S-1-1 chain, paced at 25 µs so the 500 µs carrier latency
+/// spans ~20 packets each), then a carrier failure of S-1-1's first
+/// uplink mid-run. Returns `(blackholed_in_window, locally_repaired)`
+/// summed over every router. Deterministic for a given seed; quick mode
+/// runs the identical probe (it is already cheap), so quick CI numbers
+/// compare against a committed full-mode baseline.
+fn loss_window_probe(
+    pods: usize,
+    stack: Stack,
+    local_repair: bool,
+    seed: u64,
+) -> Result<(u64, u64), String> {
+    let params = ClosParams::scaled(pods)?;
+    let fabric = Fabric::build(params);
+    let addr = Addressing::new(&fabric);
+    let far = params.pods - 1;
+    let warmup = if stack == Stack::Mrmtp { 2 * SECONDS } else { 6 * SECONDS };
+    let fail_at = warmup + 50 * MILLIS;
+    let end = fail_at + 50 * MILLIS;
+    let widths = [params.spines_per_pod, params.uplinks_per_spine];
+    let mut senders = Vec::new();
+    for t in 0..params.tors_per_pod {
+        let src_ip = addr.server_addr(fabric.tor(0, t), 0).expect("near server");
+        let dst_ip = addr.server_addr(fabric.tor(far, t), 0).expect("far server");
+        let (sp, dp) = crate::flows::pin_flow(src_ip, dst_ip, &widths);
+        let mut s = SendSpec::new(dst_ip, warmup, end);
+        s.src_port = sp;
+        s.dst_port = dp;
+        s.interval = 25 * MICROS;
+        senders.push((fabric.server(0, t, 0), s));
+    }
+    let cfg = SimConfig { trace: false, ..SimConfig::default() };
+    let tuning = StackTuning { local_repair, ..StackTuning::default() };
+    let mut built = build_fabric_sim_cfg(fabric, stack, seed, &senders, tuning, cfg);
+    built.sim.run_until(fail_at);
+    let (node, port) = built.fabric.failure_point(dcn_topology::FailureCase::Tc3);
+    built
+        .sim
+        .schedule_port_down(fail_at, dcn_sim::NodeId(node as u32), dcn_sim::PortId(port as u16));
+    built.sim.run_until(end);
+    Ok(window_totals(&built))
+}
+
 /// Run the traffic soak across `pods` for both data-plane stacks
 /// (MR-MTP and BGP/ECMP; BFD adds keepalive load, not forwarding work).
 pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<TrafficReport, String> {
@@ -369,6 +449,8 @@ pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<Traff
         for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
             let (packets, fast_rate, allocs, fast_fwd) = soak_one(p, stack, true, quick, seed)?;
             let (_, slow_rate, _, _) = soak_one(p, stack, false, quick, seed)?;
+            let (window_off, _) = loss_window_probe(p, stack, false, seed)?;
+            let (window_on, repaired_on) = loss_window_probe(p, stack, true, seed)?;
             let allocs_per_packet = (alloc_track::counting_allocator_installed()
                 && fast_fwd > 0)
                 .then(|| allocs as f64 / fast_fwd as f64);
@@ -382,6 +464,9 @@ pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<Traff
                 pkts_per_sec_slow: slow_rate,
                 speedup: fast_rate / slow_rate,
                 allocs_per_packet,
+                window_blackholed_off: window_off,
+                window_blackholed_on: window_on,
+                window_repaired_on: repaired_on,
             });
         }
     }
@@ -394,10 +479,10 @@ pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<Traff
 
 impl TrafficReport {
     /// Serialize to the committed `BENCH_traffic.json` schema
-    /// (`bench_traffic/v1`; see EXPERIMENTS.md).
+    /// (`bench_traffic/v2`; see EXPERIMENTS.md).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("bench_traffic/v1")),
+            ("schema", Json::str("bench_traffic/v2")),
             ("quick", Json::Bool(self.quick)),
             ("alloc_counter_installed", Json::Bool(self.alloc_counter)),
             (
@@ -419,6 +504,9 @@ impl TrafficReport {
                                     "allocs_per_forwarded_packet",
                                     p.allocs_per_packet.map_or(Json::Null, Json::Float),
                                 ),
+                                ("window_blackholed_off", Json::UInt(p.window_blackholed_off)),
+                                ("window_blackholed_on", Json::UInt(p.window_blackholed_on)),
+                                ("window_repaired_on", Json::UInt(p.window_repaired_on)),
                             ])
                         })
                         .collect(),
@@ -435,11 +523,11 @@ impl TrafficReport {
             if self.alloc_counter { "measured" } else { "not measured" },
         ));
         out.push_str(
-            "pods  stack         flows  hops    packets     fast pkt/s     slow pkt/s  speedup  allocs/pkt\n",
+            "pods  stack         flows  hops    packets     fast pkt/s     slow pkt/s  speedup  allocs/pkt  bh off/on  repaired\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:>4}  {:<12}  {:>5}  {:>4}  {:>9}  {:>13.0}  {:>13.0}  {:>6.2}x  {}\n",
+                "{:>4}  {:<12}  {:>5}  {:>4}  {:>9}  {:>13.0}  {:>13.0}  {:>6.2}x  {:>10}  {:>4}/{:<4}  {:>8}\n",
                 p.pods,
                 p.stack.label(),
                 p.flows,
@@ -450,6 +538,9 @@ impl TrafficReport {
                 p.speedup,
                 p.allocs_per_packet
                     .map_or("n/a".into(), |a| format!("{a:.3}")),
+                p.window_blackholed_off,
+                p.window_blackholed_on,
+                p.window_repaired_on,
             ));
         }
         out
@@ -458,9 +549,12 @@ impl TrafficReport {
 
 /// Compare a fresh traffic report against a committed baseline
 /// (`BENCH_traffic.json` contents). Fails when fast-path packets/sec at
-/// any matching (pods, stack) point dropped by more than `tolerance`, or
+/// any matching (pods, stack) point dropped by more than `tolerance`,
 /// when MR-MTP transit — measured with a counting allocator — allocates
-/// at all (the zero-alloc invariant is a hard gate, not a trend).
+/// at all (the zero-alloc invariant is a hard gate, not a trend), or
+/// when the loss-window probe regresses: repair widening the current
+/// window, or blackholing more packets than the committed baseline
+/// recorded (the probe is deterministic, so this is an exact gate).
 pub fn check_traffic_regression(
     current: &TrafficReport,
     baseline_json: &str,
@@ -481,6 +575,15 @@ pub fn check_traffic_regression(
                     ));
                 }
             }
+        }
+        if point.window_blackholed_on > point.window_blackholed_off {
+            return Err(format!(
+                "local repair widened the loss window at {} pods ({}): {} on vs {} off",
+                point.pods,
+                point.stack.label(),
+                point.window_blackholed_on,
+                point.window_blackholed_off,
+            ));
         }
         let Some(b) = points.iter().find(|b| {
             b.get("pods").and_then(|p| p.as_u64()) == Some(point.pods as u64)
@@ -503,6 +606,18 @@ pub fn check_traffic_regression(
                 base_rate,
                 tolerance * 100.0,
             ));
+        }
+        // v1 baselines lack the window fields; skip the exact gate there.
+        if let Some(base_on) = b.get("window_blackholed_on").and_then(|v| v.as_u64()) {
+            if point.window_blackholed_on > base_on {
+                return Err(format!(
+                    "loss-window regression at {} pods ({}): {} blackholed with repair on vs baseline {}",
+                    point.pods,
+                    point.stack.label(),
+                    point.window_blackholed_on,
+                    base_on,
+                ));
+            }
         }
     }
     Ok(())
@@ -607,14 +722,30 @@ mod tests {
         }
         assert!(!report.alloc_counter);
 
+        // The loss-window probe: repair must never widen the window, and
+        // BGP's off-mode carrier window must be real (the pinned flows
+        // all ride the failed chain).
+        for p in &report.points {
+            assert!(
+                p.window_blackholed_on <= p.window_blackholed_off,
+                "{:?}: repair widened the window",
+                p.stack
+            );
+        }
+        let bgp = report.points.iter().find(|p| p.stack == Stack::BgpEcmp).unwrap();
+        assert!(bgp.window_blackholed_off > 0, "no BGP carrier window measured");
+        assert!(bgp.window_repaired_on > 0, "BGP repair never engaged in the probe");
+
         // JSON round-trips through the schema.
         let rendered = report.to_json().render();
         let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
-        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_traffic/v1"));
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_traffic/v2"));
         assert_eq!(
             parsed.get("points").and_then(|s| s.as_arr()).map(|a| a.len()),
             Some(2)
         );
+        let p0 = parsed.get("points").and_then(|s| s.as_arr()).unwrap()[0].clone();
+        assert!(p0.get("window_blackholed_off").and_then(|v| v.as_u64()).is_some());
 
         // A report never regresses against itself...
         check_traffic_regression(&report, &rendered, 0.20).expect("self-baseline passes");
@@ -626,5 +757,17 @@ mod tests {
         }
         let inflated_json = inflated.to_json().render();
         assert!(check_traffic_regression(&report, &inflated_json, 0.20).is_err());
+
+        // A widened repair-on window is a hard failure, both against the
+        // report itself and against a baseline that recorded fewer.
+        let mut widened = report.clone();
+        widened.points[0].window_blackholed_on = widened.points[0].window_blackholed_off + 1;
+        assert!(check_traffic_regression(&widened, &rendered, 0.20).is_err());
+        let mut worse_than_base = report.clone();
+        for p in &mut worse_than_base.points {
+            p.window_blackholed_off += 10;
+            p.window_blackholed_on += 10;
+        }
+        assert!(check_traffic_regression(&worse_than_base, &rendered, 0.20).is_err());
     }
 }

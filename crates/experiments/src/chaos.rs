@@ -35,10 +35,11 @@ use dcn_telemetry::{
     capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
     TraceBundle,
 };
-use dcn_topology::{ClosParams, Fabric, Role};
-use dcn_wire::{ecmp_index, flow_hash, IPPROTO_UDP};
+use dcn_topology::{Addressing, ClosParams, Fabric, Role};
+use dcn_traffic::SendSpec;
+use dcn_wire::{ecmp_index, flow_hash, IpAddr4, IPPROTO_UDP};
 
-use crate::fabric::{build_sim_full, BuiltSim, Stack, StackTuning};
+use crate::fabric::{build_fabric_sim_sched, BuiltSim, Stack, StackTuning};
 use crate::figures::Figure;
 use crate::parallel::fan_out;
 use crate::scenario::advance;
@@ -89,6 +90,15 @@ pub struct ChaosConfig {
     /// Data-plane fast path on every router (the equivalence suite runs
     /// the same seeds with it off and compares digests).
     pub fast_path: bool,
+    /// Local fast reroute on every router (precomputed backup FIBs).
+    /// Off by default so historical per-seed digests are unchanged; when
+    /// on, the repair-loop invariant is additionally checked.
+    pub local_repair: bool,
+    /// Cross-pod background flows run through the fault window so the
+    /// per-router `blackholed_in_window` / `locally_repaired` counters
+    /// measure real transit packets. 0 (the default) adds no senders and
+    /// leaves historical digests untouched.
+    pub traffic_pairs: usize,
 }
 
 impl Default for ChaosConfig {
@@ -118,6 +128,8 @@ impl Default for ChaosConfig {
             flows_per_pair: 4,
             scheduler: SchedulerKind::default(),
             fast_path: true,
+            local_repair: false,
+            traffic_pairs: 0,
         }
     }
 }
@@ -266,6 +278,18 @@ pub struct ChaosRun {
     pub loops: usize,
     /// Black-hole violations (no route while physically reachable).
     pub black_holes: usize,
+    /// Repair-loop violations: a walk that revisits a node after local
+    /// fast reroute engaged (checked only with
+    /// [`ChaosConfig::local_repair`]; always 0 otherwise).
+    pub repair_loops: usize,
+    /// Transit packets dropped for want of a live forwarding entry
+    /// during the run, summed over every router (the loss window local
+    /// repair exists to shrink). Counted identically with the knob on or
+    /// off; 0 without [`ChaosConfig::traffic_pairs`].
+    pub window_blackholed: u64,
+    /// Transit packets local fast reroute steered around a locally-dead
+    /// egress, summed over every router.
+    pub window_repaired: u64,
     /// ToR pairs that were physically unreachable at check time (should
     /// be zero: every schedule is fully healed).
     pub unreachable_pairs: usize,
@@ -293,6 +317,7 @@ impl ChaosRun {
     pub fn violations(&self) -> usize {
         self.loops
             + self.black_holes
+            + self.repair_loops
             + self.unreachable_pairs
             + usize::from(!self.converged)
             + usize::from(!self.deterministic)
@@ -312,12 +337,19 @@ fn run_chaos_once(
     cfg: &ChaosConfig,
     tel: &mut Option<Telemetry>,
 ) -> (ChaosRun, FaultSchedule, BuiltSim) {
-    let mut built = build_sim_full(
-        cfg.params,
+    let fabric = Fabric::build(cfg.params);
+    let addr = Addressing::new(&fabric);
+    let senders = chaos_senders(&fabric, &addr, cfg);
+    let mut built = build_fabric_sim_sched(
+        fabric,
         stack,
         seed,
-        &[],
-        StackTuning { fast_path: cfg.fast_path, ..StackTuning::default() },
+        &senders,
+        StackTuning {
+            fast_path: cfg.fast_path,
+            local_repair: cfg.local_repair,
+            ..StackTuning::default()
+        },
         cfg.scheduler,
     );
     let schedule = FaultSchedule::generate(seed, &built.fabric, cfg);
@@ -347,19 +379,26 @@ fn run_chaos_once(
     let convergence = dcn_metrics::last_state_change(built.sim.trace(), heal_at);
     let converged = convergence.is_none_or(|d| d <= cfg.convergence_bound);
     let (loops, black_holes, unreachable_pairs) = check_forwarding_invariants(&built, cfg);
+    let repair_loops = if cfg.local_repair { check_repair_loops(&built, cfg) } else { 0 };
     let digest = trace_digest(&built.sim);
 
-    let malformed_dropped = built
-        .fabric
-        .nodes
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.role.is_router())
-        .map(|(i, _)| match stack {
-            Stack::Mrmtp => built.mrmtp(i).stats().malformed_frames_dropped,
-            Stack::BgpEcmp | Stack::BgpEcmpBfd => built.bgp(i).stats().malformed_frames_dropped,
-        })
-        .sum();
+    let mut malformed_dropped = 0;
+    let (mut window_blackholed, mut window_repaired) = (0u64, 0u64);
+    for (i, _) in built.fabric.nodes.iter().enumerate().filter(|(_, n)| n.role.is_router()) {
+        let (malformed, blackholed, repaired) = match stack {
+            Stack::Mrmtp => {
+                let s = built.mrmtp(i).stats();
+                (s.malformed_frames_dropped, s.blackholed_in_window, s.locally_repaired)
+            }
+            Stack::BgpEcmp | Stack::BgpEcmpBfd => {
+                let s = built.bgp(i).stats();
+                (s.malformed_frames_dropped, s.blackholed_in_window, s.locally_repaired)
+            }
+        };
+        malformed_dropped += malformed;
+        window_blackholed += blackholed;
+        window_repaired += repaired;
+    }
 
     let run = ChaosRun {
         seed,
@@ -367,6 +406,9 @@ fn run_chaos_once(
         faults: schedule.fault_count(),
         loops,
         black_holes,
+        repair_loops,
+        window_blackholed,
+        window_repaired,
         unreachable_pairs,
         converged,
         convergence,
@@ -405,6 +447,9 @@ pub fn chaos_bundle(
         ("loops", Json::UInt(run.loops as u64)),
         ("black_holes", Json::UInt(run.black_holes as u64)),
         ("unreachable_pairs", Json::UInt(run.unreachable_pairs as u64)),
+        ("repair_loops", Json::UInt(run.repair_loops as u64)),
+        ("window_blackholed", Json::UInt(run.window_blackholed)),
+        ("window_repaired", Json::UInt(run.window_repaired)),
         ("converged", Json::Bool(run.converged)),
         ("violations", Json::UInt(run.violations() as u64)),
         ("samples", Json::UInt(tel.samples_taken())),
@@ -448,6 +493,275 @@ pub fn trace_digest(sim: &dcn_sim::Sim) -> u64 {
         format!("{ev:?}").hash(&mut h);
     }
     h.finish()
+}
+
+/// Cross-pod background flows for the loss-window measurement: pair the
+/// first server of each ToR in the first pod with one in the last pod
+/// and run them through the fault window. With these in place the
+/// per-router `blackholed_in_window` / `locally_repaired` counters
+/// measure real transit packets, so an on-vs-off comparison quantifies
+/// the loss window local fast reroute closes.
+fn chaos_senders(fabric: &Fabric, addr: &Addressing, cfg: &ChaosConfig) -> Vec<(usize, SendSpec)> {
+    if cfg.traffic_pairs == 0 {
+        return Vec::new();
+    }
+    // First server (idx 0) of every ToR, keyed by pod:
+    // (tor node, server node) pairs.
+    let mut by_pod: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+        std::collections::BTreeMap::new();
+    for (n, node) in fabric.nodes.iter().enumerate() {
+        if let Role::Server { pod, tor_idx, idx: 0 } = node.role {
+            by_pod.entry(pod).or_default().push((fabric.tor(pod, tor_idx), n));
+        }
+    }
+    let first = by_pod.keys().next().copied().unwrap_or(0);
+    let last = by_pod.keys().next_back().copied().unwrap_or(0);
+    let (src_list, dst_list) = (by_pod[&first].clone(), by_pod[&last].clone());
+    let mut senders = Vec::new();
+    for k in 0..cfg.traffic_pairs {
+        let (_, sender_node) = src_list[k % src_list.len()];
+        let (dst_tor, _) = dst_list[k % dst_list.len()];
+        let dst_ip = addr.server_addr(dst_tor, 0).expect("server address");
+        senders.push((
+            sender_node,
+            SendSpec {
+                // Distinct source ports spread the pairs across ECMP paths.
+                src_port: 7000 + k as u16,
+                ..SendSpec::new(dst_ip, cfg.warmup, cfg.heal_at())
+            },
+        ));
+    }
+    senders
+}
+
+/// The plain data-plane pick at `cur` toward `dst_ip`, mirroring each
+/// stack's selection exactly. The `up` closure supplies externally
+/// observed interface state; BGP ignores it by design (its FIB carries
+/// no liveness mask — exactly why its off-mode loss window exists).
+fn data_pick(
+    built: &BuiltSim,
+    cur: usize,
+    dst_ip: IpAddr4,
+    hash: u64,
+    up: &dyn Fn(usize, PortId) -> bool,
+) -> Option<PortId> {
+    match built.stack {
+        Stack::Mrmtp => {
+            let root = dst_ip.third_octet();
+            built.mrmtp(cur).forwarding_port(root, (hash & 0xFFFF) as u16, |p| up(cur, p))
+        }
+        Stack::BgpEcmp | Stack::BgpEcmpBfd => {
+            built.bgp(cur).rib().lookup(dst_ip).and_then(|(_, members)| {
+                if members.is_empty() {
+                    None
+                } else {
+                    Some(members[ecmp_index(hash, members.len())].peer_port)
+                }
+            })
+        }
+    }
+}
+
+/// The repair-stage pick at `cur`: surviving plain candidates first
+/// (MR-MTP's masked reference set, BGP's surviving ECMP members), then
+/// the precomputed backups, avoiding the arrival port unless it is the
+/// only survivor — mirroring both `lookup_repair` implementations.
+fn repair_pick(
+    built: &BuiltSim,
+    cur: usize,
+    dst_ip: IpAddr4,
+    hash: u64,
+    up: &dyn Fn(usize, PortId) -> bool,
+    arrival: Option<PortId>,
+) -> Option<PortId> {
+    let spread = |ports: Vec<PortId>, h: u64| -> Option<PortId> {
+        if ports.is_empty() {
+            return None;
+        }
+        let keep: Vec<PortId> = ports.iter().copied().filter(|&p| Some(p) != arrival).collect();
+        let set = if keep.is_empty() { ports } else { keep };
+        Some(set[ecmp_index(h, set.len())])
+    };
+    match built.stack {
+        Stack::Mrmtp => {
+            let root = dst_ip.third_octet();
+            let f16 = hash & 0xFFFF;
+            let r = built.mrmtp(cur);
+            let plain = r.forwarding_candidates(root, |p| up(cur, p));
+            if !plain.is_empty() {
+                return Some(plain[ecmp_index(f16, plain.len())]);
+            }
+            spread(r.repair_candidates(root, |p| up(cur, p)), f16)
+        }
+        Stack::BgpEcmp | Stack::BgpEcmpBfd => {
+            let rib = built.bgp(cur).rib();
+            let (prefix, members) = rib.lookup(dst_ip)?;
+            let survivors: Vec<PortId> =
+                members.iter().map(|e| e.peer_port).filter(|&p| up(cur, p)).collect();
+            if let Some(p) = spread(survivors, hash) {
+                return Some(p);
+            }
+            spread(rib.backup_members(prefix).into_iter().filter(|&p| up(cur, p)).collect(), hash)
+        }
+    }
+}
+
+/// The loop-guard invariant for local fast reroute: for every ToR pair ×
+/// flow sample, and for every router hop F on the healthy path, kill
+/// every plain next-hop F has toward the destination, let F take its one
+/// in-data-plane repair, and continue with plain forwarding only — the
+/// wire semantics, where a repaired packet is never repaired again and a
+/// second dead egress drops it. Any node revisit under these rules is a
+/// repair loop. Returns the violation count; honest drops (empty backup
+/// set, repaired packet back at the dead hop) are not violations.
+fn check_repair_loops(built: &BuiltSim, cfg: &ChaosConfig) -> usize {
+    let fabric = &built.fabric;
+    let tors: Vec<usize> = fabric
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.role, Role::Tor { .. }))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut loops = 0;
+    for &src in &tors {
+        for &dst in &tors {
+            if src == dst {
+                continue;
+            }
+            for flow in 0..cfg.flows_per_pair {
+                let Some(path) = plain_path(built, src, dst, flow as u16) else {
+                    continue;
+                };
+                for &fx_node in &path {
+                    let dead = plain_next_hops(built, fx_node, dst);
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    if matches!(
+                        walk_repair(built, src, dst, flow as u16, fx_node, &dead),
+                        WalkOutcome::Loop
+                    ) {
+                        loops += 1;
+                    }
+                }
+            }
+        }
+    }
+    loops
+}
+
+/// The router hops a packet of this flow visits from `src` to `dst` on
+/// the healthy (post-heal) fabric, destination excluded. `None` when the
+/// plain walk does not deliver (already flagged by the base invariants).
+fn plain_path(built: &BuiltSim, src: usize, dst: usize, flow: u16) -> Option<Vec<usize>> {
+    let sim = &built.sim;
+    let src_ip = built.addr.server_addr(src, 0)?;
+    let dst_ip = built.addr.server_addr(dst, 0)?;
+    let hash = flow_hash(src_ip, dst_ip, IPPROTO_UDP, 1000 + flow, 5000);
+    let up = |n: usize, p: PortId| sim.port_up(NodeId(n as u32), p);
+
+    let mut path = Vec::new();
+    let mut visited = HashSet::new();
+    let mut cur = src;
+    loop {
+        if cur == dst {
+            return Some(path);
+        }
+        if !visited.insert(cur) {
+            return None;
+        }
+        path.push(cur);
+        let port = data_pick(built, cur, dst_ip, hash, &up)?;
+        let peer = sim.peer_of(NodeId(cur as u32), port)?;
+        cur = peer.node.0 as usize;
+    }
+}
+
+/// Every plain next-hop port `node` could use toward `dst` on the
+/// healthy fabric — the set the repair walk pretends just died.
+fn plain_next_hops(built: &BuiltSim, node: usize, dst: usize) -> HashSet<PortId> {
+    let sim = &built.sim;
+    let Some(dst_ip) = built.addr.server_addr(dst, 0) else {
+        return HashSet::new();
+    };
+    match built.stack {
+        Stack::Mrmtp => built
+            .mrmtp(node)
+            .forwarding_candidates(dst_ip.third_octet(), |p| sim.port_up(NodeId(node as u32), p))
+            .into_iter()
+            .collect(),
+        Stack::BgpEcmp | Stack::BgpEcmpBfd => built
+            .bgp(node)
+            .rib()
+            .lookup(dst_ip)
+            .map(|(_, m)| m.iter().map(|e| e.peer_port).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Walk `src` → `dst` with every plain next-hop at `fx_node` dead,
+/// applying the wire's repair semantics: one repair at that hop, plain
+/// forwarding (and honest drops) everywhere after.
+fn walk_repair(
+    built: &BuiltSim,
+    src: usize,
+    dst: usize,
+    flow: u16,
+    fx_node: usize,
+    fx_dead: &HashSet<PortId>,
+) -> WalkOutcome {
+    let sim = &built.sim;
+    let Some(src_ip) = built.addr.server_addr(src, 0) else {
+        return WalkOutcome::BlackHole;
+    };
+    let Some(dst_ip) = built.addr.server_addr(dst, 0) else {
+        return WalkOutcome::BlackHole;
+    };
+    let hash = flow_hash(src_ip, dst_ip, IPPROTO_UDP, 1000 + flow, 5000);
+    let up = |n: usize, p: PortId| {
+        sim.port_up(NodeId(n as u32), p) && !(n == fx_node && fx_dead.contains(&p))
+    };
+
+    // The walk is deterministic given (node, repaired-flag): a genuine
+    // forwarding loop revisits the same state. A plain node revisit is
+    // NOT enough — a repaired packet legitimately bounces back through
+    // its arrival path and terminates at the dead hop (an honest drop).
+    let mut visited = HashSet::new();
+    let mut cur = src;
+    let mut arrival: Option<PortId> = None;
+    let mut repaired = false;
+    loop {
+        if cur == dst {
+            return WalkOutcome::Delivered;
+        }
+        if !visited.insert((cur, repaired)) {
+            return WalkOutcome::Loop;
+        }
+        let port = if cur == fx_node {
+            if repaired {
+                // The loop guard: a packet is repaired at most once, so
+                // meeting the dead egress again drops it on the wire.
+                return WalkOutcome::BlackHole;
+            }
+            repaired = true;
+            match repair_pick(built, cur, dst_ip, hash, &up, arrival) {
+                Some(p) => p,
+                None => return WalkOutcome::BlackHole,
+            }
+        } else {
+            match data_pick(built, cur, dst_ip, hash, &up) {
+                Some(p) => p,
+                None => return WalkOutcome::BlackHole,
+            }
+        };
+        let Some(peer) = sim.peer_of(NodeId(cur as u32), port) else {
+            return WalkOutcome::BlackHole;
+        };
+        arrival = Some(peer.port);
+        cur = peer.node.0 as usize;
+    }
 }
 
 /// Walk the data plane for every ToR pair × flow sample and count loop /
@@ -790,6 +1104,46 @@ mod tests {
         assert_eq!(r.black_holes, 0, "black hole detected");
         assert_eq!(r.unreachable_pairs, 0);
         assert!(r.converged, "re-convergence exceeded bound: {:?}", r.convergence);
+    }
+
+    #[test]
+    fn local_repair_shrinks_the_chaos_loss_window() {
+        // Same seed, same schedule, background cross-pod traffic through
+        // the fault window; only the repair knob differs. Repair must
+        // engage, must not add blackholes, and must hold the repair-loop
+        // invariant on both stacks.
+        let off_cfg = ChaosConfig { traffic_pairs: 2, ..quick_cfg() };
+        let on_cfg = ChaosConfig { local_repair: true, ..off_cfg.clone() };
+        for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
+            let off = run_chaos(11, stack, &off_cfg);
+            let on = run_chaos(11, stack, &on_cfg);
+            assert_eq!(on.repair_loops, 0, "repair loop on {}", stack.label());
+            assert_eq!(on.loops, 0, "post-heal loop on {}", stack.label());
+            assert!(
+                on.window_blackholed <= off.window_blackholed,
+                "{}: repair widened the loss window ({} on vs {} off)",
+                stack.label(),
+                on.window_blackholed,
+                off.window_blackholed,
+            );
+            assert_eq!(off.window_repaired, 0, "repair engaged with the knob off");
+            // Chaos is where BGP repair provably fires: impairment races
+            // hand its FIB a locally-dead egress, which never happens in
+            // the scripted TC runs (carrier loss tears the session and
+            // rebuilds the FIB in the same event).
+            assert!(on.window_repaired > 0, "repair never engaged on {}", stack.label());
+        }
+    }
+
+    #[test]
+    fn local_repair_runs_are_deterministic() {
+        let cfg = ChaosConfig { local_repair: true, traffic_pairs: 2, ..quick_cfg() };
+        for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
+            let a = run_chaos(5, stack, &cfg);
+            let b = run_chaos(5, stack, &cfg);
+            assert_eq!(a.digest, b.digest, "non-deterministic with repair on {}", stack.label());
+            assert_eq!(a.repair_loops, 0);
+        }
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct StackTuning {
     /// every router. On by default; the equivalence suite turns it off
     /// to prove trace digests are bit-identical either way.
     pub fast_path: bool,
+    /// Local fast reroute on every router: precomputed backup FIBs let
+    /// the hop that observes a dead port repair forwarding in the data
+    /// plane (at most once per packet). Off by default so the baseline
+    /// reproduces the paper's loss windows; the equivalence suite proves
+    /// `local_repair=off` digests are bit-identical to pre-repair code.
+    pub local_repair: bool,
 }
 
 impl Default for StackTuning {
@@ -66,6 +72,7 @@ impl Default for StackTuning {
             bgp_hold: None,
             bfd_tx_interval: None,
             fast_path: true,
+            local_repair: false,
         }
     }
 }
@@ -259,6 +266,7 @@ fn build_mrmtp(
         cfg.timers = t;
     }
     cfg.fast_path = tuning.fast_path;
+    cfg.local_repair = tuning.local_repair;
     Box::new(MrmtpRouter::new(cfg, fabric.ports[i].len()))
 }
 
@@ -288,6 +296,7 @@ fn build_bgp(
         cfg.bfd_tx_interval = b;
     }
     cfg.fast_path = tuning.fast_path;
+    cfg.local_repair = tuning.local_repair;
     for (pi, pr) in fabric.ports[i].iter().enumerate() {
         match pr.kind {
             PortKind::Host => {}

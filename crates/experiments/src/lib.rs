@@ -42,6 +42,6 @@ pub use fabric::{
 };
 pub use runspec::RunSpec;
 pub use scenario::{
-    bundle_from_run, run, run_digest, run_instrumented, InstrumentedRun, Scenario, ScenarioResult,
-    Timing, TrafficDir,
+    bundle_from_run, run, run_digest, run_instrumented, InstrumentedRun, ScenarioResult, Timing,
+    TrafficDir,
 };

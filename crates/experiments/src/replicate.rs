@@ -109,13 +109,18 @@ fn aggregate(raw: Vec<ScenarioResult>) -> ReplicatedResult {
 }
 
 /// Fig. 4 with replication: convergence as mean [min–max] over `seeds`.
-pub fn fig4_replicated(seeds: &[u64]) -> Figure {
+/// `local_repair` threads the CLI's `--local-repair` knob into every
+/// replicated run (it must not move convergence, only the loss window).
+pub fn fig4_replicated(seeds: &[u64], local_repair: bool) -> Figure {
     let mut rows = Vec::new();
     for (name, params) in [("2-PoD", ClosParams::two_pod()), ("4-PoD", ClosParams::four_pod())] {
         for stack in Stack::ALL {
             for tc in FailureCase::ALL {
                 let r = run_replicated(
-                    RunSpec::new(params, stack).failing(tc).with_traffic(TrafficDir::None),
+                    RunSpec::new(params, stack)
+                        .failing(tc)
+                        .with_traffic(TrafficDir::None)
+                        .with_local_repair(local_repair),
                     seeds,
                 );
                 rows.push(vec![

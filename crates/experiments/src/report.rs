@@ -25,7 +25,12 @@ pub struct Report {
 /// Run `stack` through failure case `tc` on the paper's 2-PoD fabric and
 /// assemble the convergence report.
 pub fn build(stack: Stack, tc: FailureCase, seed: u64) -> Report {
-    let spec = RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed);
+    build_spec(RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed))
+}
+
+/// [`build`] for a caller-assembled spec — the CLI uses this to thread
+/// knobs like `--local-repair` into the reported run.
+pub fn build_spec(spec: RunSpec) -> Report {
     let run = run_instrumented(spec);
     let text = render(&run, &spec);
     Report { text, run, spec }

@@ -19,15 +19,14 @@
 //!
 //! Every entry point of the crate — [`crate::scenario::run`],
 //! [`crate::replicate`], [`crate::report`], [`crate::parallel`], and the
-//! `fcr` CLI — consumes a `RunSpec`. The old [`Scenario`] type remains as
-//! a deprecated shim that converts losslessly via `From<Scenario>`.
+//! `fcr` CLI — consumes a `RunSpec`.
 
 use dcn_sim::SchedulerKind;
 use dcn_telemetry::TelemetryConfig;
 use dcn_topology::{ClosParams, FailureCase};
 
 use crate::fabric::{Stack, StackTuning};
-use crate::scenario::{self, InstrumentedRun, Scenario, ScenarioResult, Timing, TrafficDir};
+use crate::scenario::{self, InstrumentedRun, ScenarioResult, Timing, TrafficDir};
 
 /// A full experiment description: everything [`RunSpec::run`] needs to
 /// produce a [`ScenarioResult`] deterministically.
@@ -41,6 +40,11 @@ pub struct RunSpec {
     pub failure: Option<FailureCase>,
     /// Monitored-flow placement relative to the failure chain.
     pub traffic: TrafficDir,
+    /// Inter-packet gap override for the monitored flow. `None` keeps
+    /// [`dcn_traffic::SendSpec`]'s default pacing (≈333 pkt/s); the
+    /// loss-window experiments shrink it so the carrier-detection window
+    /// (500 µs by default) spans many packets.
+    pub traffic_interval: Option<dcn_sim::time::Duration>,
     /// Seed for every deterministic RNG stream in the run.
     pub seed: u64,
     /// Experiment timeline (warmup / failure instant / drain).
@@ -65,6 +69,7 @@ impl RunSpec {
             stack,
             failure: None,
             traffic: TrafficDir::None,
+            traffic_interval: None,
             seed: 42,
             timing: Timing::default(),
             tuning: StackTuning::default(),
@@ -82,6 +87,12 @@ impl RunSpec {
     /// Run the monitored flow in direction `dir`.
     pub fn with_traffic(mut self, dir: TrafficDir) -> RunSpec {
         self.traffic = dir;
+        self
+    }
+
+    /// Pace the monitored flow at one packet per `interval`.
+    pub fn with_traffic_interval(mut self, interval: dcn_sim::time::Duration) -> RunSpec {
+        self.traffic_interval = Some(interval);
         self
     }
 
@@ -112,6 +123,15 @@ impl RunSpec {
         self
     }
 
+    /// Enable or disable local fast reroute (precomputed backup FIBs,
+    /// in-data-plane repair around locally-dead ports). Off by default;
+    /// the equivalence suite proves the off setting is bit-identical to
+    /// the pre-repair code.
+    pub fn with_local_repair(mut self, on: bool) -> RunSpec {
+        self.tuning.local_repair = on;
+        self
+    }
+
     /// Attach a telemetry sink configuration for instrumented runs.
     pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> RunSpec {
         self.telemetry = Some(cfg);
@@ -137,22 +157,6 @@ impl RunSpec {
     }
 }
 
-impl From<Scenario> for RunSpec {
-    fn from(s: Scenario) -> RunSpec {
-        RunSpec {
-            params: s.params,
-            stack: s.stack,
-            failure: s.failure,
-            traffic: s.traffic,
-            seed: s.seed,
-            timing: s.timing,
-            tuning: StackTuning::default(),
-            telemetry: None,
-            scheduler: SchedulerKind::default(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,22 +175,6 @@ mod tests {
         assert_eq!(spec.seed, 9);
         assert_eq!(spec.scheduler, SchedulerKind::Heap);
         assert!(spec.telemetry.is_some());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_scenario_shim_converts_losslessly() {
-        let s = Scenario::new(ClosParams::four_pod(), Stack::Mrmtp)
-            .failing(FailureCase::Tc3)
-            .with_traffic(TrafficDir::NearToFar)
-            .seeded(5);
-        let spec: RunSpec = s.into();
-        assert_eq!(spec.params, ClosParams::four_pod());
-        assert_eq!(spec.stack, Stack::Mrmtp);
-        assert_eq!(spec.failure, Some(FailureCase::Tc3));
-        assert_eq!(spec.traffic, TrafficDir::NearToFar);
-        assert_eq!(spec.seed, 5);
-        assert_eq!(spec.scheduler, SchedulerKind::Wheel);
     }
 
     #[test]

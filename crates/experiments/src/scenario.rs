@@ -9,7 +9,7 @@ use dcn_sim::{NodeId, Sim};
 use dcn_telemetry::{
     capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TraceBundle,
 };
-use dcn_topology::{ClosParams, FailureCase};
+use dcn_topology::ClosParams;
 use dcn_traffic::{LossReport, SendSpec, TrafficHost};
 
 use crate::fabric::{build_sim_full, BuiltSim, Stack};
@@ -70,47 +70,6 @@ impl Timing {
     }
 }
 
-/// The pre-[`RunSpec`] experiment description, kept as a thin shim for
-/// downstream code. Converts losslessly into [`RunSpec`].
-#[derive(Clone, Copy, Debug)]
-pub struct Scenario {
-    pub params: ClosParams,
-    pub stack: Stack,
-    pub failure: Option<FailureCase>,
-    pub traffic: TrafficDir,
-    pub seed: u64,
-    pub timing: Timing,
-}
-
-impl Scenario {
-    #[deprecated(since = "0.4.0", note = "use RunSpec::new — the unified experiment builder")]
-    pub fn new(params: ClosParams, stack: Stack) -> Scenario {
-        Scenario {
-            params,
-            stack,
-            failure: None,
-            traffic: TrafficDir::None,
-            seed: 42,
-            timing: Timing::default(),
-        }
-    }
-
-    pub fn failing(mut self, tc: FailureCase) -> Scenario {
-        self.failure = Some(tc);
-        self
-    }
-
-    pub fn with_traffic(mut self, dir: TrafficDir) -> Scenario {
-        self.traffic = dir;
-        self
-    }
-
-    pub fn seeded(mut self, seed: u64) -> Scenario {
-        self.seed = seed;
-        self
-    }
-}
-
 /// Everything measured from one run.
 #[derive(Clone, Debug)]
 pub struct ScenarioResult {
@@ -141,8 +100,7 @@ pub struct InstrumentedRun {
     pub failure_at: Option<Time>,
 }
 
-/// Run one spec to completion. Accepts anything convertible to a
-/// [`RunSpec`] (including the deprecated [`Scenario`] shim).
+/// Run one spec to completion.
 pub fn run(spec: impl Into<RunSpec>) -> ScenarioResult {
     run_inner(&spec.into(), &mut None).0
 }
@@ -247,6 +205,9 @@ fn run_inner(s: &RunSpec, tel: &mut Option<Telemetry>) -> (ScenarioResult, Built
         let mut spec = SendSpec::new(dst_ip, timing.traffic_start(), timing.traffic_stop());
         spec.src_port = sp;
         spec.dst_port = dp;
+        if let Some(interval) = s.traffic_interval {
+            spec.interval = interval;
+        }
         senders.push((src_node, spec));
     }
 

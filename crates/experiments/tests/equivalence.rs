@@ -142,6 +142,59 @@ fn fast_path_digest_identical_under_chaos() {
     assert_eq!(on.digest, off.digest, "chaos seed 23: fast path diverged on BGP");
 }
 
+// ----------------------------------------------------------------------
+// Local-repair off-mode: bit-identical to the pre-repair engine
+// ----------------------------------------------------------------------
+
+/// Golden trace digests captured at the commit *before* the local-repair
+/// subsystem landed (regenerate with
+/// `cargo run --release -p dcn-experiments --example golden_digests`).
+/// With `local_repair` off — the default — the backup-FIB compilation,
+/// the repair lookup stages, and the `repaired` frame flag must all be
+/// invisible: same events, same order, same bytes on the wire.
+#[test]
+fn local_repair_off_matches_pre_change_golden_digests() {
+    const TC_GOLDEN: [(Stack, FailureCase, u64); 8] = [
+        (Stack::Mrmtp, FailureCase::Tc1, 0x2ab9234aa218eba5),
+        (Stack::Mrmtp, FailureCase::Tc2, 0xac24d2c0341d74b7),
+        (Stack::Mrmtp, FailureCase::Tc3, 0x9af425d622c51559),
+        (Stack::Mrmtp, FailureCase::Tc4, 0xff0d69117192a6a3),
+        (Stack::BgpEcmp, FailureCase::Tc1, 0x0a357ba1af20277d),
+        (Stack::BgpEcmp, FailureCase::Tc2, 0x20cfbc45434d44c0),
+        (Stack::BgpEcmp, FailureCase::Tc3, 0x566b7dc8b4654688),
+        (Stack::BgpEcmp, FailureCase::Tc4, 0x48cbac3a7516733c),
+    ];
+    for (stack, tc, golden) in TC_GOLDEN {
+        let dir = match stack {
+            Stack::Mrmtp => TrafficDir::NearToFar,
+            _ => TrafficDir::FarToNear,
+        };
+        let d = run_digest(
+            RunSpec::new(ClosParams::two_pod(), stack)
+                .failing(tc)
+                .with_traffic(dir),
+        );
+        assert_eq!(
+            d, golden,
+            "{} {tc:?}: off-mode digest drifted from the pre-repair golden",
+            stack.label(),
+        );
+    }
+    const CHAOS_GOLDEN: [(Stack, u64, u64); 3] = [
+        (Stack::Mrmtp, 21, 0xc1af5214372d1a01),
+        (Stack::Mrmtp, 22, 0x39685f0dd7d0a066),
+        (Stack::BgpEcmp, 23, 0x2e656e8961561784),
+    ];
+    for (stack, seed, golden) in CHAOS_GOLDEN {
+        let r = run_chaos(seed, stack, &quick_chaos());
+        assert_eq!(
+            r.digest, golden,
+            "{} chaos seed {seed}: off-mode digest drifted from the pre-repair golden",
+            stack.label(),
+        );
+    }
+}
+
 #[test]
 fn steady_state_digest_identical_without_failure() {
     let spec = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp);

@@ -76,6 +76,15 @@ pub struct Storyboard {
     pub convergence_ns: Option<u64>,
     /// Stricter last-state-change time − `t0`, ns.
     pub last_change_ns: Option<u64>,
+    /// First in-data-plane repair (`local_repair` span) − `t0`, ns. This
+    /// is the `repaired-locally` phase: the window in which forwarding
+    /// was already healed by the backup FIB while the control plane was
+    /// still converging. `None` when no repair fired (e.g. with the
+    /// `local_repair` knob off).
+    pub first_repair_ns: Option<u64>,
+    /// Number of `local_repair` spans in the episode (one per repaired
+    /// destination per FIB generation, not per packet).
+    pub repair_spans: u64,
 }
 
 /// Build the storyboard for the failure at `t0` from a recorded trace.
@@ -84,11 +93,17 @@ pub fn build(trace: &Trace, t0: Time) -> Storyboard {
     let mut per_node: BTreeMap<NodeId, RouterTimeline> = BTreeMap::new();
     let mut last_update_frame: Option<Time> = None;
     let mut last_change: Option<Time> = None;
+    let mut first_repair: Option<Time> = None;
+    let mut repair_spans = 0u64;
 
     for ev in trace.events_since(t0) {
         let (node, time) = (ev.node(), ev.time());
         match ev {
             TraceEvent::Span { span, .. } => {
+                if matches!(span, dcn_sim::SpanEvent::LocalRepair { .. }) {
+                    first_repair.get_or_insert(time);
+                    repair_spans += 1;
+                }
                 let tl = per_node.entry(node).or_insert(RouterTimeline {
                     node,
                     first_learned: time,
@@ -158,6 +173,8 @@ pub fn build(trace: &Trace, t0: Time) -> Storyboard {
         phases,
         convergence_ns: last_update_frame.map(|t| t - t0),
         last_change_ns: last_change.map(|t| t - t0),
+        first_repair_ns: first_repair.map(|t| t - t0),
+        repair_spans,
     }
 }
 
@@ -188,6 +205,14 @@ pub fn render(sb: &Storyboard, name_of: impl Fn(NodeId) -> String) -> String {
         out.push_str(&format!(
             "\nphases: detection {:.3} ms \u{2192} propagation {:.3} ms \u{2192} quiescence {:.3} ms\n",
             p.detection_ms, p.propagation_ms, p.quiescence_ms
+        ));
+    }
+    if let Some(r) = sb.first_repair_ns {
+        out.push_str(&format!(
+            "repaired-locally: first in-data-plane repair at +{:.3} ms ({} repair span{})\n",
+            ms(r),
+            sb.repair_spans,
+            if sb.repair_spans == 1 { "" } else { "s" },
         ));
     }
     if let Some(c) = sb.convergence_ns {
@@ -304,6 +329,29 @@ mod tests {
         assert!(text.contains("carrier (local)"), "{text}");
         assert!(text.contains("timeout (inferred)"), "{text}");
         assert!(text.contains("propagation"), "{text}");
+    }
+
+    #[test]
+    fn local_repair_spans_date_the_repaired_locally_phase() {
+        let mut tr = Trace::enabled();
+        let t0 = 100 * MILLIS;
+        tr.push(span(t0, 1, SpanEvent::NeighborDown { port: PortId(0), carrier: true }));
+        tr.push(span(t0 + MILLIS / 2, 1, SpanEvent::LocalRepair { port: PortId(3) }));
+        tr.push(update_frame(101 * MILLIS, 1));
+        tr.push(span(102 * MILLIS, 2, SpanEvent::LocalRepair { port: PortId(1) }));
+        let sb = build(&tr, t0);
+        assert_eq!(sb.first_repair_ns, Some(MILLIS / 2));
+        assert_eq!(sb.repair_spans, 2);
+        // Repair spans are transmission markers, not state changes: the
+        // late repair must not stretch quiescence.
+        assert_eq!(sb.last_change_ns, Some(0));
+        let text = render(&sb, |n| format!("R{}", n.0));
+        assert!(text.contains("repaired-locally"), "{text}");
+
+        // Without repairs the phase line is absent entirely.
+        let sb0 = build(&episode(), t0);
+        assert_eq!(sb0.first_repair_ns, None);
+        assert!(!render(&sb0, |n| format!("R{}", n.0)).contains("repaired-locally"));
     }
 
     #[test]

@@ -111,6 +111,12 @@ pub enum SpanEvent {
     HolddownResolve { negatives: u8, totals: u8 },
     /// Every uplink lost tree `root`: total upper loss handed downward.
     UpperLossTotal { root: u8 },
+    /// Local fast reroute engaged: the data plane steered traffic around
+    /// a locally-dead egress onto `port` using the precomputed backup
+    /// FIB, before the control plane converged. Emitted once per
+    /// destination per FIB generation (not per packet), so the storyboard
+    /// can date the first in-data-plane repair without trace bloat.
+    LocalRepair { port: PortId },
 }
 
 impl SpanEvent {
@@ -128,6 +134,7 @@ impl SpanEvent {
             SpanEvent::HolddownArm => "holddown_arm",
             SpanEvent::HolddownResolve { .. } => "holddown_resolve",
             SpanEvent::UpperLossTotal { .. } => "upper_loss_total",
+            SpanEvent::LocalRepair { .. } => "local_repair",
         }
     }
 
@@ -153,7 +160,9 @@ impl SpanEvent {
     pub fn is_state_change(&self) -> bool {
         !matches!(
             self,
-            SpanEvent::LossFlood { .. } | SpanEvent::BgpUpdateBatch { .. }
+            SpanEvent::LossFlood { .. }
+                | SpanEvent::BgpUpdateBatch { .. }
+                | SpanEvent::LocalRepair { .. }
         )
     }
 }

@@ -48,6 +48,7 @@ fn span_fields(span: &SpanEvent) -> Vec<(&'static str, Json)> {
             ("totals", Json::UInt(*totals as u64)),
         ],
         SpanEvent::UpperLossTotal { root } => vec![("root", Json::UInt(*root as u64))],
+        SpanEvent::LocalRepair { port } => vec![("port", Json::UInt(port.0 as u64))],
     }
 }
 

@@ -101,6 +101,14 @@ pub struct TrafficHost {
 
 const TOKEN_SEND: u64 = 1;
 
+/// Upper bound on tracked sequence numbers (a 2 MiB `seen` bitmap). A
+/// frame corrupted on an impaired wire can pass the magic check yet
+/// carry an arbitrary 8-byte sequence field; without a bound one such
+/// frame would make [`TrafficHost::ingest_frame`] resize the bitmap to
+/// exabytes. No legitimate sender reaches 16M sequence numbers at the
+/// generator's pacing, so anything past the cap is dropped as corrupt.
+const MAX_TRACKED_SEQ: u64 = 1 << 24;
+
 impl TrafficHost {
     pub fn new(ip: IpAddr4) -> TrafficHost {
         TrafficHost {
@@ -177,6 +185,7 @@ impl TrafficHost {
             dst: spec.dst,
             flow: flow_hash(self.ip, spec.dst, IPPROTO_UDP, spec.src_port, spec.dst_port),
             ttl: pkt.ttl,
+            repaired: false,
         };
         ctx.send_meta(PortId(0), frame.encode(), FrameClass::Data, meta);
     }
@@ -201,6 +210,9 @@ impl TrafficHost {
             return;
         }
         let seq = u64::from_be_bytes(udp.payload[4..12].try_into().unwrap());
+        if seq >= MAX_TRACKED_SEQ {
+            return;
+        }
         self.arrived += 1;
         if self.mark_seen(seq) {
             if let Some(max) = self.max_seen {

@@ -35,6 +35,13 @@ pub enum FrameMeta {
         /// Destination address of the inner IPv4 packet (for terminal
         /// host delivery without re-parsing the inner header).
         ip_dst: IpAddr4,
+        /// Loop guard for local fast reroute: set by the hop that
+        /// rerouted this packet around a locally-dead port. A repaired
+        /// packet is never repaired again at a later hop; downstream
+        /// hops forward it with plain (off-mode) candidate selection.
+        /// Always `false` when the `local_repair` knob is off — off-mode
+        /// metadata is bit-identical to the pre-repair encoding.
+        repaired: bool,
     },
     /// A plain IPv4 data frame (header at [`crate::ETHERNET_HEADER_LEN`]).
     Ipv4Data {
@@ -47,6 +54,10 @@ pub enum FrameMeta {
         /// Current TTL. Each forwarding hop that rewrites the TTL in the
         /// frame bytes attaches fresh metadata with the decremented value.
         ttl: u8,
+        /// Loop guard for local fast reroute (see
+        /// [`FrameMeta::MrmtpData::repaired`]): at most one repair per
+        /// packet, ever.
+        repaired: bool,
     },
 }
 
@@ -58,7 +69,8 @@ mod tests {
     fn meta_is_small_and_copy() {
         // The metadata rides in every queued Deliver event; keep it lean.
         assert!(std::mem::size_of::<FrameMeta>() <= 24);
-        let m = FrameMeta::Ipv4Data { dst: IpAddr4::new(10, 0, 0, 1), flow: 7, ttl: 64 };
+        let m =
+            FrameMeta::Ipv4Data { dst: IpAddr4::new(10, 0, 0, 1), flow: 7, ttl: 64, repaired: false };
         let n = m; // Copy
         assert_eq!(m, n);
     }

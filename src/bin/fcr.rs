@@ -38,9 +38,11 @@ fn usage() -> ! {
          \x20                               tc: tc1..tc4; dir: near|far, default near)\n\
          \x20   --pods N             fabric size in PoDs (even, default 2)\n\
          \x20   --seed N             seed (default 42)\n\
+         \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
          \x20   --seed N             seed (default 42)\n\
+         \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 listings                      Listings 1/2/3/5 artifacts\n\
          \x20 sweep [max_pods]              scalability sweep + tier comparison\n\
@@ -48,6 +50,7 @@ fn usage() -> ! {
          \x20 keepalive                     steady-state keep-alive summary\n\
          \x20 extended                      whole-node/multi-point failures + encap overhead\n\
          \x20 replicate [n]                 Fig. 4 averaged over n seeds\n\
+         \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write per-seed bundles for each stack on TC1\n\
          \x20 chaos [opts]                  randomized fault campaign with invariant checks\n\
          \x20   --seeds N        seeds per stack (default 64)\n\
@@ -59,6 +62,8 @@ fn usage() -> ! {
          \x20   --k N            concurrent-failure burst size (default 2)\n\
          \x20   --loss-ppm N     frame loss during window (default 2000)\n\
          \x20   --corrupt-ppm N  frame corruption during window (default 10000)\n\
+         \x20   --local-repair   enable local fast reroute (+ repair-loop invariant)\n\
+         \x20   --traffic-pairs N  cross-pod background flows per schedule (default 0)\n\
          \x20   --no-determinism skip the double-run digest comparison\n\
          \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
          \x20 bench [opts]                  scaling + scheduler benchmarks\n\
@@ -68,7 +73,8 @@ fn usage() -> ! {
          \x20   --quick          short windows (CI smoke mode)\n\
          \x20   --out FILE       write BENCH_scale.json (or BENCH_traffic.json\n\
          \x20                    with --traffic) here (default stdout only)\n\
-         \x20   --baseline FILE  fail (exit 1) on >20% throughput regression"
+         \x20   --baseline FILE  fail (exit 1) on >20% throughput regression\n\
+         \x20                    (--traffic also gates the loss-window probe)"
     );
     std::process::exit(2);
 }
@@ -90,13 +96,16 @@ struct RunFlags {
     telemetry_out: Option<PathBuf>,
     seed: Option<u64>,
     pods: Option<usize>,
+    local_repair: bool,
 }
 
-/// Pull `--telemetry-out DIR`, `--seed N` and `--pods N` out of `args`,
-/// returning the remaining positional arguments.
+/// Pull `--telemetry-out DIR`, `--seed N`, `--pods N` and
+/// `--local-repair` out of `args`, returning the remaining positional
+/// arguments.
 fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
     let mut positional = Vec::new();
-    let mut flags = RunFlags { telemetry_out: None, seed: None, pods: None };
+    let mut flags =
+        RunFlags { telemetry_out: None, seed: None, pods: None, local_repair: false };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,6 +113,10 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
                 let Some(dir) = args.get(i + 1) else { usage() };
                 flags.telemetry_out = Some(PathBuf::from(dir));
                 i += 2;
+            }
+            "--local-repair" => {
+                flags.local_repair = true;
+                i += 1;
             }
             "--seed" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
@@ -176,7 +189,8 @@ fn main() {
             let s = RunSpec::new(params_for(flags.pods), parse_stack(stack))
                 .failing(parse_tc(tc))
                 .with_traffic(dir)
-                .seeded(flags.seed.unwrap_or(seed));
+                .seeded(flags.seed.unwrap_or(seed))
+                .with_local_repair(flags.local_repair);
             let r = match flags.telemetry_out {
                 None => run(s),
                 Some(out) => {
@@ -219,10 +233,11 @@ fn main() {
         Some("report") => {
             let (pos, flags) = split_flags(&args[1..]);
             let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
-            let r = dcn_experiments::report::build(
-                parse_stack(stack),
-                parse_tc(tc),
-                flags.seed.unwrap_or(seed),
+            let r = dcn_experiments::report::build_spec(
+                RunSpec::new(ClosParams::two_pod(), parse_stack(stack))
+                    .failing(parse_tc(tc))
+                    .seeded(flags.seed.unwrap_or(seed))
+                    .with_local_repair(flags.local_repair),
             );
             print!("{}", r.text);
             if let Some(out) = flags.telemetry_out {
@@ -249,12 +264,17 @@ fn main() {
             let n: u64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(5);
             let seeds: Vec<u64> = (1..=n).collect();
             eprintln!("replicating Fig. 4 over {n} seeds…");
-            println!("{}", dcn_experiments::replicate::fig4_replicated(&seeds).render());
+            println!(
+                "{}",
+                dcn_experiments::replicate::fig4_replicated(&seeds, flags.local_repair).render()
+            );
             if let Some(out) = flags.telemetry_out {
                 // One instrumented replication per stack on the headline
                 // case (TC1, 2-PoD), a bundle per seed.
                 for stack in Stack::ALL {
-                    let s = RunSpec::new(ClosParams::two_pod(), stack).failing(FailureCase::Tc1);
+                    let s = RunSpec::new(ClosParams::two_pod(), stack)
+                        .failing(FailureCase::Tc1)
+                        .with_local_repair(flags.local_repair);
                     let r = dcn_experiments::replicate::run_replicated_instrumented(s, &seeds, &out);
                     if let Some(c) = r.convergence_ms {
                         eprintln!("{}: TC1 convergence {} ms", stack.label(), c.render(1));
@@ -289,6 +309,14 @@ fn main() {
                     "--corrupt-ppm" => {
                         cfg.chaos.impairment.corrupt_ppm =
                             val(i).parse().unwrap_or_else(|_| usage())
+                    }
+                    "--local-repair" => {
+                        cfg.chaos.local_repair = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--traffic-pairs" => {
+                        cfg.chaos.traffic_pairs = val(i).parse().unwrap_or_else(|_| usage())
                     }
                     "--no-determinism" => {
                         cfg.check_determinism = false;
