@@ -4,8 +4,12 @@
 //!
 //! * **Scale sweep** — build a folded-Clos fabric at each requested PoD
 //!   count, run it with tracing off, and record events processed, wall
-//!   time, throughput (events/sec) and peak RSS. Emitted as
-//!   `BENCH_scale.json` (`schema: "bench_scale/v1"`).
+//!   time, throughput (events/sec and events/sec/node) and peak RSS —
+//!   plus, at 16+ PoDs, the same fabric on the sharded parallel engine
+//!   at each requested worker count, with the parallel-over-sequential
+//!   speedup. Emitted as `BENCH_scale.json` (`schema: "bench_scale/v2"`,
+//!   which also records the host's core count so single-core runs are
+//!   not misread as parallel regressions).
 //! * **Scheduler microbench** — the pop-then-re-arm stress loop from
 //!   `dcn_sim::scheduler_stress`, run on both backends, reported as a
 //!   wheel-over-heap speedup.
@@ -39,19 +43,30 @@ use dcn_traffic::SendSpec;
 use crate::fabric::{build_fabric_sim_cfg, BuiltSim, Stack, StackTuning};
 use crate::scenario::Timing;
 
-/// One fabric size in the scale sweep.
+/// One (fabric size × worker count) point in the scale sweep.
 #[derive(Clone, Debug)]
 pub struct ScalePoint {
     pub pods: usize,
     pub nodes: usize,
     pub links: usize,
+    /// Engine worker threads (1 = the sequential reference engine).
+    pub workers: usize,
     /// Events processed by the engine over the measured window.
     pub events: u64,
     pub wall_ms: f64,
     pub events_per_sec: f64,
+    /// Throughput normalized by fabric size. A droop here at fixed
+    /// workers as pods grow is a cache-locality signal; a droop in raw
+    /// `events_per_sec` alone can just be a bigger fabric.
+    pub events_per_node: f64,
     /// Peak resident set (VmHWM) after the run, in KiB. Zero on platforms
     /// without `/proc/self/status`.
     pub peak_rss_kb: u64,
+    /// `events_per_sec` over the same fabric's 1-worker rate (1.0 for
+    /// the 1-worker row itself). Only meaningful when `cores` in the
+    /// report exceeds the worker count — on a single-core host the
+    /// sharded engine can only show its overhead.
+    pub speedup: f64,
 }
 
 /// Heap-vs-wheel scheduler throughput from [`dcn_sim::scheduler_stress`].
@@ -69,6 +84,11 @@ pub struct MicroBench {
 pub struct BenchReport {
     /// True when run with `--quick` (shorter windows; CI smoke mode).
     pub quick: bool,
+    /// CPU cores available to this process when the report was taken
+    /// (`std::thread::available_parallelism`). Parallel speedups are
+    /// bounded by this; a 1-core report documents that its multi-worker
+    /// rows measure engine overhead, not attainable speedup.
+    pub cores: usize,
     pub micro: MicroBench,
     pub scale: Vec<ScalePoint>,
 }
@@ -159,54 +179,95 @@ pub fn bench_scheduler(quick: bool) -> MicroBench {
 /// single quick window is milliseconds long, well inside OS-jitter
 /// territory). Fabric/sim construction inside the measured window biases
 /// the rate slightly low, identically for baseline and current.
-pub fn bench_one_scale(pods: usize, quick: bool, seed: u64) -> Result<ScalePoint, String> {
+pub fn bench_one_scale(
+    pods: usize,
+    workers: usize,
+    quick: bool,
+    seed: u64,
+) -> Result<ScalePoint, String> {
     let params = ClosParams::scaled(pods)?;
     // Warmup covers cold start → converged fabric; the full run measures a
     // longer steady-state window dominated by keepalive traffic.
     let warmup = Timing::default().warmup;
     let horizon = if quick { warmup } else { warmup * 3 };
     let cfg = SimConfig { trace: false, ..SimConfig::default() };
+    let tuning = StackTuning { workers: workers.max(1), ..StackTuning::default() };
     let mut events = 0;
     let (mut nodes, mut links) = (0, 0);
     let (reps, cpu, wall) = measure(0.25, 256, || {
         let fabric = Fabric::build(params);
         (nodes, links) = (fabric.nodes.len(), fabric.links.len());
-        let mut built =
-            build_fabric_sim_cfg(fabric, Stack::Mrmtp, seed, &[], StackTuning::default(), cfg);
+        let mut built = build_fabric_sim_cfg(fabric, Stack::Mrmtp, seed, &[], tuning, cfg);
         built.sim.run_until(horizon);
         events = built.sim.events_processed();
     });
+    // Parallel rates are measured against wall time — the point of the
+    // sharded engine is elapsed-time speedup, and CPU time sums over
+    // worker threads (a perfectly-scaling run burns the same CPU
+    // seconds). The sequential rows keep the CPU-time basis that the
+    // historical v1 baselines used, so the regression gate stays
+    // insensitive to machine-sharing noise where it can be.
+    let denom = if workers > 1 { wall } else { cpu };
+    let events_per_sec = (reps as u64 * events) as f64 / denom;
     Ok(ScalePoint {
         pods,
         nodes,
         links,
+        workers: workers.max(1),
         events,
         wall_ms: wall / reps as f64 * 1e3,
-        events_per_sec: (reps as u64 * events) as f64 / cpu,
+        events_per_sec,
+        events_per_node: events_per_sec / nodes.max(1) as f64,
         peak_rss_kb: peak_rss_kb(),
+        speedup: 1.0, // filled in by `run_bench` against the 1-worker row
     })
 }
 
-/// Run the whole benchmark: a sweep over `pods` plus the microbench.
-/// The sweep runs first — the microbench saturates the CPU for a second
-/// or more, and on throttled/shared machines that depresses whatever is
-/// measured right after it.
-pub fn run_bench(pods: &[usize], quick: bool, seed: u64) -> Result<BenchReport, String> {
+/// The PoD size from which worker sweeps run: below this the fabric is
+/// too small for sharding to be anything but overhead.
+pub const WORKER_SWEEP_MIN_PODS: usize = 16;
+
+/// Run the whole benchmark: a sweep over `pods` — with each worker count
+/// from `workers` added at [`WORKER_SWEEP_MIN_PODS`]+ PoDs — plus the
+/// microbench. The sweep runs first: the microbench saturates the CPU
+/// for a second or more, and on throttled/shared machines that
+/// depresses whatever is measured right after it.
+pub fn run_bench(
+    pods: &[usize],
+    workers: &[usize],
+    quick: bool,
+    seed: u64,
+) -> Result<BenchReport, String> {
     let mut scale = Vec::with_capacity(pods.len());
     for &p in pods {
-        scale.push(bench_one_scale(p, quick, seed)?);
+        let base = bench_one_scale(p, 1, quick, seed)?;
+        let base_rate = base.events_per_sec;
+        scale.push(base);
+        if p >= WORKER_SWEEP_MIN_PODS {
+            for &w in workers.iter().filter(|&&w| w > 1) {
+                let mut point = bench_one_scale(p, w, quick, seed)?;
+                point.speedup = point.events_per_sec / base_rate;
+                scale.push(point);
+            }
+        }
     }
     let micro = bench_scheduler(quick);
-    Ok(BenchReport { quick, micro, scale })
+    Ok(BenchReport {
+        quick,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        micro,
+        scale,
+    })
 }
 
 impl BenchReport {
     /// Serialize to the committed `BENCH_scale.json` schema
-    /// (`bench_scale/v1`; see EXPERIMENTS.md).
+    /// (`bench_scale/v2`; see EXPERIMENTS.md).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("bench_scale/v1")),
+            ("schema", Json::str("bench_scale/v2")),
             ("quick", Json::Bool(self.quick)),
+            ("cores", Json::UInt(self.cores as u64)),
             (
                 "scheduler_microbench",
                 Json::obj(vec![
@@ -227,10 +288,13 @@ impl BenchReport {
                                 ("pods", Json::UInt(p.pods as u64)),
                                 ("nodes", Json::UInt(p.nodes as u64)),
                                 ("links", Json::UInt(p.links as u64)),
+                                ("workers", Json::UInt(p.workers as u64)),
                                 ("events", Json::UInt(p.events)),
                                 ("wall_ms", Json::Float(p.wall_ms)),
                                 ("events_per_sec", Json::Float(p.events_per_sec)),
+                                ("events_per_node", Json::Float(p.events_per_node)),
                                 ("peak_rss_kb", Json::UInt(p.peak_rss_kb)),
+                                ("speedup", Json::Float(p.speedup)),
                             ])
                         })
                         .collect(),
@@ -247,11 +311,23 @@ impl BenchReport {
             self.micro.pending, self.micro.ops, self.micro.heap_events_per_sec,
             self.micro.wheel_events_per_sec, self.micro.speedup,
         ));
-        out.push_str("pods  nodes  links      events   wall_ms   events/sec  peak_rss_kb\n");
+        out.push_str(&format!("host cores: {}\n", self.cores));
+        out.push_str(
+            "pods  nodes  links  wrk      events   wall_ms   events/sec  ev/s/node  peak_rss_kb  speedup\n",
+        );
         for p in &self.scale {
             out.push_str(&format!(
-                "{:>4}  {:>5}  {:>5}  {:>10}  {:>8.1}  {:>11.0}  {:>11}\n",
-                p.pods, p.nodes, p.links, p.events, p.wall_ms, p.events_per_sec, p.peak_rss_kb,
+                "{:>4}  {:>5}  {:>5}  {:>3}  {:>10}  {:>8.1}  {:>11.0}  {:>9.0}  {:>11}  {:>6.2}x\n",
+                p.pods,
+                p.nodes,
+                p.links,
+                p.workers,
+                p.events,
+                p.wall_ms,
+                p.events_per_sec,
+                p.events_per_node,
+                p.peak_rss_kb,
+                p.speedup,
             ));
         }
         out
@@ -624,10 +700,12 @@ pub fn check_traffic_regression(
 }
 
 /// Compare a fresh report against a committed baseline (`BENCH_scale.json`
-/// contents). Fails if events/sec at any matching PoD count dropped by
-/// more than `tolerance` (0.20 = 20%), or the scheduler microbench
-/// speedup fell below 1.0. PoD counts present on only one side are
-/// skipped — the sweep list may grow over time.
+/// contents). Fails if events/sec at any matching (PoD count, workers)
+/// row dropped by more than `tolerance` (0.20 = 20%) — parallel rows
+/// gate exactly like sequential ones — or the scheduler microbench
+/// speedup fell below 1.0. Rows present on only one side are skipped —
+/// the sweep list may grow over time. Baseline rows without a `workers`
+/// field (the v1 schema) are treated as sequential (workers = 1).
 pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f64) -> Result<(), String> {
     let base = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
     let scale = base
@@ -637,6 +715,7 @@ pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f
     for point in &current.scale {
         let Some(b) = scale.iter().find(|b| {
             b.get("pods").and_then(|p| p.as_u64()) == Some(point.pods as u64)
+                && b.get("workers").and_then(|w| w.as_u64()).unwrap_or(1) == point.workers as u64
         }) else {
             continue;
         };
@@ -646,8 +725,9 @@ pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f
             .ok_or_else(|| format!("baseline {} pods missing events_per_sec", point.pods))?;
         if point.events_per_sec < base_eps * (1.0 - tolerance) {
             return Err(format!(
-                "regression at {} pods: {:.0} events/sec vs baseline {:.0} (>{:.0}% drop)",
+                "regression at {} pods / {} workers: {:.0} events/sec vs baseline {:.0} (>{:.0}% drop)",
                 point.pods,
+                point.workers,
                 point.events_per_sec,
                 base_eps,
                 tolerance * 100.0,
@@ -669,25 +749,34 @@ mod tests {
 
     #[test]
     fn quick_bench_produces_sane_report() {
-        let report = run_bench(&[2], true, 7).expect("2-pod bench runs");
+        let report = run_bench(&[2], &[], true, 7).expect("2-pod bench runs");
         assert!(report.quick);
+        assert!(report.cores >= 1);
         assert_eq!(report.scale.len(), 1);
         let p = &report.scale[0];
         assert_eq!(p.pods, 2);
+        assert_eq!(p.workers, 1);
         assert!(p.nodes > 0 && p.links > 0);
         assert!(p.events > 0, "engine processed no events");
         assert!(p.events_per_sec > 0.0);
+        assert!(p.events_per_node > 0.0);
+        assert_eq!(p.speedup, 1.0, "the sequential row is its own speedup basis");
         assert!(report.micro.heap_events_per_sec > 0.0);
         assert!(report.micro.wheel_events_per_sec > 0.0);
 
         // JSON round-trips through the schema.
         let rendered = report.to_json().render();
         let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
-        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v1"));
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v2"));
+        assert!(parsed.get("cores").and_then(|c| c.as_u64()).is_some());
         assert_eq!(
             parsed.get("scale").and_then(|s| s.as_arr()).map(|a| a.len()),
             Some(1)
         );
+        let row = &parsed.get("scale").and_then(|s| s.as_arr()).unwrap()[0];
+        assert_eq!(row.get("workers").and_then(|w| w.as_u64()), Some(1));
+        assert!(row.get("events_per_node").and_then(|v| v.as_f64()).is_some());
+        assert!(row.get("speedup").and_then(|v| v.as_f64()).is_some());
 
         // A report never regresses against itself...
         check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
@@ -701,7 +790,36 @@ mod tests {
 
     #[test]
     fn odd_pod_count_is_rejected() {
-        assert!(run_bench(&[3], true, 7).is_err());
+        assert!(run_bench(&[3], &[], true, 7).is_err());
+    }
+
+    #[test]
+    fn worker_sweep_rows_carry_speedup_and_gate_like_sequential_ones() {
+        // A 2-pod fabric is below WORKER_SWEEP_MIN_PODS, so the sweep
+        // must be skipped; force a parallel row through bench_one_scale
+        // directly and check the regression gate keys on (pods, workers).
+        let small = run_bench(&[2], &[2, 4], true, 7).expect("2-pod bench runs");
+        assert_eq!(small.scale.len(), 1, "worker sweep must skip small fabrics");
+
+        let mut report = small.clone();
+        let mut par = bench_one_scale(2, 2, true, 7).expect("parallel row runs");
+        par.speedup = par.events_per_sec / report.scale[0].events_per_sec;
+        report.scale.push(par);
+        let rendered = report.to_json().render();
+        check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
+
+        // Inflate only the parallel baseline row: the gate must trip on
+        // it even though the sequential row is untouched.
+        let mut inflated = report.clone();
+        inflated.scale[1].events_per_sec *= 10.0;
+        let err = check_regression(&report, &inflated.to_json().render(), 0.20)
+            .expect_err("inflated parallel baseline must trip the gate");
+        assert!(err.contains("2 workers"), "gate should name the parallel row: {err}");
+
+        // A v1-style baseline (no workers field) only gates sequential
+        // rows; the parallel row is skipped rather than mismatched.
+        let v1 = rendered.replace("\"workers\"", "\"workers_v1_absent\"");
+        check_regression(&report, &v1, 0.20).expect("v1 baseline gates the sequential row only");
     }
 
     #[test]

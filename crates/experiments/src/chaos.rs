@@ -99,6 +99,10 @@ pub struct ChaosConfig {
     /// measure real transit packets. 0 (the default) adds no senders and
     /// leaves historical digests untouched.
     pub traffic_pairs: usize,
+    /// Worker threads for the sharded parallel engine (1 = sequential
+    /// reference). Per-seed digests are bit-identical across worker
+    /// counts; the equivalence suite enforces it.
+    pub workers: usize,
 }
 
 impl Default for ChaosConfig {
@@ -130,6 +134,7 @@ impl Default for ChaosConfig {
             fast_path: true,
             local_repair: false,
             traffic_pairs: 0,
+            workers: 1,
         }
     }
 }
@@ -348,6 +353,7 @@ fn run_chaos_once(
         StackTuning {
             fast_path: cfg.fast_path,
             local_repair: cfg.local_repair,
+            workers: cfg.workers.max(1),
             ..StackTuning::default()
         },
         cfg.scheduler,

@@ -62,6 +62,12 @@ pub struct StackTuning {
     /// reproduces the paper's loss windows; the equivalence suite proves
     /// `local_repair=off` digests are bit-identical to pre-repair code.
     pub local_repair: bool,
+    /// Worker threads for the sharded parallel engine. `1` (the
+    /// default) runs the sequential reference; `>1` switches the engine
+    /// to [`dcn_sim::EngineKind::Sharded`] with a PoD-aligned partition
+    /// from [`Fabric::shard_map`]. Trace digests are bit-identical
+    /// either way — the equivalence suite enforces it.
+    pub workers: usize,
 }
 
 impl Default for StackTuning {
@@ -73,6 +79,7 @@ impl Default for StackTuning {
             bfd_tx_interval: None,
             fast_path: true,
             local_repair: false,
+            workers: 1,
         }
     }
 }
@@ -206,8 +213,11 @@ pub fn build_fabric_sim_cfg(
     seed: u64,
     senders: &[(usize, SendSpec)],
     tuning: StackTuning,
-    config: SimConfig,
+    mut config: SimConfig,
 ) -> BuiltSim {
+    if tuning.workers > 1 {
+        config.engine = dcn_sim::EngineKind::Sharded { workers: tuning.workers };
+    }
     let addr = Addressing::new(&fabric);
     let mut b = SimBuilder::with_config(seed, config);
     for (i, node) in fabric.nodes.iter().enumerate() {
@@ -238,7 +248,11 @@ pub fn build_fabric_sim_cfg(
         };
         b.add_link(NodeId(x as u32), NodeId(y as u32), spec);
     }
-    BuiltSim { sim: b.build(), fabric, addr, stack }
+    let mut sim = b.build();
+    if tuning.workers > 1 {
+        sim.set_partition(fabric.shard_map(tuning.workers));
+    }
+    BuiltSim { sim, fabric, addr, stack }
 }
 
 fn build_mrmtp(

@@ -144,6 +144,15 @@ impl RunSpec {
         self
     }
 
+    /// Run on the sharded parallel engine with `workers` threads
+    /// (`1` keeps the sequential reference engine). Metrics and trace
+    /// digests are bit-identical either way; workers only buy wall-clock
+    /// speed on multi-core hosts.
+    pub fn with_workers(mut self, workers: usize) -> RunSpec {
+        self.tuning.workers = workers.max(1);
+        self
+    }
+
     /// Run to completion and extract the paper's metrics.
     pub fn run(self) -> ScenarioResult {
         scenario::run(self)
@@ -168,7 +177,9 @@ mod tests {
             .with_traffic(TrafficDir::FarToNear)
             .seeded(9)
             .with_scheduler(SchedulerKind::Heap)
+            .with_workers(4)
             .with_telemetry(TelemetryConfig::default());
+        assert_eq!(spec.tuning.workers, 4);
         assert_eq!(spec.stack, Stack::BgpEcmp);
         assert_eq!(spec.failure, Some(FailureCase::Tc2));
         assert_eq!(spec.traffic, TrafficDir::FarToNear);

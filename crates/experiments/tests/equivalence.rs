@@ -146,19 +146,22 @@ fn fast_path_digest_identical_under_chaos() {
 // Local-repair off-mode: bit-identical to the pre-repair engine
 // ----------------------------------------------------------------------
 
-/// Golden trace digests captured at the commit *before* the local-repair
-/// subsystem landed (regenerate with
+/// Golden trace digests freezing the default configuration's observable
+/// behavior (regenerate with
 /// `cargo run --release -p dcn-experiments --example golden_digests`).
 /// With `local_repair` off — the default — the backup-FIB compilation,
 /// the repair lookup stages, and the `repaired` frame flag must all be
-/// invisible: same events, same order, same bytes on the wire.
+/// invisible: same events, same order, same bytes on the wire. Last
+/// regenerated when event ordering moved from queue-insertion sequence
+/// to content-derived `(creator, counter)` keys (the sharded-engine
+/// prerequisite), which legitimately re-ordered same-instant events.
 #[test]
 fn local_repair_off_matches_pre_change_golden_digests() {
     const TC_GOLDEN: [(Stack, FailureCase, u64); 8] = [
-        (Stack::Mrmtp, FailureCase::Tc1, 0x2ab9234aa218eba5),
-        (Stack::Mrmtp, FailureCase::Tc2, 0xac24d2c0341d74b7),
-        (Stack::Mrmtp, FailureCase::Tc3, 0x9af425d622c51559),
-        (Stack::Mrmtp, FailureCase::Tc4, 0xff0d69117192a6a3),
+        (Stack::Mrmtp, FailureCase::Tc1, 0x00ff3614cf01e8ba),
+        (Stack::Mrmtp, FailureCase::Tc2, 0xe132178c1aba0cc0),
+        (Stack::Mrmtp, FailureCase::Tc3, 0xdccf015a95ed2df4),
+        (Stack::Mrmtp, FailureCase::Tc4, 0xc983295775a7438b),
         (Stack::BgpEcmp, FailureCase::Tc1, 0x0a357ba1af20277d),
         (Stack::BgpEcmp, FailureCase::Tc2, 0x20cfbc45434d44c0),
         (Stack::BgpEcmp, FailureCase::Tc3, 0x566b7dc8b4654688),
@@ -181,9 +184,9 @@ fn local_repair_off_matches_pre_change_golden_digests() {
         );
     }
     const CHAOS_GOLDEN: [(Stack, u64, u64); 3] = [
-        (Stack::Mrmtp, 21, 0xc1af5214372d1a01),
-        (Stack::Mrmtp, 22, 0x39685f0dd7d0a066),
-        (Stack::BgpEcmp, 23, 0x2e656e8961561784),
+        (Stack::Mrmtp, 21, 0xba830cb9147a6072),
+        (Stack::Mrmtp, 22, 0xe5ffeae81d0460da),
+        (Stack::BgpEcmp, 23, 0xb4df7391f642ba29),
     ];
     for (stack, seed, golden) in CHAOS_GOLDEN {
         let r = run_chaos(seed, stack, &quick_chaos());
@@ -191,6 +194,90 @@ fn local_repair_off_matches_pre_change_golden_digests() {
             r.digest, golden,
             "{} chaos seed {seed}: off-mode digest drifted from the pre-repair golden",
             stack.label(),
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharded parallel engine: bit-identical to the sequential reference
+// ----------------------------------------------------------------------
+
+fn parallel_invisible(spec: RunSpec) {
+    let sequential = run_digest(spec);
+    for workers in [2usize, 4] {
+        let parallel = run_digest(spec.with_workers(workers));
+        assert_eq!(
+            sequential, parallel,
+            "sharded engine ({workers} workers) diverged for {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_digest_identical_on_mrmtp_tc_cases() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        parallel_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+                .failing(tc)
+                .with_traffic(TrafficDir::NearToFar),
+        );
+    }
+}
+
+#[test]
+fn parallel_digest_identical_on_bgp_tc_cases() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        parallel_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp)
+                .failing(tc)
+                .with_traffic(TrafficDir::FarToNear),
+        );
+    }
+}
+
+#[test]
+fn parallel_digest_identical_under_chaos() {
+    // Chaos is the hostile case for the sharded engine: random admin
+    // flaps must mirror onto remote shards at the right instant, and
+    // per-(link, direction) impairment streams must advance in sender
+    // dispatch order regardless of which thread runs the sender.
+    for (stack, seed) in [
+        (Stack::Mrmtp, 11u64),
+        (Stack::Mrmtp, 12),
+        (Stack::Mrmtp, 13),
+        (Stack::BgpEcmp, 11),
+        (Stack::BgpEcmp, 12),
+        (Stack::BgpEcmp, 13),
+    ] {
+        let sequential = run_chaos(seed, stack, &quick_chaos());
+        for workers in [2usize, 4] {
+            let cfg = ChaosConfig { workers, ..quick_chaos() };
+            let parallel = run_chaos(seed, stack, &cfg);
+            assert_eq!(
+                sequential.digest, parallel.digest,
+                "{} chaos seed {seed}: sharded engine ({workers} workers) diverged",
+                stack.label(),
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_digest_identical_on_bigger_fabric() {
+    // An 8-PoD fabric exercises many-shard partitions (spine shard + 7
+    // PoD shards at workers=8) rather than the 2-PoD minimum.
+    let spec = RunSpec::new(
+        ClosParams::scaled(8).expect("8 PoDs is a valid scaled shape"),
+        Stack::Mrmtp,
+    )
+    .failing(FailureCase::Tc3)
+    .with_traffic(TrafficDir::NearToFar);
+    let sequential = run_digest(spec);
+    for workers in [4usize, 8] {
+        assert_eq!(
+            sequential,
+            run_digest(spec.with_workers(workers)),
+            "sharded engine diverged on the 8-PoD fabric at {workers} workers"
         );
     }
 }

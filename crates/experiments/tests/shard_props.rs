@@ -1,0 +1,89 @@
+//! Property tests for the sharded engine's partitioning layer: every
+//! node lands in exactly one shard, shard ids are dense, the spine
+//! layers stay in the dedicated shard 0, and the conservative lookahead
+//! really is a lower bound on every cross-shard link's delivery delay
+//! (serialization of a minimum-size frame plus propagation — queueing
+//! and jitter only add to it).
+
+use dcn_experiments::{build_fabric_sim, Stack, StackTuning};
+use dcn_sim::engine::MIN_WIRE_LEN;
+use dcn_sim::link::LinkId;
+use dcn_topology::{ClosParams, Fabric, Role};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The map from [`Fabric::shard_map`] assigns every node exactly one
+    /// shard, uses dense ids 0..=max, and puts all fabric-wide spines in
+    /// shard 0 whenever PoD shards exist.
+    #[test]
+    fn shard_map_covers_every_node_exactly_once(
+        pods_half in 1usize..9,
+        workers in 0usize..12,
+    ) {
+        let params = ClosParams::scaled(pods_half * 2).expect("even PoD count");
+        let fabric = Fabric::build(params);
+        let map = fabric.shard_map(workers);
+        // Exactly-once coverage: the map is total over node indices (a
+        // Vec can't assign a node twice, so totality is the whole claim).
+        prop_assert_eq!(map.len(), fabric.nodes.len());
+        // Dense shard ids: every id up to the max is inhabited.
+        let shards = *map.iter().max().unwrap() as usize + 1;
+        let mut seen = vec![false; shards];
+        for &s in &map {
+            seen[s as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "shard ids must be dense");
+        let expected = 1 + params.pods.min(workers.saturating_sub(1));
+        if workers > 1 {
+            prop_assert_eq!(shards, expected);
+            for (i, node) in fabric.nodes.iter().enumerate() {
+                if matches!(node.role, Role::TopSpine { .. } | Role::ZoneSpine { .. }) {
+                    prop_assert_eq!(map[i], 0, "spines live in the dedicated shard");
+                } else {
+                    prop_assert!(map[i] > 0, "PoD nodes stay out of the spine shard");
+                }
+            }
+        } else {
+            prop_assert_eq!(shards, 1);
+        }
+    }
+
+    /// On a built fabric sim, every cross-shard link's minimum delivery
+    /// delay is at least the lookahead the engine computed — the
+    /// soundness condition of the conservative window protocol.
+    #[test]
+    fn cross_shard_links_never_beat_the_lookahead(
+        pods_half in 1usize..5,
+        workers in 2usize..7,
+    ) {
+        let params = ClosParams::scaled(pods_half * 2).expect("even PoD count");
+        let built = build_fabric_sim(
+            Fabric::build(params),
+            Stack::Mrmtp,
+            1,
+            &[],
+            StackTuning { workers, ..StackTuning::default() },
+        );
+        let map = built.sim.partition().expect("sharded build installs a partition");
+        let lookahead = built.sim.lookahead().expect("lookahead derives from the partition");
+        let mut crossings = 0usize;
+        for li in 0..built.sim.link_count() {
+            let (a, b) = built.sim.link_ends(LinkId(li as u32));
+            if map[a.node.index()] != map[b.node.index()] {
+                crossings += 1;
+                let spec = built.sim.link_spec(LinkId(li as u32));
+                let min_delay = spec.serialization(MIN_WIRE_LEN) + spec.propagation;
+                prop_assert!(
+                    min_delay >= lookahead,
+                    "link {li}: min delay {min_delay} beats lookahead {lookahead}"
+                );
+            }
+        }
+        // A multi-shard Clos always has PoD-spine↔top-spine crossings,
+        // and the lookahead must be exactly the tightest of them.
+        prop_assert!(crossings > 0);
+        prop_assert!(lookahead > 0 && lookahead < dcn_sim::Time::MAX);
+    }
+}

@@ -28,6 +28,14 @@ static ALLOC: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
 /// at steady state, run one more second, and return
 /// (forwarded packets, allocations inside forwarding scopes).
 fn soak(stack: Stack) -> (u64, u64) {
+    soak_with_workers(stack, 1)
+}
+
+/// [`soak`] on the sharded parallel engine: forwarding scopes are
+/// per-thread, so router forwarding on worker threads is accounted
+/// exactly as on the main thread, while the engine's own shard
+/// setup/merge allocations stay outside every scope.
+fn soak_with_workers(stack: Stack, workers: usize) -> (u64, u64) {
     let params = ClosParams::two_pod();
     let fabric = Fabric::build(params);
     let addr = Addressing::new(&fabric);
@@ -47,7 +55,8 @@ fn soak(stack: Stack) -> (u64, u64) {
         senders.push((fabric.server(0, t, 0), spec(fabric.tor(1, t))));
         senders.push((fabric.server(1, t, 0), spec(fabric.tor(0, t))));
     }
-    let mut built = build_fabric_sim(fabric, stack, 7, &senders, StackTuning::default());
+    let tuning = StackTuning { workers, ..StackTuning::default() };
+    let mut built = build_fabric_sim(fabric, stack, 7, &senders, tuning);
     built.sim.run_until(warmup);
     alloc_track::reset();
     built.sim.run_until(warmup + SECONDS);
@@ -132,6 +141,23 @@ fn bgp_transit_allocates_exactly_once_per_packet() {
         allocs, forwarded,
         "BGP fast path should allocate exactly the per-hop TTL-rewrite buffer \
          ({allocs} allocs over {forwarded} forwards)"
+    );
+}
+
+#[test]
+fn mrmtp_parallel_transit_forwards_without_allocating() {
+    // The zero-alloc claim must survive the sharded engine: forwarding
+    // runs on worker threads, but the per-thread scope accounting still
+    // charges exactly the forwarding extents — and MR-MTP transit still
+    // never touches the allocator. (The sequential soak above and this
+    // one also forward the same packet count: digests are engine-blind.)
+    let (seq_forwarded, _) = soak(Stack::Mrmtp);
+    let (forwarded, allocs) = soak_with_workers(Stack::Mrmtp, 2);
+    assert!(forwarded > 1_000, "soak too light to be meaningful: {forwarded} packets");
+    assert_eq!(forwarded, seq_forwarded, "parallel soak diverged from sequential");
+    assert_eq!(
+        allocs, 0,
+        "MR-MTP fast path allocated {allocs} times over {forwarded} parallel forwards"
     );
 }
 

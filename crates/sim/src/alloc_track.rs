@@ -16,35 +16,52 @@
 //! [`counting_allocator_installed`] lets reports distinguish "measured
 //! zero" from "not measured".
 //!
-//! The counters are process-wide atomics, not thread-locals: the
-//! simulator is single-threaded by design, and a `#[global_allocator]`
-//! must be safe to call before any thread-local machinery exists.
+//! The totals are process-wide atomics, but the *scope* flag is
+//! per-thread: the sharded engine dispatches forwarding code on several
+//! worker threads at once, and a process-global flag would charge one
+//! worker's engine bookkeeping to another worker's forwarding scope. A
+//! `#[global_allocator]` runs before — and during — thread-local
+//! teardown, so the scope state uses a const-initialized `Cell` (no
+//! lazy init, no destructor registration on read) accessed with
+//! `try_with` and treated as "not in scope" once the thread is tearing
+//! down.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
-static IN_SCOPE: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    /// Forwarding-scope nesting depth of the current thread. Const-init
+    /// keeps first access allocation-free, which matters inside the
+    /// global allocator.
+    static SCOPE_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
 static SCOPED_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static FORWARDED: AtomicU64 = AtomicU64::new(0);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
 /// RAII guard marking the current extent as forwarding-path code.
-/// Nested scopes are harmless (the guard restores the previous state).
+/// Nested scopes are harmless (depth-counted); guards are per-thread and
+/// must be dropped on the thread that created them (they are `!Send` by
+/// construction).
 pub struct ScopeGuard {
-    prev: bool,
+    /// Guards are thread-affine; forbid sending one across threads.
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
-/// Enter a forwarding scope: allocations until the guard drops are
-/// charged to the forwarding path.
+/// Enter a forwarding scope: allocations on *this thread* until the
+/// guard drops are charged to the forwarding path.
 #[inline]
 pub fn scope() -> ScopeGuard {
-    ScopeGuard { prev: IN_SCOPE.swap(true, Relaxed) }
+    SCOPE_DEPTH.with(|d| d.set(d.get() + 1));
+    ScopeGuard { _not_send: std::marker::PhantomData }
 }
 
 impl Drop for ScopeGuard {
     #[inline]
     fn drop(&mut self) {
-        IN_SCOPE.store(self.prev, Relaxed);
+        SCOPE_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
     }
 }
 
@@ -60,7 +77,8 @@ pub fn reset() {
     FORWARDED.store(0, Relaxed);
 }
 
-/// Allocations observed inside forwarding scopes since [`reset`].
+/// Allocations observed inside forwarding scopes (any thread) since
+/// [`reset`].
 pub fn scoped_allocs() -> u64 {
     SCOPED_ALLOCS.load(Relaxed)
 }
@@ -78,7 +96,8 @@ pub fn counting_allocator_installed() -> bool {
 }
 
 /// A `System`-delegating allocator that attributes allocations to the
-/// active forwarding scope. Install in a *binary* (never a library):
+/// active forwarding scope of the allocating thread. Install in a
+/// *binary* (never a library):
 ///
 /// ```ignore
 /// #[global_allocator]
@@ -93,13 +112,18 @@ impl CountingAllocator {
         if !INSTALLED.load(Relaxed) {
             INSTALLED.store(true, Relaxed);
         }
-        if IN_SCOPE.load(Relaxed) {
+        // `try_with` instead of `with`: the allocator is reachable while
+        // this thread's TLS is being torn down, where access fails —
+        // teardown allocations are engine bookkeeping, not forwarding.
+        let in_scope = SCOPE_DEPTH.try_with(|d| d.get() > 0).unwrap_or(false);
+        if in_scope {
             SCOPED_ALLOCS.fetch_add(1, Relaxed);
         }
     }
 }
 
-// SAFETY: pure delegation to `System`; the counters never allocate.
+// SAFETY: pure delegation to `System`; the counters never allocate
+// (the scope flag is a const-initialized thread-local `Cell`).
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.count();
@@ -127,19 +151,39 @@ unsafe impl GlobalAlloc for CountingAllocator {
 mod tests {
     use super::*;
 
+    fn in_scope() -> bool {
+        SCOPE_DEPTH.with(|d| d.get() > 0)
+    }
+
     #[test]
     fn scope_nesting_restores_state() {
-        assert!(!IN_SCOPE.load(Relaxed));
+        assert!(!in_scope());
         {
             let _a = scope();
-            assert!(IN_SCOPE.load(Relaxed));
+            assert!(in_scope());
             {
                 let _b = scope();
-                assert!(IN_SCOPE.load(Relaxed));
+                assert!(in_scope());
             }
-            assert!(IN_SCOPE.load(Relaxed), "inner guard restored outer scope");
+            assert!(in_scope(), "inner guard restored outer scope");
         }
-        assert!(!IN_SCOPE.load(Relaxed));
+        assert!(!in_scope());
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let _outer = scope();
+        assert!(in_scope());
+        // A worker thread starts outside any scope regardless of the
+        // spawning thread's state, and its own guards don't leak back.
+        std::thread::spawn(|| {
+            assert!(!in_scope(), "scope must not leak into worker threads");
+            let _inner = scope();
+            assert!(in_scope());
+        })
+        .join()
+        .unwrap();
+        assert!(in_scope(), "worker scopes must not clobber the spawner");
     }
 
     #[test]

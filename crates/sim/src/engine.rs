@@ -1,10 +1,36 @@
-//! The simulation engine: node registry, wiring, event dispatch.
+//! The simulation engine: node registry, wiring, event dispatch — and the
+//! sharded conservative-lookahead parallel engine.
+//!
+//! Two engines share one dispatch core ([`Core`]):
+//!
+//! * **Sequential** ([`EngineKind::Sequential`], the default and the
+//!   equivalence reference): one [`Core`] holding every node, popping one
+//!   global `(time, key)`-ordered queue.
+//! * **Sharded** ([`EngineKind::Sharded`]): the node set is partitioned
+//!   across worker threads (see [`Sim::set_partition`]); each shard is a
+//!   [`Core`] owning its nodes' slots and a private copy of the link
+//!   table. Shards advance through bounded time windows whose width is
+//!   the **conservative lookahead** — the minimum over cross-shard links
+//!   of `serialization(MIN_WIRE_LEN) + propagation`, a static lower bound
+//!   on how far one shard's action can reach into another shard's future
+//!   (queueing and jitter only add delay). Cross-shard frame deliveries
+//!   are exchanged through per-shard mailboxes at window barriers.
+//!
+//! Determinism is carried entirely by the content-derived
+//! [`EventKey`]s: both engines dispatch events in ascending
+//! `(time, key)` order, all same-time causality is intra-shard (a
+//! cross-shard effect is at least one lookahead in the future), so the
+//! k-way merge of per-shard streams by `(time, key)` *is* the sequential
+//! order — traces, counters and RNG streams come out bit-identical.
+//! DESIGN.md §9 gives the full argument.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use dcn_wire::FrameBuf;
 
-use crate::event::{Event, Scheduler, SchedulerKind};
+use crate::event::{Event, EventKey, Scheduled, Scheduler, SchedulerKind};
 use crate::link::{Endpoint, Impairment, Link, LinkId, LinkSpec};
 use crate::node::{Action, Ctx, NodeId, PortId, PortView, Protocol};
 use crate::rng::DetRng;
@@ -15,6 +41,12 @@ use crate::trace::{Trace, TraceEvent};
 /// Shorter frames are padded on the wire; the trace records the padded
 /// length because that is what the paper's byte counts are based on.
 pub const MIN_WIRE_LEN: u32 = 60;
+
+/// Salt base for the per-(link, direction) impairment streams. Salted far
+/// away from node ids so adding nodes never perturbs the impairment
+/// streams and vice versa; stream `link * 2 + direction` is offset from
+/// this base.
+const CHAOS_SALT: u64 = 0xC4A0_51D3_0C4A_051D;
 
 struct NodeSlot {
     proto: Option<Box<dyn Protocol>>,
@@ -35,6 +67,44 @@ struct NodeSlot {
     /// of a per-port scan on every forwarded packet.
     up_mask: u128,
     rng: DetRng,
+    /// Next [`EventKey::counter`] for events this node's dispatches
+    /// create. Advances identically in every engine because only this
+    /// node's own event processing bumps it.
+    key_counter: u64,
+}
+
+impl NodeSlot {
+    /// A vacant stand-in for a node another shard owns. Shard cores keep
+    /// full-length node vectors so ids index directly; foreign slots are
+    /// never dispatched to, so they carry no protocol and no state.
+    fn foreign() -> NodeSlot {
+        NodeSlot {
+            proto: None,
+            name: String::new(),
+            port_links: Vec::new(),
+            views: Vec::new(),
+            admin_target: Vec::new(),
+            periodic: Vec::new(),
+            up_mask: 0,
+            rng: DetRng::new(0, 0),
+            key_counter: 0,
+        }
+    }
+}
+
+/// Which execution engine a simulation uses. Both produce bit-identical
+/// traces; `Sequential` is the reference, `Sharded` buys wall-clock
+/// speed on multi-core hosts for large fabrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// One thread, one global event queue (the default).
+    #[default]
+    Sequential,
+    /// Conservative-lookahead parallel engine with up to `workers`
+    /// shards. `workers <= 1` degenerates to sequential execution. The
+    /// node→shard map comes from [`Sim::set_partition`] (the topology
+    /// layer provides a PoD-aligned one) or defaults to round-robin.
+    Sharded { workers: usize },
 }
 
 /// Engine configuration, collapsed into one struct so experiment layers
@@ -52,6 +122,8 @@ pub struct SimConfig {
     /// Event-scheduler backend. Both orders are bit-identical; the wheel
     /// is the fast default, the heap the reference for equivalence tests.
     pub scheduler: SchedulerKind,
+    /// Execution engine (sequential reference or sharded parallel).
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -61,6 +133,7 @@ impl Default for SimConfig {
             carrier_latency: 500 * MICROS,
             impairment: Impairment::none(),
             scheduler: SchedulerKind::default(),
+            engine: EngineKind::default(),
         }
     }
 }
@@ -103,6 +176,7 @@ impl SimBuilder {
             periodic: Vec::new(),
             up_mask: 0,
             rng: DetRng::new(self.seed, id.0 as u64),
+            key_counter: 0,
         });
         id
     }
@@ -137,8 +211,12 @@ impl SimBuilder {
     /// Finalize. Every node receives `on_start` at time zero.
     pub fn build(self) -> Sim {
         let mut queue = Scheduler::new(self.config.scheduler);
-        for i in 0..self.nodes.len() {
-            queue.push(0, Event::Start { node: NodeId(i as u32) });
+        let mut nodes = self.nodes;
+        for (i, slot) in nodes.iter_mut().enumerate() {
+            // The start event takes the node's counter 0 slot.
+            let key = EventKey { creator: i as u32, counter: 0 };
+            queue.push(0, key, Event::Start { node: NodeId(i as u32) });
+            slot.key_counter = 1;
         }
         let mut links = self.links;
         if !self.config.impairment.is_none() {
@@ -146,33 +224,68 @@ impl SimBuilder {
                 link.impairment = self.config.impairment;
             }
         }
+        let chaos = (0..links.len())
+            .map(|li| {
+                [
+                    DetRng::new(self.seed, CHAOS_SALT.wrapping_add(li as u64 * 2)),
+                    DetRng::new(self.seed, CHAOS_SALT.wrapping_add(li as u64 * 2 + 1)),
+                ]
+            })
+            .collect();
         Sim {
-            time: 0,
-            queue,
-            nodes: self.nodes,
-            links,
-            trace: if self.config.trace { Trace::enabled() } else { Trace::disabled() },
-            carrier_latency: self.config.carrier_latency,
-            scratch: Vec::with_capacity(64),
-            periodic_just_set: Vec::new(),
-            events_processed: 0,
-            frames_delivered: 0,
-            // Salted far away from node ids so adding nodes never
-            // perturbs the impairment stream and vice versa.
-            chaos_rng: DetRng::new(self.seed, 0xC4A0_51D3_0C4A_051D),
-            frames_lost_to_impairment: 0,
-            frames_corrupted: 0,
+            core: Core {
+                time: 0,
+                queue,
+                nodes,
+                links,
+                chaos,
+                trace: if self.config.trace { Trace::enabled() } else { Trace::disabled() },
+                groups: Vec::new(),
+                record_groups: false,
+                carrier_latency: self.config.carrier_latency,
+                scratch: Vec::with_capacity(64),
+                periodic_just_set: Vec::new(),
+                events_processed: 0,
+                frames_delivered: 0,
+                frames_lost_to_impairment: 0,
+                frames_corrupted: 0,
+                shard_of: Vec::new(),
+                my_shard: 0,
+                outbox: Vec::new(),
+            },
+            config: self.config,
+            ext_counter: 0,
+            partition: None,
         }
     }
 }
 
-/// A running simulation.
-pub struct Sim {
+/// A dispatch trace-attribution record: the shard-local trace events
+/// produced while dispatching the event identified by `(time, key)`.
+/// The parallel merge concatenates shard trace segments in ascending
+/// `(time, key)` order — the sequential dispatch order.
+type TraceGroup = (Time, EventKey, u32);
+
+/// The dispatch core shared by both engines: everything event processing
+/// reads or writes. The sequential engine is one `Core` owning every
+/// node; a shard is a `Core` owning its partition's nodes (foreign ids
+/// hold vacant slots) plus a private copy of the link/chaos tables and a
+/// per-destination outbox for cross-shard deliveries.
+struct Core {
     time: Time,
     queue: Scheduler,
     nodes: Vec<NodeSlot>,
     links: Vec<Link>,
+    /// Per-(link, direction) impairment streams, index 0 = the `a` side
+    /// transmits. Each stream is advanced only by the shard owning that
+    /// direction's sender, so draws happen in sender dispatch order —
+    /// the same relative subsequence the sequential engine draws.
+    chaos: Vec<[DetRng; 2]>,
     trace: Trace,
+    /// Per-dispatch trace attribution, recorded only while sharded (and
+    /// tracing): what the merge needs to interleave shard traces.
+    groups: Vec<TraceGroup>,
+    record_groups: bool,
     carrier_latency: Duration,
     scratch: Vec<Action>,
     /// Tokens the current callback armed via `set_periodic`, so the
@@ -181,175 +294,78 @@ pub struct Sim {
     periodic_just_set: Vec<u64>,
     events_processed: u64,
     frames_delivered: u64,
-    /// Dedicated generator for link impairments; untouched (and never
-    /// advanced) while every link is clean.
-    chaos_rng: DetRng,
     frames_lost_to_impairment: u64,
     frames_corrupted: u64,
+    /// Node → shard map while sharded; empty in sequential mode (all
+    /// events are local).
+    shard_of: Vec<u32>,
+    my_shard: u32,
+    /// Cross-shard events staged during the current window, one bucket
+    /// per destination shard.
+    outbox: Vec<Vec<(Time, EventKey, Event)>>,
 }
 
-impl Sim {
-    /// Current simulated time.
-    pub fn now(&self) -> Time {
-        self.time
-    }
-
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    pub fn link_count(&self) -> usize {
-        self.links.len()
-    }
-
-    pub fn node_name(&self, node: NodeId) -> &str {
-        &self.nodes[node.index()].name
-    }
-
-    /// Total events dispatched so far (engine throughput metric).
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// Total frames delivered so far.
-    pub fn frames_delivered(&self) -> u64 {
-        self.frames_delivered
-    }
-
-    /// The trace recorded so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    pub fn trace_mut(&mut self) -> &mut Trace {
-        &mut self.trace
-    }
-
-    /// The link attached to `node`'s `port`, if any.
-    pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
-        self.nodes[node.index()].port_links.get(port.index()).copied()
-    }
-
-    /// The remote endpoint of `node`'s `port`.
-    pub fn peer_of(&self, node: NodeId, port: PortId) -> Option<Endpoint> {
-        let lid = self.link_at(node, port)?;
-        Some(self.links[lid.index()].peer_of(node))
-    }
-
-    /// Number of ports on `node`.
-    pub fn port_count(&self, node: NodeId) -> usize {
-        self.nodes[node.index()].port_links.len()
-    }
-
-    /// Administrative state of `node`'s `port` (invariant checkers need
-    /// the same interface view the protocols get).
-    pub fn port_up(&self, node: NodeId, port: PortId) -> bool {
-        self.nodes[node.index()].views[port.index()].up
-    }
-
-    /// Uniform counter/gauge access to a node's protocol, if it exposes
-    /// one (routers do; traffic hosts don't). See
-    /// [`crate::node::StatsSnapshot`].
-    pub fn stats_snapshot_of(&self, node: NodeId) -> Option<&dyn crate::node::StatsSnapshot> {
-        self.nodes[node.index()]
-            .proto
-            .as_ref()
-            .and_then(|p| p.stats_snapshot())
-    }
-
-    /// Downcast a node's protocol for inspection.
-    pub fn node_as<T: Any>(&self, node: NodeId) -> Option<&T> {
-        self.nodes[node.index()]
-            .proto
-            .as_ref()
-            .and_then(|p| p.as_any().downcast_ref::<T>())
-    }
-
-    /// Downcast a node's protocol mutably.
-    pub fn node_as_mut<T: Any>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.nodes[node.index()]
-            .proto
-            .as_mut()
-            .and_then(|p| p.as_any_mut().downcast_mut::<T>())
-    }
-
-    /// Schedule an interface failure (the paper's failure-injection bash
-    /// script). The owning node gets a carrier-down callback after the
-    /// configured carrier latency; the remote node gets nothing.
-    ///
-    /// No-op transitions are deduplicated: scheduling down on a port
-    /// whose latest scheduled transition already targets down returns
-    /// `false` without enqueuing anything (flap schedules would
-    /// otherwise desync `views[port].up` from the carrier events).
-    /// Transitions must be scheduled in chronological order for the
-    /// guard to match execution order.
-    pub fn schedule_port_down(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
-        self.schedule_admin(at, node, port, false)
-    }
-
-    /// Schedule an interface recovery. Deduplicated like
-    /// [`Sim::schedule_port_down`].
-    pub fn schedule_port_up(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
-        self.schedule_admin(at, node, port, true)
-    }
-
-    fn schedule_admin(&mut self, at: Time, node: NodeId, port: PortId, up: bool) -> bool {
-        assert!(at >= self.time, "cannot schedule in the past");
-        let target = &mut self.nodes[node.index()].admin_target[port.index()];
-        if *target == up {
-            return false; // already heading to that state: drop the duplicate
-        }
-        *target = up;
-        let event = if up {
-            Event::AdminPortUp { node, port }
-        } else {
-            Event::AdminPortDown { node, port }
-        };
-        self.queue.push(at, event);
-        true
-    }
-
-    /// Replace the impairment on one link.
-    pub fn set_impairment(&mut self, link: LinkId, imp: Impairment) {
-        self.links[link.index()].impairment = imp;
-    }
-
-    /// Replace the impairment on every link (e.g. to end a chaos window).
-    pub fn set_impairment_all(&mut self, imp: Impairment) {
-        for link in &mut self.links {
-            link.impairment = imp;
-        }
-    }
-
-    /// Frames silently dropped by link-impairment loss so far.
-    pub fn frames_lost_to_impairment(&self) -> u64 {
-        self.frames_lost_to_impairment
-    }
-
-    /// Frames with a byte corrupted in flight so far.
-    pub fn frames_corrupted(&self) -> u64 {
-        self.frames_corrupted
-    }
-
+impl Core {
     /// Run until simulated time reaches `t` (inclusive of events at `t`).
-    pub fn run_until(&mut self, t: Time) {
+    fn run_sequential(&mut self, t: Time) {
         while let Some(next) = self.queue.peek_time() {
             if next > t {
                 break;
             }
             let s = self.queue.pop().expect("peeked");
-            self.time = s.time;
-            self.dispatch(s.event);
+            self.dispatch(s);
         }
         self.time = self.time.max(t);
     }
 
-    /// Run for `d` more simulated time.
-    pub fn run_for(&mut self, d: Duration) {
-        self.run_until(self.time + d);
+    /// Mint the key for an event created while dispatching at `node`.
+    #[inline]
+    fn next_key(&mut self, node: NodeId) -> EventKey {
+        let slot = &mut self.nodes[node.index()];
+        let key = EventKey { creator: node.0, counter: slot.key_counter };
+        slot.key_counter += 1;
+        key
     }
 
-    fn dispatch(&mut self, event: Event) {
+    /// Enqueue locally, or stage into the outbox when the destination
+    /// node lives on another shard.
+    #[inline]
+    fn push_event(&mut self, time: Time, key: EventKey, event: Event) {
+        if !self.shard_of.is_empty() {
+            if let Some(dest) = event.node() {
+                let shard = self.shard_of[dest.index()];
+                if shard != self.my_shard {
+                    self.outbox[shard as usize].push((time, key, event));
+                    return;
+                }
+            }
+        }
+        self.queue.push(time, key, event);
+    }
+
+    fn dispatch(&mut self, s: Scheduled) {
+        self.time = s.time;
+        let Scheduled { time, key, event } = s;
+        if let Event::MirrorIface { link, side_a, up } = event {
+            // Silent bookkeeping injected by the sharded setup: keep this
+            // shard's copy of a remote interface flag honest so the
+            // sender-side `carries()` check matches the sequential run.
+            // Not counted, not traced — parallel counters must equal
+            // sequential ones.
+            let l = &mut self.links[link.index()];
+            if side_a {
+                l.a_up = up;
+            } else {
+                l.b_up = up;
+            }
+            return;
+        }
+        debug_assert!(
+            self.shard_of.is_empty()
+                || event.node().is_none_or(|n| self.shard_of[n.index()] == self.my_shard),
+            "event routed to a shard that does not own its node"
+        );
+        let trace_before = self.trace.len();
         self.events_processed += 1;
         match event {
             Event::Start { node } => {
@@ -368,7 +384,8 @@ impl Sim {
                         .find(|(t, _)| *t == token)
                         .map(|(_, every)| *every);
                     if let Some(every) = every {
-                        self.queue.push(self.time + every, Event::Timer { node, token });
+                        let k = self.next_key(node);
+                        self.push_event(self.time + every, k, Event::Timer { node, token });
                     }
                 }
             }
@@ -385,13 +402,15 @@ impl Sim {
                 self.set_iface(node, port, false);
                 self.trace.push(TraceEvent::PortDown { time: self.time, node, port });
                 let t = self.time + self.carrier_latency;
-                self.queue.push(t, Event::Carrier { node, port, up: false });
+                let k = self.next_key(node);
+                self.push_event(t, k, Event::Carrier { node, port, up: false });
             }
             Event::AdminPortUp { node, port } => {
                 self.set_iface(node, port, true);
                 self.trace.push(TraceEvent::PortUp { time: self.time, node, port });
                 let t = self.time + self.carrier_latency;
-                self.queue.push(t, Event::Carrier { node, port, up: true });
+                let k = self.next_key(node);
+                self.push_event(t, k, Event::Carrier { node, port, up: true });
             }
             Event::Carrier { node, port, up } => {
                 self.with_proto(node, |proto, ctx| {
@@ -401,6 +420,13 @@ impl Sim {
                         proto.on_port_down(ctx, port);
                     }
                 });
+            }
+            Event::MirrorIface { .. } => unreachable!("handled above"),
+        }
+        if self.record_groups {
+            let produced = (self.trace.len() - trace_before) as u32;
+            if produced > 0 {
+                self.groups.push((time, key, produced));
             }
         }
     }
@@ -463,7 +489,8 @@ impl Sim {
                     self.transmit(node, port, frame, class, meta)
                 }
                 Action::Timer { delay, token } => {
-                    self.queue.push(self.time + delay, Event::Timer { node, token });
+                    let k = self.next_key(node);
+                    self.push_event(self.time + delay, k, Event::Timer { node, token });
                 }
                 Action::Periodic { first, every, token } => {
                     let slot = &mut self.nodes[node.index()];
@@ -472,7 +499,8 @@ impl Sim {
                         None => slot.periodic.push((token, every)),
                     }
                     self.periodic_just_set.push(token);
-                    self.queue.push(self.time + first, Event::Timer { node, token });
+                    let k = self.next_key(node);
+                    self.push_event(self.time + first, k, Event::Timer { node, token });
                 }
                 Action::Trace(ev) => self.trace.push(ev),
             }
@@ -519,30 +547,555 @@ impl Sim {
             // Draw in a fixed order (loss, corruption, jitter) so the
             // chaos stream is reproducible per seed. Each knob draws
             // only when enabled, keeping partial configs independent.
-            if imp.loss_ppm > 0 && self.chaos_rng.below(1_000_000) < imp.loss_ppm as u64 {
+            // The stream belongs to this (link, direction) pair, so the
+            // draw order depends only on this sender's dispatch order —
+            // identical in every engine.
+            let rng = &mut self.chaos[lid.index()][dir];
+            if imp.loss_ppm > 0 && rng.below(1_000_000) < imp.loss_ppm as u64 {
                 self.frames_lost_to_impairment += 1;
                 return;
             }
             if imp.corrupt_ppm > 0
-                && self.chaos_rng.below(1_000_000) < imp.corrupt_ppm as u64
+                && rng.below(1_000_000) < imp.corrupt_ppm as u64
                 && !frame.is_empty()
             {
-                let idx = self.chaos_rng.below(frame.len() as u64) as usize;
+                let idx = rng.below(frame.len() as u64) as usize;
                 // XOR with a nonzero byte guarantees a real change; the
                 // copy-on-write keeps sharers of the buffer (retransmit
                 // queues, frame caches) unaffected by in-flight damage.
-                frame = frame.with_corrupted_byte(idx, 1 + self.chaos_rng.below(255) as u8);
+                let flip = 1 + rng.below(255) as u8;
+                frame = frame.with_corrupted_byte(idx, flip);
                 // The metadata described the original bytes; after
                 // corruption it would lie, so the receiver must re-parse.
                 meta = None;
                 self.frames_corrupted += 1;
             }
             if imp.jitter > 0 {
-                arrive += self.chaos_rng.below(imp.jitter + 1);
+                arrive += rng.below(imp.jitter + 1);
             }
         }
-        self.queue
-            .push(arrive, Event::Deliver { node: peer.node, port: peer.port, frame, meta });
+        let key = self.next_key(node);
+        self.push_event(arrive, key, Event::Deliver { node: peer.node, port: peer.port, frame, meta });
+    }
+}
+
+/// The node→shard map plus what the engine derives from it once.
+struct PartitionPlan {
+    shard_of: Vec<u32>,
+    shards: usize,
+    /// Minimum cross-shard reaction delay (`Time::MAX` when no link
+    /// crosses shards — shards are then fully independent).
+    lookahead: Duration,
+}
+
+/// A running simulation.
+pub struct Sim {
+    core: Core,
+    config: SimConfig,
+    /// Counter for externally injected events ([`EventKey::EXTERNAL`]
+    /// creator). Injection only happens between `run_until` calls, so
+    /// this sequence — and therefore the keys — is engine-independent.
+    ext_counter: u64,
+    partition: Option<PartitionPlan>,
+}
+
+impl Sim {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.time
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.core.links.len()
+    }
+
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.core.nodes[node.index()].name
+    }
+
+    /// Total events dispatched so far (engine throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Total frames delivered so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.core.frames_delivered
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.core.trace
+    }
+
+    /// The link attached to `node`'s `port`, if any.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.core.nodes[node.index()].port_links.get(port.index()).copied()
+    }
+
+    /// The remote endpoint of `node`'s `port`.
+    pub fn peer_of(&self, node: NodeId, port: PortId) -> Option<Endpoint> {
+        let lid = self.link_at(node, port)?;
+        Some(self.core.links[lid.index()].peer_of(node))
+    }
+
+    /// Both endpoints of a link, `a` side first.
+    pub fn link_ends(&self, link: LinkId) -> (Endpoint, Endpoint) {
+        let l = &self.core.links[link.index()];
+        (l.a, l.b)
+    }
+
+    /// Physical characteristics of a link.
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.core.links[link.index()].spec
+    }
+
+    /// Number of ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.core.nodes[node.index()].port_links.len()
+    }
+
+    /// Administrative state of `node`'s `port` (invariant checkers need
+    /// the same interface view the protocols get).
+    pub fn port_up(&self, node: NodeId, port: PortId) -> bool {
+        self.core.nodes[node.index()].views[port.index()].up
+    }
+
+    /// Uniform counter/gauge access to a node's protocol, if it exposes
+    /// one (routers do; traffic hosts don't). See
+    /// [`crate::node::StatsSnapshot`].
+    pub fn stats_snapshot_of(&self, node: NodeId) -> Option<&dyn crate::node::StatsSnapshot> {
+        self.core.nodes[node.index()]
+            .proto
+            .as_ref()
+            .and_then(|p| p.stats_snapshot())
+    }
+
+    /// Downcast a node's protocol for inspection.
+    pub fn node_as<T: Any>(&self, node: NodeId) -> Option<&T> {
+        self.core.nodes[node.index()]
+            .proto
+            .as_ref()
+            .and_then(|p| p.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcast a node's protocol mutably.
+    pub fn node_as_mut<T: Any>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.core.nodes[node.index()]
+            .proto
+            .as_mut()
+            .and_then(|p| p.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Install the node→shard map the sharded engine partitions by.
+    /// Shard ids must be dense from 0; the shard count is
+    /// `max(shard_of) + 1` (capped nowhere — the topology layer sizes the
+    /// map to the requested worker count). Also precomputes the
+    /// conservative lookahead from the static link graph. A no-op for
+    /// sequential runs.
+    pub fn set_partition(&mut self, shard_of: Vec<u32>) {
+        assert_eq!(
+            shard_of.len(),
+            self.core.nodes.len(),
+            "partition must assign every node exactly one shard"
+        );
+        let shards = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let lookahead = lookahead_of(&self.core.links, &shard_of);
+        self.partition = Some(PartitionPlan { shard_of, shards, lookahead });
+    }
+
+    /// The installed node→shard map, if any.
+    pub fn partition(&self) -> Option<&[u32]> {
+        self.partition.as_ref().map(|p| p.shard_of.as_slice())
+    }
+
+    /// The conservative lookahead derived from the installed partition:
+    /// minimum over cross-shard links of
+    /// `serialization(MIN_WIRE_LEN) + propagation` (`Time::MAX` when no
+    /// link crosses shards).
+    pub fn lookahead(&self) -> Option<Duration> {
+        self.partition.as_ref().map(|p| p.lookahead)
+    }
+
+    /// The configured execution engine.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.config.engine
+    }
+
+    /// Schedule an interface failure (the paper's failure-injection bash
+    /// script). The owning node gets a carrier-down callback after the
+    /// configured carrier latency; the remote node gets nothing.
+    ///
+    /// No-op transitions are deduplicated: scheduling down on a port
+    /// whose latest scheduled transition already targets down returns
+    /// `false` without enqueuing anything (flap schedules would
+    /// otherwise desync `views[port].up` from the carrier events).
+    /// Transitions must be scheduled in chronological order for the
+    /// guard to match execution order.
+    pub fn schedule_port_down(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
+        self.schedule_admin(at, node, port, false)
+    }
+
+    /// Schedule an interface recovery. Deduplicated like
+    /// [`Sim::schedule_port_down`].
+    pub fn schedule_port_up(&mut self, at: Time, node: NodeId, port: PortId) -> bool {
+        self.schedule_admin(at, node, port, true)
+    }
+
+    fn schedule_admin(&mut self, at: Time, node: NodeId, port: PortId, up: bool) -> bool {
+        assert!(at >= self.core.time, "cannot schedule in the past");
+        let target = &mut self.core.nodes[node.index()].admin_target[port.index()];
+        if *target == up {
+            return false; // already heading to that state: drop the duplicate
+        }
+        *target = up;
+        let key = EventKey { creator: EventKey::EXTERNAL, counter: self.ext_counter };
+        self.ext_counter += 1;
+        let event = if up {
+            Event::AdminPortUp { node, port }
+        } else {
+            Event::AdminPortDown { node, port }
+        };
+        self.core.queue.push(at, key, event);
+        true
+    }
+
+    /// Replace the impairment on one link.
+    pub fn set_impairment(&mut self, link: LinkId, imp: Impairment) {
+        self.core.links[link.index()].impairment = imp;
+    }
+
+    /// Replace the impairment on every link (e.g. to end a chaos window).
+    pub fn set_impairment_all(&mut self, imp: Impairment) {
+        for link in &mut self.core.links {
+            link.impairment = imp;
+        }
+    }
+
+    /// Frames silently dropped by link-impairment loss so far.
+    pub fn frames_lost_to_impairment(&self) -> u64 {
+        self.core.frames_lost_to_impairment
+    }
+
+    /// Frames with a byte corrupted in flight so far.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.core.frames_corrupted
+    }
+
+    /// Run until simulated time reaches `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: Time) {
+        let workers = match self.config.engine {
+            EngineKind::Sharded { workers } => workers,
+            EngineKind::Sequential => 1,
+        };
+        if workers > 1 && self.core.nodes.len() > 1 {
+            self.run_until_sharded(t);
+        } else {
+            self.core.run_sequential(t);
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.core.time + d);
+    }
+
+    /// The parallel span: dismantle the master state into shard cores,
+    /// advance them through lookahead-bounded windows on scoped worker
+    /// threads, then merge everything back so the master is again the
+    /// single source of truth (stats accessors, telemetry, further
+    /// scheduling all work between spans exactly as in sequential mode).
+    fn run_until_sharded(&mut self, target: Time) {
+        if self.partition.is_none() {
+            let workers = match self.config.engine {
+                EngineKind::Sharded { workers } => workers,
+                EngineKind::Sequential => unreachable!("sharded path requires Sharded engine"),
+            };
+            let n = self.core.nodes.len();
+            self.set_partition((0..n).map(|i| (i % workers) as u32).collect());
+        }
+        let (shards, lookahead) = {
+            let p = self.partition.as_ref().expect("just installed");
+            (p.shards, p.lookahead)
+        };
+        if shards <= 1 || lookahead == 0 {
+            // One shard, or a graph so fast the lookahead vanished:
+            // windows would be empty, so run the reference engine.
+            return self.core.run_sequential(target);
+        }
+        if self.core.queue.peek_time().is_none_or(|t| t > target) {
+            self.core.time = self.core.time.max(target);
+            return;
+        }
+        let shard_of = self.partition.as_ref().expect("installed").shard_of.clone();
+        let trace_enabled = self.core.trace.is_enabled();
+
+        let mut cores = self.build_shards(&shard_of, shards, trace_enabled);
+        run_windows(&mut cores, target, lookahead);
+        self.merge_shards(cores, &shard_of, trace_enabled);
+        self.core.time = target;
+    }
+
+    /// Split the master core into per-shard cores: nodes by partition,
+    /// private link/chaos copies, pending events routed to their owner —
+    /// with admin transitions additionally fanned out as silent
+    /// [`Event::MirrorIface`] copies (same `(time, key)`!) so every
+    /// shard's link flags flip at the instant the owning shard applies
+    /// the transition.
+    fn build_shards(&mut self, shard_of: &[u32], shards: usize, trace_enabled: bool) -> Vec<Core> {
+        let kind = self.config.scheduler;
+        let mut queues: Vec<Scheduler> = (0..shards).map(|_| Scheduler::new(kind)).collect();
+        while let Some(s) = self.core.queue.pop() {
+            let Some(node) = s.event.node() else {
+                continue; // master never holds mirrors; drop defensively
+            };
+            let home = shard_of[node.index()] as usize;
+            match s.event {
+                Event::AdminPortDown { node, port } | Event::AdminPortUp { node, port } => {
+                    let up = matches!(s.event, Event::AdminPortUp { .. });
+                    let lid = self.core.nodes[node.index()].port_links[port.index()];
+                    let l = &self.core.links[lid.index()];
+                    let side_a = l.a.node == node && l.a.port == port;
+                    for (sh, q) in queues.iter_mut().enumerate() {
+                        if sh != home {
+                            q.push(s.time, s.key, Event::MirrorIface { link: lid, side_a, up });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            queues[home].push(s.time, s.key, s.event);
+        }
+        let n_nodes = self.core.nodes.len();
+        let mut shard_nodes: Vec<Vec<NodeSlot>> =
+            (0..shards).map(|_| Vec::with_capacity(n_nodes)).collect();
+        for (i, slot) in std::mem::take(&mut self.core.nodes).into_iter().enumerate() {
+            let home = shard_of[i] as usize;
+            for (sh, nodes) in shard_nodes.iter_mut().enumerate() {
+                if sh != home {
+                    nodes.push(NodeSlot::foreign());
+                }
+            }
+            shard_nodes[home].push(slot);
+        }
+        queues
+            .into_iter()
+            .zip(shard_nodes)
+            .enumerate()
+            .map(|(sh, (queue, nodes))| Core {
+                time: self.core.time,
+                queue,
+                nodes,
+                links: self.core.links.clone(),
+                chaos: self.core.chaos.clone(),
+                trace: if trace_enabled { Trace::enabled() } else { Trace::disabled() },
+                groups: Vec::new(),
+                record_groups: trace_enabled,
+                carrier_latency: self.core.carrier_latency,
+                scratch: Vec::with_capacity(64),
+                periodic_just_set: Vec::new(),
+                events_processed: 0,
+                frames_delivered: 0,
+                frames_lost_to_impairment: 0,
+                frames_corrupted: 0,
+                shard_of: shard_of.to_vec(),
+                my_shard: sh as u32,
+                outbox: (0..shards).map(|_| Vec::new()).collect(),
+            })
+            .collect()
+    }
+
+    /// Reassemble the master core from finished shards. Every direction
+    /// of every link (tx FIFO, up flag, chaos stream) is authoritative in
+    /// the shard owning that direction's transmitting node; node slots
+    /// return by id; counters sum; surviving future events return to the
+    /// master queue (mirrors are dropped — they are regenerated per
+    /// span); shard traces interleave by their dispatch `(time, key)`
+    /// attribution, which is the sequential dispatch order.
+    fn merge_shards(&mut self, mut cores: Vec<Core>, shard_of: &[u32], trace_enabled: bool) {
+        for core in &cores {
+            self.core.events_processed += core.events_processed;
+            self.core.frames_delivered += core.frames_delivered;
+            self.core.frames_lost_to_impairment += core.frames_lost_to_impairment;
+            self.core.frames_corrupted += core.frames_corrupted;
+        }
+        for core in &mut cores {
+            debug_assert!(core.outbox.iter().all(Vec::is_empty), "undelivered cross-shard events");
+            while let Some(s) = core.queue.pop() {
+                if matches!(s.event, Event::MirrorIface { .. }) {
+                    continue;
+                }
+                self.core.queue.push(s.time, s.key, s.event);
+            }
+        }
+        for (li, link) in self.core.links.iter_mut().enumerate() {
+            let sa = shard_of[link.a.node.index()] as usize;
+            let sb = shard_of[link.b.node.index()] as usize;
+            let (la, lb) = (&cores[sa].links[li], &cores[sb].links[li]);
+            link.tx_free = [la.tx_free[0], lb.tx_free[1]];
+            link.a_up = la.a_up;
+            link.b_up = lb.b_up;
+            self.core.chaos[li] =
+                [cores[sa].chaos[li][0].clone(), cores[sb].chaos[li][1].clone()];
+        }
+        let n_nodes = shard_of.len();
+        let mut rebuilt: Vec<NodeSlot> = Vec::with_capacity(n_nodes);
+        {
+            let mut drains: Vec<_> = cores.iter_mut().map(|c| c.nodes.drain(..)).collect();
+            for &home in shard_of.iter().take(n_nodes) {
+                for (sh, drain) in drains.iter_mut().enumerate() {
+                    let slot = drain.next().expect("shard node vectors cover every id");
+                    if sh == home as usize {
+                        rebuilt.push(slot);
+                    }
+                }
+            }
+        }
+        self.core.nodes = rebuilt;
+        if trace_enabled {
+            merge_traces(&mut self.core.trace, cores);
+        }
+    }
+}
+
+/// Minimum over cross-shard links of the earliest a transmission can
+/// reach the other side: serialization of a minimum-size frame plus
+/// propagation. Queueing (tx FIFO) and jitter only push arrivals later,
+/// so this is a sound conservative lookahead.
+fn lookahead_of(links: &[Link], shard_of: &[u32]) -> Duration {
+    let mut min = Time::MAX;
+    for link in links {
+        if shard_of[link.a.node.index()] != shard_of[link.b.node.index()] {
+            let d = link.spec.serialization(MIN_WIRE_LEN) + link.spec.propagation;
+            min = min.min(d);
+        }
+    }
+    min
+}
+
+/// Advance all shards to `target` through lookahead-bounded windows.
+///
+/// Each round (all shards in lockstep, two barriers):
+/// 1. **Barrier A** — every deposit from the previous window is visible;
+///    each shard drains its inbox into its local queue, then publishes
+///    the time of its next pending event.
+/// 2. **Barrier B** — every report is visible; each shard independently
+///    computes the same global horizon `T = min(reports)`. If `T` is past
+///    `target`, all stop. Otherwise all process their local events in
+///    `[T, min(T + lookahead, target + 1))`, staging cross-shard
+///    deliveries in outboxes, and deposit those into the destination
+///    inboxes before looping back to barrier A.
+///
+/// Any event a shard creates for another shard arrives at or after
+/// `T + lookahead` — at or after the window end — so deposits are always
+/// for a *future* window and never reorder the present one. Deposit
+/// order into an inbox is nondeterministic, but the receiver's queue
+/// re-sorts by `(time, key)`, which is globally unique and
+/// engine-independent.
+fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
+    let shards = cores.len();
+    let barrier = Barrier::new(shards);
+    let next_times: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    let inboxes: Vec<Mutex<Vec<(Time, EventKey, Event)>>> =
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        for (sh, core) in cores.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let next_times = &next_times;
+            let inboxes = &inboxes;
+            scope.spawn(move || {
+                loop {
+                    // (A) prior deposits are complete; absorb mine.
+                    barrier.wait();
+                    {
+                        let mut inbox = inboxes[sh].lock().expect("inbox poisoned");
+                        for (time, key, event) in inbox.drain(..) {
+                            core.queue.push(time, key, event);
+                        }
+                    }
+                    let next = core.queue.peek_time().unwrap_or(Time::MAX);
+                    next_times[sh].store(next, Ordering::Relaxed);
+                    // (B) all reports in; everyone computes the same window.
+                    barrier.wait();
+                    let horizon = next_times
+                        .iter()
+                        .map(|t| t.load(Ordering::Relaxed))
+                        .min()
+                        .expect("at least one shard");
+                    if horizon > target {
+                        break;
+                    }
+                    let window_end = horizon.saturating_add(lookahead).min(target.saturating_add(1));
+                    while core.queue.peek_time().is_some_and(|t| t < window_end) {
+                        let s = core.queue.pop().expect("peeked");
+                        core.dispatch(s);
+                    }
+                    for (dst, inbox) in inboxes.iter().enumerate() {
+                        if dst != sh && !core.outbox[dst].is_empty() {
+                            let mut batch = std::mem::take(&mut core.outbox[dst]);
+                            inbox.lock().expect("inbox poisoned").append(&mut batch);
+                            core.outbox[dst] = batch; // keep the capacity
+                        }
+                    }
+                }
+                core.time = target;
+            });
+        }
+    });
+}
+
+/// Interleave finished shard traces into the master trace using the
+/// per-dispatch `(time, key, count)` attribution: always take the group
+/// with the smallest `(time, key)` — the order the sequential engine
+/// would have dispatched in.
+fn merge_traces(master: &mut Trace, cores: Vec<Core>) {
+    struct Stream {
+        groups: std::vec::IntoIter<TraceGroup>,
+        events: std::vec::IntoIter<TraceEvent>,
+        head: Option<TraceGroup>,
+    }
+    let mut streams: Vec<Stream> = cores
+        .into_iter()
+        .map(|mut core| {
+            let mut groups = std::mem::take(&mut core.groups).into_iter();
+            let head = groups.next();
+            Stream { groups, events: core.trace.take_events().into_iter(), head }
+        })
+        .collect();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if let Some((time, key, _)) = s.head {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (bt, bk, _) = streams[b].head.expect("best has a head");
+                        (time, key) < (bt, bk)
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(i) = best else { break };
+        let (_, _, count) = streams[i].head.expect("chosen stream has a head");
+        for _ in 0..count {
+            let ev = streams[i].events.next().expect("group count matches trace length");
+            master.push(ev);
+        }
+        streams[i].head = streams[i].groups.next();
+    }
+    for s in &mut streams {
+        debug_assert!(s.events.next().is_none(), "shard trace events not covered by groups");
     }
 }
 
@@ -839,7 +1392,7 @@ mod tests {
         // duplicates produced neither events nor desynced view state.
         assert_eq!(ea.downs, vec![(11_000, PortId(0)), (18_000, PortId(0))]);
         assert_eq!(ea.ups, vec![(16_000, PortId(0)), (19_000, PortId(0))]);
-        assert!(sim.nodes[a.index()].views[0].up);
+        assert!(sim.core.nodes[a.index()].views[0].up);
     }
 
     #[test]
@@ -959,5 +1512,115 @@ mod tests {
             sim.trace().len()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded engine equivalence
+    // ------------------------------------------------------------------
+
+    /// Full observable fingerprint of a run: every counter plus the
+    /// rendered trace (which embeds times, nodes, ports, lengths).
+    fn fingerprint(sim: &Sim) -> (u64, u64, u64, u64, Vec<String>) {
+        (
+            sim.events_processed(),
+            sim.frames_delivered(),
+            sim.frames_corrupted(),
+            sim.frames_lost_to_impairment(),
+            sim.trace().events().iter().map(|e| format!("{e:?}")).collect(),
+        )
+    }
+
+    /// A 4-node chain `s0 - e0 - e1 - s1` with periodic senders at both
+    /// ends, admin flaps on the middle (cross-shard) link, and chaos
+    /// impairment — every determinism hazard the sharded engine must
+    /// handle, in one small fabric.
+    fn chain_run(engine: EngineKind, partition: Option<Vec<u32>>, split_spans: bool) -> (u64, u64, u64, u64, Vec<String>) {
+        let cfg = SimConfig { engine, ..SimConfig::default() };
+        let mut b = SimBuilder::with_config(23, cfg);
+        let s0 = b.add_node("s0", Box::new(Sender));
+        let e0 = b.add_node("e0", Box::new(Echo::new()));
+        let e1 = b.add_node("e1", Box::new(Echo::new()));
+        let s1 = b.add_node("s1", Box::new(Sender));
+        b.add_link(s0, e0, LinkSpec::default());
+        b.add_link(e0, e1, LinkSpec::default()); // the cross-shard middle
+        b.add_link(e1, s1, LinkSpec::default());
+        let mut sim = b.build();
+        if let Some(p) = partition {
+            sim.set_partition(p);
+        }
+        sim.set_impairment_all(Impairment {
+            loss_ppm: 50_000,
+            corrupt_ppm: 50_000,
+            jitter: 2_000,
+        });
+        // Flap e0's side of the middle link: the far shard must see the
+        // flag flip at the same instant (MirrorIface), or its sender's
+        // carries() check diverges from the sequential run.
+        sim.schedule_port_down(3_500_000, e0, PortId(1));
+        sim.schedule_port_up(5_500_000, e0, PortId(1));
+        if split_spans {
+            // Exercise the dismantle/merge cycle mid-run, with external
+            // scheduling between spans.
+            sim.run_until(4_000_000);
+            sim.schedule_port_down(6_200_000, e1, PortId(1));
+            sim.schedule_port_up(7_100_000, e1, PortId(1));
+            sim.run_until(10_500_000);
+        } else {
+            sim.schedule_port_down(6_200_000, e1, PortId(1));
+            sim.schedule_port_up(7_100_000, e1, PortId(1));
+            sim.run_until(10_500_000);
+        }
+        fingerprint(&sim)
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_bit_for_bit() {
+        let reference = chain_run(EngineKind::Sequential, None, false);
+        let sharded = chain_run(
+            EngineKind::Sharded { workers: 2 },
+            Some(vec![0, 0, 1, 1]),
+            false,
+        );
+        assert_eq!(reference, sharded);
+    }
+
+    #[test]
+    fn sharded_engine_survives_span_splits_and_default_partition() {
+        let reference = chain_run(EngineKind::Sequential, None, true);
+        // Round-robin default partition, one shard per node, plus a
+        // mid-run dismantle/merge.
+        let sharded = chain_run(EngineKind::Sharded { workers: 4 }, None, true);
+        assert_eq!(reference, sharded);
+        // Degenerate worker counts fall back to sequential.
+        let one = chain_run(EngineKind::Sharded { workers: 1 }, None, true);
+        assert_eq!(reference, one);
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_link_delay() {
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node("a", Box::new(Echo::new()));
+        let c = b.add_node("b", Box::new(Echo::new()));
+        let d = b.add_node("c", Box::new(Echo::new()));
+        // a-c intra-shard (fast), c-d cross-shard (slow): only the
+        // cross-shard link bounds the window.
+        b.add_link(a, c, LinkSpec { propagation: 10, bandwidth_bps: 1_000_000_000 });
+        b.add_link(c, d, LinkSpec { propagation: 7_000, bandwidth_bps: 1_000_000_000 });
+        let mut sim = b.build();
+        sim.set_partition(vec![0, 0, 1]);
+        // 60 B at 1 Gb/s = 480 ns serialization + 7 µs propagation.
+        assert_eq!(sim.lookahead(), Some(7_480));
+        assert_eq!(sim.partition(), Some(&[0, 0, 1][..]));
+    }
+
+    #[test]
+    fn disjoint_shards_have_infinite_lookahead() {
+        let mut b = SimBuilder::new(1);
+        let a = b.add_node("a", Box::new(Echo::new()));
+        let c = b.add_node("b", Box::new(Echo::new()));
+        b.add_link(a, c, LinkSpec::default());
+        let mut sim = b.build();
+        sim.set_partition(vec![0, 0]);
+        assert_eq!(sim.lookahead(), Some(Time::MAX));
     }
 }

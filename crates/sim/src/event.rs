@@ -1,9 +1,15 @@
 //! The event queue.
 //!
 //! Two interchangeable backends provide a total, deterministic order keyed
-//! on `(time, sequence)`: events scheduled earlier in
-//! wall-clock-of-scheduling order win ties, with the sequence number
-//! assigned at insertion. [`EventQueue`] is the reference binary heap;
+//! on `(time, key)`, where the [`EventKey`] is *content-derived*: it names
+//! the node that created the event and that node's creation counter,
+//! rather than a global insertion sequence. Content-derived keys are what
+//! makes the sharded parallel engine possible — every shard assigns the
+//! same keys the sequential engine would, so the k-way merge of per-shard
+//! streams reproduces the sequential order bit-for-bit (see
+//! `engine::Sim::run_until` and DESIGN.md §9).
+//!
+//! [`EventQueue`] is the reference binary heap;
 //! [`crate::wheel::TimerWheel`] is the hierarchical timer wheel used by
 //! default for scale. The [`Scheduler`] enum dispatches between them; the
 //! equivalence suite in `dcn-experiments` asserts their pop streams are
@@ -14,6 +20,7 @@ use std::collections::BinaryHeap;
 
 use dcn_wire::{FrameBuf, FrameMeta};
 
+use crate::link::LinkId;
 use crate::node::{NodeId, PortId};
 use crate::time::Time;
 use crate::wheel::TimerWheel;
@@ -38,17 +45,70 @@ pub enum Event {
     Carrier { node: NodeId, port: PortId, up: bool },
     /// Start a node (delivers `on_start`). Scheduled by the builder.
     Start { node: NodeId },
+    /// Sharded-engine bookkeeping: flip one side's up flag on a shard's
+    /// local copy of a link, so remote senders' `carries()` checks see an
+    /// administrative transition at exactly the instant the owning shard
+    /// applies it. Never scheduled by the sequential engine, never
+    /// counted, never traced.
+    MirrorIface { link: LinkId, side_a: bool, up: bool },
+}
+
+impl Event {
+    /// The node this event is dispatched at ([`Event::MirrorIface`] is
+    /// link bookkeeping and has none). The sharded engine routes events
+    /// to worker shards by this.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            Event::Deliver { node, .. }
+            | Event::Timer { node, .. }
+            | Event::AdminPortDown { node, .. }
+            | Event::AdminPortUp { node, .. }
+            | Event::Carrier { node, .. }
+            | Event::Start { node } => Some(node),
+            Event::MirrorIface { .. } => None,
+        }
+    }
+}
+
+/// Content-derived tie-break for events sharing a timestamp: the id of
+/// the node whose dispatch created the event, and that creator's own
+/// monotone creation counter. Two properties carry the whole determinism
+/// story:
+///
+/// * **Uniqueness** — no two events ever share `(creator, counter)`, so
+///   `(time, key)` is a total order.
+/// * **Engine independence** — a node's counter advances only while that
+///   node's events are dispatched, and every engine dispatches a given
+///   node's events in the same relative order; the keys a run assigns do
+///   not depend on which engine (sequential or sharded, heap or wheel)
+///   executes it.
+///
+/// Externally injected events (`Start` at build time, admin transitions)
+/// use [`EventKey::EXTERNAL`] with a per-[`crate::Sim`] counter; external
+/// injection only happens between `run_until` calls, where every engine
+/// observes the same call sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EventKey {
+    /// `NodeId` of the creating node, or [`EventKey::EXTERNAL`].
+    pub creator: u32,
+    /// Per-creator creation counter.
+    pub counter: u64,
+}
+
+impl EventKey {
+    /// Creator id for events injected from outside the event loop.
+    pub const EXTERNAL: u32 = u32::MAX;
 }
 
 pub(crate) struct Scheduled {
     pub time: Time,
-    pub seq: u64,
+    pub key: EventKey,
     pub event: Event,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -59,12 +119,12 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // BinaryHeap is a max-heap; invert so the earliest (time, key)
+        // pops first.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -84,14 +144,11 @@ pub enum SchedulerKind {
 #[derive(Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
 }
 
 impl EventQueue {
-    pub fn push(&mut self, time: Time, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+    pub fn push(&mut self, time: Time, key: EventKey, event: Event) {
+        self.heap.push(Scheduled { time, key, event });
     }
 
     pub fn pop(&mut self) -> Option<Scheduled> {
@@ -114,8 +171,8 @@ impl EventQueue {
 }
 
 /// The engine's scheduler: either backend behind one dispatch surface.
-/// Sequence numbers are assigned identically (in push order), so for the
-/// same push stream both variants produce the same pop stream.
+/// Keys are supplied by the engine at push time (content-derived), so for
+/// the same push stream both variants produce the same pop stream.
 pub(crate) enum Scheduler {
     Heap(EventQueue),
     Wheel(Box<TimerWheel>),
@@ -129,10 +186,10 @@ impl Scheduler {
         }
     }
 
-    pub fn push(&mut self, time: Time, event: Event) {
+    pub fn push(&mut self, time: Time, key: EventKey, event: Event) {
         match self {
-            Scheduler::Heap(q) => q.push(time, event),
-            Scheduler::Wheel(w) => w.push(time, event),
+            Scheduler::Heap(q) => q.push(time, key, event),
+            Scheduler::Wheel(w) => w.push(time, key, event),
         }
     }
 
@@ -178,8 +235,14 @@ pub fn scheduler_stress(kind: SchedulerKind, pending: usize, cycles: u64) -> u64
         x
     };
     let node = NodeId(0);
+    let mut counter = 0u64;
+    let mut key = move || {
+        let k = EventKey { creator: 0, counter };
+        counter += 1;
+        k
+    };
     for i in 0..pending as u64 {
-        q.push(rand() % (1 << 24), Event::Timer { node, token: i });
+        q.push(rand() % (1 << 24), key(), Event::Timer { node, token: i });
     }
     let mut acc = 0u64;
     for _ in 0..cycles {
@@ -190,7 +253,7 @@ pub fn scheduler_stress(kind: SchedulerKind, pending: usize, cycles: u64) -> u64
         } else {
             1 + rand() % (20 * crate::time::MILLIS) // tick-scale re-arm
         };
-        q.push(s.time + delta, Event::Timer { node, token: 0 });
+        q.push(s.time + delta, key(), Event::Timer { node, token: 0 });
     }
     acc
 }
@@ -199,13 +262,17 @@ pub fn scheduler_stress(kind: SchedulerKind, pending: usize, cycles: u64) -> u64
 mod tests {
     use super::*;
 
+    pub(crate) fn seq_key(counter: u64) -> EventKey {
+        EventKey { creator: 0, counter }
+    }
+
     #[test]
-    fn pops_in_time_then_insertion_order() {
+    fn pops_in_time_then_key_order() {
         let mut q = EventQueue::default();
-        q.push(10, Event::Timer { node: NodeId(0), token: 1 });
-        q.push(5, Event::Timer { node: NodeId(0), token: 2 });
-        q.push(10, Event::Timer { node: NodeId(0), token: 3 });
-        q.push(5, Event::Timer { node: NodeId(0), token: 4 });
+        q.push(10, seq_key(1), Event::Timer { node: NodeId(0), token: 1 });
+        q.push(5, seq_key(2), Event::Timer { node: NodeId(0), token: 2 });
+        q.push(10, seq_key(3), Event::Timer { node: NodeId(0), token: 3 });
+        q.push(5, seq_key(4), Event::Timer { node: NodeId(0), token: 4 });
 
         let order: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop())
             .map(|s| match s.event {
@@ -217,11 +284,30 @@ mod tests {
     }
 
     #[test]
+    fn same_time_orders_by_creator_then_counter() {
+        let mut q = EventQueue::default();
+        let ev = |token| Event::Timer { node: NodeId(0), token };
+        q.push(7, EventKey { creator: 2, counter: 0 }, ev(1));
+        q.push(7, EventKey { creator: 1, counter: 9 }, ev(2));
+        q.push(7, EventKey { creator: 1, counter: 3 }, ev(3));
+        q.push(7, EventKey { creator: EventKey::EXTERNAL, counter: 0 }, ev(4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Lower creator first; within a creator, lower counter; EXTERNAL
+        // (u32::MAX) sorts after every real node.
+        assert_eq!(order, vec![3, 2, 1, 4]);
+    }
+
+    #[test]
     fn peek_time_matches_next_pop() {
         let mut q = EventQueue::default();
         assert_eq!(q.peek_time(), None);
-        q.push(42, Event::Timer { node: NodeId(1), token: 0 });
-        q.push(7, Event::Timer { node: NodeId(1), token: 0 });
+        q.push(42, seq_key(0), Event::Timer { node: NodeId(1), token: 0 });
+        q.push(7, seq_key(1), Event::Timer { node: NodeId(1), token: 0 });
         assert_eq!(q.peek_time(), Some(7));
         q.pop();
         assert_eq!(q.peek_time(), Some(42));
@@ -238,14 +324,14 @@ mod tests {
         let times = [10u64, 5, 5, 0, 1 << 20, 3, 1 << 30, 10, 2048, 2047];
         for (i, &t) in times.iter().enumerate() {
             let ev = || Event::Timer { node: NodeId(0), token: i as u64 };
-            heap.push(t, ev());
-            wheel.push(t, ev());
+            heap.push(t, seq_key(i as u64), ev());
+            wheel.push(t, seq_key(i as u64), ev());
         }
         loop {
             assert_eq!(heap.peek_time(), wheel.peek_time());
             match (heap.pop(), wheel.pop()) {
                 (Some(a), Some(b)) => {
-                    assert_eq!((a.time, a.seq), (b.time, b.seq));
+                    assert_eq!((a.time, a.key), (b.time, b.key));
                 }
                 (None, None) => break,
                 _ => panic!("backends disagree on queue length"),

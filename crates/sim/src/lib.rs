@@ -13,17 +13,23 @@
 //!   detection latency, while the *remote* node receives nothing and must
 //!   infer the failure from missing keepalives. This asymmetry is the core
 //!   of the paper's TC1–TC4 test-case design.
-//! * **Deterministic execution**: a single binary heap of events with total
-//!   ordering (time, sequence number) and per-node seeded RNGs make every
-//!   run bit-reproducible for a given seed.
+//! * **Deterministic execution**: events carry content-derived keys
+//!   (creator node, per-node counter) giving a total ordering
+//!   `(time, key)` that is independent of how the queue is implemented —
+//!   per-node seeded RNGs plus per-link impairment streams make every run
+//!   bit-reproducible for a given seed.
 //! * **Frame tracing**: every transmitted frame is recorded with its wire
 //!   length and a [`FrameClass`], so the metrics crate can compute control
 //!   overhead, keep-alive overhead and convergence instants exactly the way
 //!   the paper's tshark/log-parsing pipeline did.
 //!
-//! The engine is intentionally single-threaded: protocol traces must be
-//! reproducible. Parallelism is applied one level up (the experiment
-//! harness fans independent scenarios out over threads).
+//! Two execution engines share that ordering contract
+//! ([`engine::EngineKind`]): the sequential reference, and a sharded
+//! conservative-lookahead parallel engine that partitions the fabric
+//! across worker threads (PoD-aligned shards) yet reproduces the
+//! sequential trace bit-for-bit. Scenario-level parallelism (fanning
+//! independent runs over threads) still lives one level up in the
+//! experiment harness; the sharded engine parallelizes *within* one run.
 
 pub mod alloc_track;
 pub mod engine;
@@ -36,8 +42,8 @@ pub mod trace;
 pub mod wheel;
 
 pub use dcn_wire::{FrameBuf, FrameMeta};
-pub use engine::{Sim, SimBuilder, SimConfig};
-pub use event::{scheduler_stress, Event, SchedulerKind};
+pub use engine::{EngineKind, Sim, SimBuilder, SimConfig};
+pub use event::{scheduler_stress, Event, EventKey, SchedulerKind};
 pub use link::{Impairment, LinkId, LinkSpec};
 pub use node::{Action, Ctx, NodeId, PortId, Protocol, StatsSnapshot};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};

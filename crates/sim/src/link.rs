@@ -84,7 +84,7 @@ pub struct Endpoint {
 }
 
 /// Internal link state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Link {
     pub spec: LinkSpec,
     pub a: Endpoint,

@@ -15,8 +15,9 @@
 //! skipped in constant time instead of granule-by-granule.
 //!
 //! Ordering contract (the determinism contract of the whole emulator):
-//! events pop in exactly the same `(time, seq)` order as the heap. Within
-//! a granule the drained bucket is sorted; across granules the time
+//! events pop in exactly the same `(time, key)` order as the heap, where
+//! the [`EventKey`] is the engine's content-derived tie-break. Within a
+//! granule the drained bucket is sorted; across granules the time
 //! quantization preserves order because a later granule's earliest time
 //! exceeds an earlier granule's latest. Events scheduled at or before the
 //! already-drained cursor go straight into the sorted ready list at their
@@ -24,7 +25,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use crate::event::{Event, Scheduled};
+use crate::event::{Event, EventKey, Scheduled};
 use crate::time::Time;
 
 /// log2 of the granule width in ns (2^10 ns ≈ 1.02 µs).
@@ -63,11 +64,10 @@ pub(crate) struct TimerWheel {
     /// Events with a delta beyond the top level's span.
     overflow: BinaryHeap<Scheduled>,
     /// Events of already-drained granules, sorted ascending by
-    /// `(time, seq)`; the next pop comes from the front.
+    /// `(time, key)`; the next pop comes from the front.
     ready: VecDeque<Scheduled>,
     /// Events in `levels` + `overflow` (excludes `ready`).
     bucketed: usize,
-    next_seq: u64,
 }
 
 impl Default for TimerWheel {
@@ -79,16 +79,13 @@ impl Default for TimerWheel {
             overflow: BinaryHeap::new(),
             ready: VecDeque::new(),
             bucketed: 0,
-            next_seq: 0,
         }
     }
 }
 
 impl TimerWheel {
-    pub fn push(&mut self, time: Time, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.insert(Scheduled { time, seq, event });
+    pub fn push(&mut self, time: Time, key: EventKey, event: Event) {
+        self.insert(Scheduled { time, key, event });
     }
 
     pub fn pop(&mut self) -> Option<Scheduled> {
@@ -131,16 +128,16 @@ impl TimerWheel {
 
     /// Ordered insert into the ready list (events scheduled at times the
     /// cursor has already passed, e.g. zero-delay timers). Position is
-    /// found by binary search on `(time, seq)`; an event older than the
+    /// found by binary search on `(time, key)`; an event older than the
     /// whole list simply pops next, exactly as it would from the heap.
     fn insert_ready(&mut self, s: Scheduled) {
-        let key = (s.time, s.seq);
+        let key = (s.time, s.key);
         let mut lo = 0;
         let mut hi = self.ready.len();
         while lo < hi {
             let mid = (lo + hi) / 2;
             let m = &self.ready[mid];
-            if (m.time, m.seq) < key {
+            if (m.time, m.key) < key {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -219,7 +216,7 @@ impl TimerWheel {
                 self.occupancy[0] &= !(1 << slot);
                 self.bucketed -= batch.len();
                 debug_assert!(batch.iter().all(|s| granule(s.time) == g));
-                batch.sort_unstable_by_key(|s| (s.time, s.seq));
+                batch.sort_unstable_by_key(|s| (s.time, s.key));
                 self.ready.extend(batch);
                 self.cursor = g + 1;
             }
@@ -253,6 +250,11 @@ impl TimerWheel {
 }
 
 #[cfg(test)]
+fn seq_key(counter: u64) -> EventKey {
+    EventKey { creator: 0, counter }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::node::NodeId;
@@ -261,13 +263,38 @@ mod tests {
         Event::Timer { node: NodeId(0), token }
     }
 
-    fn drain(w: &mut TimerWheel) -> Vec<(Time, u64)> {
-        std::iter::from_fn(|| w.pop()).map(|s| (s.time, s.seq)).collect()
+    /// Push with an auto-incrementing key counter, mimicking the engine's
+    /// per-creator key assignment.
+    struct KeyedWheel {
+        w: TimerWheel,
+        next: u64,
+    }
+
+    impl KeyedWheel {
+        fn new() -> KeyedWheel {
+            KeyedWheel { w: TimerWheel::default(), next: 0 }
+        }
+        fn push(&mut self, time: Time, event: Event) -> u64 {
+            let c = self.next;
+            self.next += 1;
+            self.w.push(time, seq_key(c), event);
+            c
+        }
+        fn pop(&mut self) -> Option<Scheduled> {
+            self.w.pop()
+        }
+        fn peek_time(&mut self) -> Option<Time> {
+            self.w.peek_time()
+        }
+    }
+
+    fn drain(k: &mut KeyedWheel) -> Vec<(Time, u64)> {
+        std::iter::from_fn(|| k.pop()).map(|s| (s.time, s.key.counter)).collect()
     }
 
     #[test]
-    fn pops_in_time_then_insertion_order() {
-        let mut w = TimerWheel::default();
+    fn pops_in_time_then_key_order() {
+        let mut w = KeyedWheel::new();
         for t in [10, 5, 10, 5] {
             w.push(t, timer(t));
         }
@@ -275,8 +302,25 @@ mod tests {
     }
 
     #[test]
-    fn spans_every_level_and_overflow() {
+    fn same_time_orders_by_creator_then_counter() {
         let mut w = TimerWheel::default();
+        w.push(7, EventKey { creator: 3, counter: 0 }, timer(0));
+        w.push(7, EventKey { creator: 1, counter: 8 }, timer(1));
+        w.push(7, EventKey { creator: 1, counter: 2 }, timer(2));
+        let order: Vec<EventKey> = std::iter::from_fn(|| w.pop()).map(|s| s.key).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKey { creator: 1, counter: 2 },
+                EventKey { creator: 1, counter: 8 },
+                EventKey { creator: 3, counter: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_every_level_and_overflow() {
+        let mut w = KeyedWheel::new();
         // One event per level band plus one beyond the 17 s horizon.
         let times = [
             1u64 << GRANULE_BITS,                       // level 0
@@ -288,17 +332,17 @@ mod tests {
         for &t in times.iter().rev() {
             w.push(t, timer(t));
         }
-        assert_eq!(w.len(), times.len());
+        assert_eq!(w.w.len(), times.len());
         let popped: Vec<Time> = std::iter::from_fn(|| w.pop()).map(|s| s.time).collect();
         let mut sorted = times.to_vec();
         sorted.sort_unstable();
         assert_eq!(popped, sorted);
-        assert!(w.is_empty());
+        assert!(w.w.is_empty());
     }
 
     #[test]
     fn same_granule_sorts_by_exact_time() {
-        let mut w = TimerWheel::default();
+        let mut w = KeyedWheel::new();
         // All within one 1024 ns granule, inserted out of order.
         for t in [900, 100, 512, 101] {
             w.push(t, timer(t));
@@ -309,7 +353,7 @@ mod tests {
 
     #[test]
     fn insert_behind_the_cursor_pops_next() {
-        let mut w = TimerWheel::default();
+        let mut w = KeyedWheel::new();
         w.push(5_000_000, timer(1));
         assert_eq!(w.peek_time(), Some(5_000_000)); // cursor advanced past 0
         w.push(10, timer(2)); // in the drained past
@@ -319,7 +363,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_keeps_global_order() {
-        let mut w = TimerWheel::default();
+        let mut w = KeyedWheel::new();
         w.push(1_000_000, timer(1));
         w.push(2_000_000, timer(2));
         assert_eq!(w.pop().map(|s| s.time), Some(1_000_000));
@@ -345,17 +389,17 @@ mod props {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
         /// The ordering contract: whatever the schedule, the wheel pops in
-        /// ascending `(time, seq)` — times from sub-granule to overflow.
+        /// ascending `(time, key)` — times from sub-granule to overflow.
         #[test]
-        fn pops_in_time_seq_order(
+        fn pops_in_time_key_order(
             times in proptest::collection::vec(0u64..1 << 38, 1..300),
         ) {
             let mut w = TimerWheel::default();
             for (i, &t) in times.iter().enumerate() {
-                w.push(t, Event::Timer { node: NodeId(0), token: i as u64 });
+                w.push(t, seq_key(i as u64), Event::Timer { node: NodeId(0), token: i as u64 });
             }
             let got: Vec<(Time, u64)> =
-                std::iter::from_fn(|| w.pop()).map(|s| (s.time, s.seq)).collect();
+                std::iter::from_fn(|| w.pop()).map(|s| (s.time, s.key.counter)).collect();
             let mut expect: Vec<(Time, u64)> =
                 times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
             expect.sort_unstable();
@@ -376,13 +420,13 @@ mod props {
             for (i, &(delta, push)) in ops.iter().enumerate() {
                 if push {
                     let ev = |token| Event::Timer { node: NodeId(0), token };
-                    w.push(now + delta, ev(i as u64));
-                    h.push(now + delta, ev(i as u64));
+                    w.push(now + delta, seq_key(i as u64), ev(i as u64));
+                    h.push(now + delta, seq_key(i as u64), ev(i as u64));
                 } else {
                     let (a, b) = (w.pop(), h.pop());
                     prop_assert_eq!(
-                        a.as_ref().map(|s| (s.time, s.seq)),
-                        b.as_ref().map(|s| (s.time, s.seq))
+                        a.as_ref().map(|s| (s.time, s.key)),
+                        b.as_ref().map(|s| (s.time, s.key))
                     );
                     if let Some(s) = a {
                         now = s.time;
@@ -391,7 +435,7 @@ mod props {
             }
             loop {
                 match (w.pop(), h.pop()) {
-                    (Some(a), Some(b)) => prop_assert_eq!((a.time, a.seq), (b.time, b.seq)),
+                    (Some(a), Some(b)) => prop_assert_eq!((a.time, a.key), (b.time, b.key)),
                     (None, None) => break,
                     _ => prop_assert!(false, "backends disagree on queue length"),
                 }
@@ -417,9 +461,10 @@ mod stress {
             state
         };
         let mut w = TimerWheel::default();
-        let mut reference: Vec<(Time, u64)> = Vec::new();
+        let mut next_counter = 0u64;
+        let mut reference: Vec<(Time, EventKey)> = Vec::new();
         let mut now: Time = 0;
-        let mut popped: Vec<(Time, u64)> = Vec::new();
+        let mut popped: Vec<(Time, EventKey)> = Vec::new();
         for round in 0..20_000u64 {
             if rand() % 3 != 0 {
                 // Push at now + random delta spanning all bands.
@@ -431,17 +476,18 @@ mod stress {
                     _ => rand() % (1 << 36),
                 };
                 let t = now + delta;
-                let seq = w.next_seq;
-                w.push(t, Event::Timer { node: NodeId(0), token: round });
-                reference.push((t, seq));
+                let key = seq_key(next_counter);
+                next_counter += 1;
+                w.push(t, key, Event::Timer { node: NodeId(0), token: round });
+                reference.push((t, key));
             } else if let Some(s) = w.pop() {
                 assert!(s.time >= now, "time went backwards: {} < {}", s.time, now);
                 now = s.time;
-                popped.push((s.time, s.seq));
+                popped.push((s.time, s.key));
             }
         }
         while let Some(s) = w.pop() {
-            popped.push((s.time, s.seq));
+            popped.push((s.time, s.key));
         }
         reference.sort_unstable();
         assert_eq!(popped, reference);

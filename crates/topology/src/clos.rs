@@ -38,13 +38,19 @@ impl ClosParams {
     }
 
     /// A scaled topology with `pods` PoDs and otherwise the paper's
-    /// per-PoD shape (used by the §IX scalability extension).
+    /// per-PoD shape (used by the §IX scalability extension and the
+    /// sharded-engine scaling benchmarks: 32, 64 and 128 PoDs are the
+    /// supported mega-fabric shapes).
     ///
     /// The PoD count must be even and at least 2: each top-tier spine
     /// splits its down-facing radix symmetrically across PoD pairs, so an
-    /// odd count would leave stranded ports. Degenerate shapes are
-    /// rejected with a descriptive error rather than building a fabric
-    /// that violates the addressing scheme.
+    /// odd count would leave stranded ports. ToR VIDs derive from a
+    /// one-byte subnet octet starting at 11, capping the fabric at 244
+    /// ToRs — beyond 122 PoDs the per-PoD rack count narrows to one ToR
+    /// so 128-PoD fabrics still address cleanly (the spine layers keep
+    /// the paper's shape). Degenerate shapes are rejected with a
+    /// descriptive error rather than building a fabric that violates the
+    /// addressing scheme.
     pub fn scaled(pods: usize) -> Result<ClosParams, String> {
         if pods < 2 {
             return Err(format!(
@@ -57,7 +63,21 @@ impl ClosParams {
                  splits symmetrically across PoD pairs, got {pods}"
             ));
         }
-        let params = ClosParams { pods, ..ClosParams::two_pod() };
+        let base = ClosParams::two_pod();
+        // 11 + pods * tors_per_pod must stay within the one-byte VID
+        // space; 122 PoDs is the last shape that fits two ToRs per PoD.
+        let max_two_tor_pods = (255 - 11) / base.tors_per_pod;
+        let params = if pods <= max_two_tor_pods {
+            ClosParams { pods, ..base }
+        } else if pods <= 255 - 11 {
+            ClosParams { pods, tors_per_pod: 1, ..base }
+        } else {
+            return Err(format!(
+                "scaled fabric is capped at {} PoDs by one-byte ToR VID \
+                 derivation (VIDs 11..=255, one ToR per PoD minimum), got {pods}",
+                255 - 11
+            ));
+        };
         params.validate()?;
         Ok(params)
     }
@@ -569,6 +589,34 @@ impl Fabric {
         }
     }
 
+    /// Node→shard map for the sharded parallel engine, sized for
+    /// `workers` threads: shard 0 holds the fabric-wide spine layers
+    /// (top spines, and zone spines in four-tier fabrics) — the shared
+    /// crossroads every PoD talks through — while PoDs (each ToR/PoD
+    /// spine/server subtree) are dealt round-robin across the remaining
+    /// `workers - 1` shards, keeping the dense intra-PoD mesh (the
+    /// ToR↔spine links carrying most events) inside one shard. Every
+    /// cross-shard link is then a PoD-spine↔top-tier uplink or a
+    /// PoD-to-PoD pairing, whose propagation delay bounds the engine's
+    /// conservative lookahead.
+    ///
+    /// `workers <= 1` (or a single PoD) collapses to one shard.
+    pub fn shard_map(&self, workers: usize) -> Vec<u32> {
+        let pod_shards = self.params.pods.min(workers.saturating_sub(1));
+        if pod_shards == 0 {
+            return vec![0; self.nodes.len()];
+        }
+        self.nodes
+            .iter()
+            .map(|n| match n.role {
+                Role::TopSpine { .. } | Role::ZoneSpine { .. } => 0,
+                Role::Tor { pod, .. }
+                | Role::PodSpine { pod, .. }
+                | Role::Server { pod, .. } => 1 + (pod % pod_shards) as u32,
+            })
+            .collect()
+    }
+
     /// Resolve a paper failure case to the failing `(node, port)`
     /// interface. Generic over tier count: TC3/TC4 sit on S-1-1's first
     /// uplink, whose remote end is T-1 in three-tier fabrics and Z-1-1 in
@@ -714,8 +762,48 @@ mod tests {
         let p = ClosParams::scaled(16).unwrap();
         assert_eq!(p.pods, 16);
         assert!(p.validate().is_ok());
-        // The one-byte VID budget still applies through `scaled`.
-        assert!(ClosParams::scaled(200).is_err());
+    }
+
+    #[test]
+    fn scaled_supports_mega_fabric_shapes() {
+        // The benchmark ladder: 32/64 keep the paper's two-ToR PoDs.
+        for pods in [32, 64] {
+            let p = ClosParams::scaled(pods).unwrap();
+            assert_eq!((p.pods, p.tors_per_pod), (pods, 2));
+            assert!(p.validate().is_ok());
+        }
+        assert_eq!(ClosParams::scaled(64).unwrap().num_routers(), 260);
+        // Past the two-ToR VID budget the rack layer narrows to one ToR
+        // per PoD instead of failing.
+        let p = ClosParams::scaled(128).unwrap();
+        assert_eq!((p.pods, p.tors_per_pod), (128, 1));
+        assert!(p.validate().is_ok());
+        // The hard cap is descriptive.
+        let err = ClosParams::scaled(246).unwrap_err();
+        assert!(err.contains("capped at 244 PoDs"), "got: {err}");
+    }
+
+    #[test]
+    fn shard_map_groups_pods_and_isolates_spines() {
+        let f = Fabric::build(ClosParams::scaled(8).unwrap());
+        let map = f.shard_map(4);
+        assert_eq!(map.len(), f.nodes.len());
+        // Spines share shard 0; PoDs round-robin over shards 1..=3.
+        for k in 0..f.top_spine_count() {
+            assert_eq!(map[f.top_spine(k)], 0);
+        }
+        for p in 0..8 {
+            let expect = 1 + (p % 3) as u32;
+            assert_eq!(map[f.tor(p, 0)], expect);
+            assert_eq!(map[f.pod_spine(p, 1)], expect);
+            assert_eq!(map[f.server(p, 0, 0)], expect);
+        }
+        // Degenerate worker counts collapse to one shard.
+        assert!(f.shard_map(1).iter().all(|&s| s == 0));
+        assert!(f.shard_map(0).iter().all(|&s| s == 0));
+        // More workers than PoDs: one PoD per shard, ids stay dense.
+        let wide = f.shard_map(64);
+        assert_eq!(*wide.iter().max().unwrap(), 8);
     }
 
     #[test]

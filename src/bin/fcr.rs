@@ -38,10 +38,13 @@ fn usage() -> ! {
          \x20                               tc: tc1..tc4; dir: near|far, default near)\n\
          \x20   --pods N             fabric size in PoDs (even, default 2)\n\
          \x20   --seed N             seed (default 42)\n\
+         \x20   --workers N          shards for the parallel engine (default 1 =\n\
+         \x20                        sequential; digests are engine-blind)\n\
          \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
          \x20   --seed N             seed (default 42)\n\
+         \x20   --workers N          shards for the parallel engine (default 1)\n\
          \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
          \x20 listings                      Listings 1/2/3/5 artifacts\n\
@@ -50,6 +53,7 @@ fn usage() -> ! {
          \x20 keepalive                     steady-state keep-alive summary\n\
          \x20 extended                      whole-node/multi-point failures + encap overhead\n\
          \x20 replicate [n]                 Fig. 4 averaged over n seeds\n\
+         \x20   --workers N          shards for the parallel engine (default 1)\n\
          \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write per-seed bundles for each stack on TC1\n\
          \x20 chaos [opts]                  randomized fault campaign with invariant checks\n\
@@ -62,12 +66,17 @@ fn usage() -> ! {
          \x20   --k N            concurrent-failure burst size (default 2)\n\
          \x20   --loss-ppm N     frame loss during window (default 2000)\n\
          \x20   --corrupt-ppm N  frame corruption during window (default 10000)\n\
+         \x20   --workers N      in-sim shards per run (default 1; campaign\n\
+         \x20                    seeds already fan out across --threads)\n\
          \x20   --local-repair   enable local fast reroute (+ repair-loop invariant)\n\
          \x20   --traffic-pairs N  cross-pod background flows per schedule (default 0)\n\
          \x20   --no-determinism skip the double-run digest comparison\n\
          \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
          \x20 bench [opts]                  scaling + scheduler benchmarks\n\
-         \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16)\n\
+         \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16,32,64)\n\
+         \x20   --workers LIST   worker counts swept at each PoD count of at\n\
+         \x20                    least 16 (default 1,2,4; 1 is always run and\n\
+         \x20                    is the speedup baseline)\n\
          \x20   --traffic        forwarding soak instead: packets/sec and\n\
          \x20                    allocs per forwarded packet, fast vs slow path\n\
          \x20   --quick          short windows (CI smoke mode)\n\
@@ -96,16 +105,22 @@ struct RunFlags {
     telemetry_out: Option<PathBuf>,
     seed: Option<u64>,
     pods: Option<usize>,
+    workers: usize,
     local_repair: bool,
 }
 
-/// Pull `--telemetry-out DIR`, `--seed N`, `--pods N` and
-/// `--local-repair` out of `args`, returning the remaining positional
-/// arguments.
+/// Pull `--telemetry-out DIR`, `--seed N`, `--pods N`, `--workers N`
+/// and `--local-repair` out of `args`, returning the remaining
+/// positional arguments.
 fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
     let mut positional = Vec::new();
-    let mut flags =
-        RunFlags { telemetry_out: None, seed: None, pods: None, local_repair: false };
+    let mut flags = RunFlags {
+        telemetry_out: None,
+        seed: None,
+        pods: None,
+        workers: 1,
+        local_repair: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -126,6 +141,11 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
             "--pods" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
                 flags.pods = Some(n);
+                i += 2;
+            }
+            "--workers" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
+                flags.workers = n;
                 i += 2;
             }
             a => {
@@ -190,7 +210,8 @@ fn main() {
                 .failing(parse_tc(tc))
                 .with_traffic(dir)
                 .seeded(flags.seed.unwrap_or(seed))
-                .with_local_repair(flags.local_repair);
+                .with_local_repair(flags.local_repair)
+                .with_workers(flags.workers);
             let r = match flags.telemetry_out {
                 None => run(s),
                 Some(out) => {
@@ -237,7 +258,8 @@ fn main() {
                 RunSpec::new(ClosParams::two_pod(), parse_stack(stack))
                     .failing(parse_tc(tc))
                     .seeded(flags.seed.unwrap_or(seed))
-                    .with_local_repair(flags.local_repair),
+                    .with_local_repair(flags.local_repair)
+                    .with_workers(flags.workers),
             );
             print!("{}", r.text);
             if let Some(out) = flags.telemetry_out {
@@ -266,7 +288,12 @@ fn main() {
             eprintln!("replicating Fig. 4 over {n} seeds…");
             println!(
                 "{}",
-                dcn_experiments::replicate::fig4_replicated(&seeds, flags.local_repair).render()
+                dcn_experiments::replicate::fig4_replicated(
+                    &seeds,
+                    flags.local_repair,
+                    flags.workers,
+                )
+                .render()
             );
             if let Some(out) = flags.telemetry_out {
                 // One instrumented replication per stack on the headline
@@ -274,7 +301,8 @@ fn main() {
                 for stack in Stack::ALL {
                     let s = RunSpec::new(ClosParams::two_pod(), stack)
                         .failing(FailureCase::Tc1)
-                        .with_local_repair(flags.local_repair);
+                        .with_local_repair(flags.local_repair)
+                        .with_workers(flags.workers);
                     let r = dcn_experiments::replicate::run_replicated_instrumented(s, &seeds, &out);
                     if let Some(c) = r.convergence_ms {
                         eprintln!("{}: TC1 convergence {} ms", stack.label(), c.render(1));
@@ -310,6 +338,7 @@ fn main() {
                         cfg.chaos.impairment.corrupt_ppm =
                             val(i).parse().unwrap_or_else(|_| usage())
                     }
+                    "--workers" => cfg.chaos.workers = val(i).parse().unwrap_or_else(|_| usage()),
                     "--local-repair" => {
                         cfg.chaos.local_repair = true;
                         i += 1;
@@ -364,7 +393,8 @@ fn main() {
             println!("{}", figures::fig1_stack_comparison(seed).render());
         }
         Some("bench") => {
-            let mut pods: Vec<usize> = vec![2, 4, 8, 16];
+            let mut pods: Vec<usize> = vec![2, 4, 8, 16, 32, 64];
+            let mut workers: Vec<usize> = vec![1, 2, 4];
             let mut quick = false;
             let mut traffic = false;
             let mut out: Option<PathBuf> = None;
@@ -379,6 +409,13 @@ fn main() {
                         pods = val(i)
                             .split(',')
                             .map(|p| p.parse().unwrap_or_else(|_| usage()))
+                            .collect();
+                        i += 2;
+                    }
+                    "--workers" => {
+                        workers = val(i)
+                            .split(',')
+                            .map(|w| w.parse().unwrap_or_else(|_| usage()))
                             .collect();
                         i += 2;
                     }
@@ -442,10 +479,12 @@ fn main() {
                 return;
             }
             eprintln!(
-                "benchmarking scheduler + fabric scale at {pods:?} PoDs ({})…",
+                "benchmarking scheduler + fabric scale at {pods:?} PoDs, \
+                 worker sweep {workers:?} from {} PoDs ({})…",
+                bench::WORKER_SWEEP_MIN_PODS,
                 if quick { "quick" } else { "full" }
             );
-            let report = match bench::run_bench(&pods, quick, seed) {
+            let report = match bench::run_bench(&pods, &workers, quick, seed) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("bench: {e}");
