@@ -414,7 +414,7 @@ mod tests {
         // All ports up: primary pick, no repair.
         assert_eq!(fib.lookup_repair(11, 0, !0, 0), Some((PortId(0), false)));
         // Down port masked dead: bounce up, flagged.
-        let mask = !0u128 & !(1 << 0);
+        let mask = !(1u128 << 0);
         assert_eq!(fib.lookup_repair(11, 0, mask, 0), Some((PortId(3), true)));
         // Uplinks dead too: down-tier detour, flagged.
         let mask = mask & !(1 << 3) & !(1 << 4);
@@ -452,7 +452,7 @@ mod tests {
         upper_lost.insert(20);
         let mut fib = CompiledFib::new();
         fib.rebuild(&table, &nbr, &upper_lost, 2);
-        let mask = !0u128 & !(1 << 0); // down port dead
+        let mask = !(1u128 << 0); // down port dead
         assert_eq!(fib.lookup_repair(20, 0, mask, 0), Some((PortId(1), true)));
     }
 

@@ -7,9 +7,16 @@
 //!   time, throughput (events/sec and events/sec/node) and peak RSS —
 //!   plus, at 16+ PoDs, the same fabric on the sharded parallel engine
 //!   at each requested worker count, with the parallel-over-sequential
-//!   speedup. Emitted as `BENCH_scale.json` (`schema: "bench_scale/v2"`,
-//!   which also records the host's core count so single-core runs are
-//!   not misread as parallel regressions).
+//!   speedup. Every row runs with the engine profiler on and embeds its
+//!   stall breakdown (execute/barrier/drain/deposit/other as % of wall),
+//!   so a bad speedup is attributable at a glance. Emitted as
+//!   `BENCH_scale.json` (`schema: "bench_scale/v3"`, which also records
+//!   the host's core count so single-core runs are not misread as
+//!   parallel regressions; v2 baselines still gate — [`check_regression`]
+//!   keys on field names, not the schema string). Peak RSS is sampled
+//!   per row: the kernel's VmHWM watermark is reset before each row, so
+//!   a big fabric earlier in the sweep cannot inflate a small one's
+//!   number.
 //! * **Scheduler microbench** — the pop-then-re-arm stress loop from
 //!   `dcn_sim::scheduler_stress`, run on both backends, reported as a
 //!   wheel-over-heap speedup.
@@ -59,14 +66,29 @@ pub struct ScalePoint {
     /// workers as pods grow is a cache-locality signal; a droop in raw
     /// `events_per_sec` alone can just be a bigger fabric.
     pub events_per_node: f64,
-    /// Peak resident set (VmHWM) after the run, in KiB. Zero on platforms
-    /// without `/proc/self/status`.
+    /// Peak resident set (VmHWM) over this row only, in KiB: the
+    /// watermark is reset (via `/proc/self/clear_refs`) before each row.
+    /// Zero on platforms without the proc filesystem; on kernels that
+    /// refuse the reset it degrades to the process-lifetime peak.
     pub peak_rss_kb: u64,
     /// `events_per_sec` over the same fabric's 1-worker rate (1.0 for
     /// the 1-worker row itself). Only meaningful when `cores` in the
     /// report exceeds the worker count — on a single-core host the
     /// sharded engine can only show its overhead.
     pub speedup: f64,
+    /// Barrier windows executed in one rep (engine profiler).
+    pub windows: u64,
+    /// Stall breakdown of one rep, as % of per-shard wall time summed
+    /// over shards: event execution...
+    pub execute_pct: f64,
+    /// ...blocked on the window barriers...
+    pub barrier_pct: f64,
+    /// ...draining cross-shard inboxes...
+    pub drain_pct: f64,
+    /// ...depositing outboxes...
+    pub deposit_pct: f64,
+    /// ...and unattributed loop overhead.
+    pub other_pct: f64,
 }
 
 /// Heap-vs-wheel scheduler throughput from [`dcn_sim::scheduler_stress`].
@@ -91,6 +113,14 @@ pub struct BenchReport {
     pub cores: usize,
     pub micro: MicroBench,
     pub scale: Vec<ScalePoint>,
+}
+
+/// Reset the kernel's peak-RSS watermark (write `5` to
+/// `/proc/self/clear_refs`) so the next [`peak_rss_kb`] reading covers
+/// only work done after this call. Best-effort: failure (non-Linux,
+/// restricted kernels) silently degrades to the process-lifetime peak.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 /// Read peak resident set size (VmHWM) in KiB from `/proc/self/status`.
@@ -191,16 +221,28 @@ pub fn bench_one_scale(
     let warmup = Timing::default().warmup;
     let horizon = if quick { warmup } else { warmup * 3 };
     let cfg = SimConfig { trace: false, ..SimConfig::default() };
-    let tuning = StackTuning { workers: workers.max(1), ..StackTuning::default() };
+    // Every row runs with the engine profiler on so the report can embed
+    // its stall breakdown. Profiling reads only the host clock and bumps
+    // pre-sized counters; its overhead is identical for baseline and
+    // current, so the regression gate is unaffected.
+    let tuning =
+        StackTuning { workers: workers.max(1), profile: true, ..StackTuning::default() };
     let mut events = 0;
     let (mut nodes, mut links) = (0, 0);
+    let mut profile = None;
+    reset_peak_rss();
     let (reps, cpu, wall) = measure(0.25, 256, || {
         let fabric = Fabric::build(params);
         (nodes, links) = (fabric.nodes.len(), fabric.links.len());
         let mut built = build_fabric_sim_cfg(fabric, Stack::Mrmtp, seed, &[], tuning, cfg);
         built.sim.run_until(horizon);
         events = built.sim.events_processed();
+        profile = built.sim.take_profile();
     });
+    // The stall breakdown of the last rep (reps are identical work).
+    let profile = profile.expect("profiling was enabled");
+    let breakdown = dcn_telemetry::stall_breakdown_of(&profile);
+    let windows = profile.shards.iter().map(|s| s.windows_total).sum();
     // Parallel rates are measured against wall time — the point of the
     // sharded engine is elapsed-time speedup, and CPU time sums over
     // worker threads (a perfectly-scaling run burns the same CPU
@@ -220,7 +262,38 @@ pub fn bench_one_scale(
         events_per_node: events_per_sec / nodes.max(1) as f64,
         peak_rss_kb: peak_rss_kb(),
         speedup: 1.0, // filled in by `run_bench` against the 1-worker row
+        windows,
+        execute_pct: breakdown.execute_pct,
+        barrier_pct: breakdown.barrier_pct,
+        drain_pct: breakdown.drain_pct,
+        deposit_pct: breakdown.deposit_pct,
+        other_pct: breakdown.other_pct,
     })
+}
+
+/// One profiled scale run (the same fabric/horizon as a
+/// [`bench_one_scale`] row, single rep) packaged as a full
+/// [`dcn_telemetry::PerfReport`] — what `fcr bench --profile-out`
+/// writes so a suspicious row can be opened in Perfetto.
+pub fn profile_scale_run(
+    pods: usize,
+    workers: usize,
+    quick: bool,
+    seed: u64,
+) -> Result<dcn_telemetry::PerfReport, String> {
+    let params = ClosParams::scaled(pods)?;
+    let warmup = Timing::default().warmup;
+    let horizon = if quick { warmup } else { warmup * 3 };
+    let cfg = SimConfig { trace: false, ..SimConfig::default() };
+    let tuning =
+        StackTuning { workers: workers.max(1), profile: true, ..StackTuning::default() };
+    let fabric = Fabric::build(params);
+    let mut built = build_fabric_sim_cfg(fabric, Stack::Mrmtp, seed, &[], tuning, cfg);
+    built.sim.run_until(horizon);
+    let profile = built.sim.take_profile().expect("profiling was enabled");
+    let names = crate::profile::node_names(&built.sim);
+    let label = format!("bench scale {pods} pods seed {seed}");
+    Ok(dcn_telemetry::PerfReport::new(profile, label, workers.max(1), names))
 }
 
 /// The PoD size from which worker sweeps run: below this the fabric is
@@ -262,10 +335,12 @@ pub fn run_bench(
 
 impl BenchReport {
     /// Serialize to the committed `BENCH_scale.json` schema
-    /// (`bench_scale/v2`; see EXPERIMENTS.md).
+    /// (`bench_scale/v3`; see EXPERIMENTS.md). v2 baselines still gate:
+    /// [`check_regression`] reads fields by name and ignores the schema
+    /// string.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("bench_scale/v2")),
+            ("schema", Json::str("bench_scale/v3")),
             ("quick", Json::Bool(self.quick)),
             ("cores", Json::UInt(self.cores as u64)),
             (
@@ -295,6 +370,12 @@ impl BenchReport {
                                 ("events_per_node", Json::Float(p.events_per_node)),
                                 ("peak_rss_kb", Json::UInt(p.peak_rss_kb)),
                                 ("speedup", Json::Float(p.speedup)),
+                                ("windows", Json::UInt(p.windows)),
+                                ("execute_pct", Json::Float(p.execute_pct)),
+                                ("barrier_pct", Json::Float(p.barrier_pct)),
+                                ("drain_pct", Json::Float(p.drain_pct)),
+                                ("deposit_pct", Json::Float(p.deposit_pct)),
+                                ("other_pct", Json::Float(p.other_pct)),
                             ])
                         })
                         .collect(),
@@ -313,11 +394,11 @@ impl BenchReport {
         ));
         out.push_str(&format!("host cores: {}\n", self.cores));
         out.push_str(
-            "pods  nodes  links  wrk      events   wall_ms   events/sec  ev/s/node  peak_rss_kb  speedup\n",
+            "pods  nodes  links  wrk      events   wall_ms   events/sec  ev/s/node  peak_rss_kb  speedup  exec%  barr%  other%\n",
         );
         for p in &self.scale {
             out.push_str(&format!(
-                "{:>4}  {:>5}  {:>5}  {:>3}  {:>10}  {:>8.1}  {:>11.0}  {:>9.0}  {:>11}  {:>6.2}x\n",
+                "{:>4}  {:>5}  {:>5}  {:>3}  {:>10}  {:>8.1}  {:>11.0}  {:>9.0}  {:>11}  {:>6.2}x  {:>5.1}  {:>5.1}  {:>6.1}\n",
                 p.pods,
                 p.nodes,
                 p.links,
@@ -328,6 +409,9 @@ impl BenchReport {
                 p.events_per_node,
                 p.peak_rss_kb,
                 p.speedup,
+                p.execute_pct,
+                p.barrier_pct,
+                p.drain_pct + p.deposit_pct + p.other_pct,
             ));
         }
         out
@@ -373,6 +457,9 @@ pub struct TrafficPoint {
 #[derive(Clone, Debug)]
 pub struct TrafficReport {
     pub quick: bool,
+    /// CPU cores available to this process when the report was taken
+    /// (every bench/profile artifact records this).
+    pub cores: usize,
     /// Was a counting `#[global_allocator]` installed in this process?
     pub alloc_counter: bool,
     pub points: Vec<TrafficPoint>,
@@ -548,6 +635,7 @@ pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<Traff
     }
     Ok(TrafficReport {
         quick,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         alloc_counter: alloc_track::counting_allocator_installed(),
         points,
     })
@@ -560,6 +648,7 @@ impl TrafficReport {
         Json::obj(vec![
             ("schema", Json::str("bench_traffic/v2")),
             ("quick", Json::Bool(self.quick)),
+            ("cores", Json::UInt(self.cores as u64)),
             ("alloc_counter_installed", Json::Bool(self.alloc_counter)),
             (
                 "points",
@@ -764,10 +853,16 @@ mod tests {
         assert!(report.micro.heap_events_per_sec > 0.0);
         assert!(report.micro.wheel_events_per_sec > 0.0);
 
+        // Every row carries its embedded stall breakdown.
+        assert!(p.windows > 0, "profiler saw no windows");
+        let total =
+            p.execute_pct + p.barrier_pct + p.drain_pct + p.deposit_pct + p.other_pct;
+        assert!((total - 100.0).abs() < 5.0, "breakdown covers the wall: {total}");
+
         // JSON round-trips through the schema.
         let rendered = report.to_json().render();
         let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
-        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v2"));
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v3"));
         assert!(parsed.get("cores").and_then(|c| c.as_u64()).is_some());
         assert_eq!(
             parsed.get("scale").and_then(|s| s.as_arr()).map(|a| a.len()),
@@ -777,9 +872,18 @@ mod tests {
         assert_eq!(row.get("workers").and_then(|w| w.as_u64()), Some(1));
         assert!(row.get("events_per_node").and_then(|v| v.as_f64()).is_some());
         assert!(row.get("speedup").and_then(|v| v.as_f64()).is_some());
+        assert!(row.get("barrier_pct").and_then(|v| v.as_f64()).is_some());
 
         // A report never regresses against itself...
         check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
+
+        // ...and a v2 baseline (no breakdown fields, old schema string)
+        // still gates: the checker keys on field names only.
+        let v2 = rendered.replace("bench_scale/v3", "bench_scale/v2").replace(
+            "\"barrier_pct\"",
+            "\"barrier_pct_v2_absent\"",
+        );
+        check_regression(&report, &v2, 0.20).expect("v2 baseline still gates");
 
         // ...but does against an inflated baseline.
         let mut inflated = report.clone();
@@ -858,6 +962,7 @@ mod tests {
         let rendered = report.to_json().render();
         let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
         assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_traffic/v2"));
+        assert!(parsed.get("cores").and_then(|c| c.as_u64()).is_some());
         assert_eq!(
             parsed.get("points").and_then(|s| s.as_arr()).map(|a| a.len()),
             Some(2)

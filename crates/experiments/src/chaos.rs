@@ -32,8 +32,8 @@ use dcn_sim::rng::DetRng;
 use dcn_sim::time::{Duration, Time, MICROS, MILLIS, SECONDS};
 use dcn_sim::{Impairment, NodeId, PortId, SchedulerKind};
 use dcn_telemetry::{
-    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, Telemetry, TelemetryConfig,
-    TraceBundle,
+    capture_dump, hists_jsonl, series_jsonl, spans_jsonl, Json, PerfReport, Telemetry,
+    TelemetryConfig, TraceBundle,
 };
 use dcn_topology::{Addressing, ClosParams, Fabric, Role};
 use dcn_traffic::SendSpec;
@@ -103,6 +103,10 @@ pub struct ChaosConfig {
     /// reference). Per-seed digests are bit-identical across worker
     /// counts; the equivalence suite enforces it.
     pub workers: usize,
+    /// Engine runtime profiling (host-clock observation only). Per-seed
+    /// digests are bit-identical with it on or off; the equivalence
+    /// suite enforces it.
+    pub profile: bool,
 }
 
 impl Default for ChaosConfig {
@@ -135,6 +139,7 @@ impl Default for ChaosConfig {
             local_repair: false,
             traffic_pairs: 0,
             workers: 1,
+            profile: false,
         }
     }
 }
@@ -336,6 +341,20 @@ pub fn run_chaos(seed: u64, stack: Stack, cfg: &ChaosConfig) -> ChaosRun {
     run
 }
 
+/// [`run_chaos`] with the engine profiler forced on, handing back the
+/// perf report alongside the run. The digest in the returned run is
+/// bit-identical to an unprofiled run of the same seed (the profiler is
+/// a pure host-clock observer).
+pub fn run_chaos_profiled(seed: u64, stack: Stack, cfg: &ChaosConfig) -> (ChaosRun, PerfReport) {
+    let cfg = ChaosConfig { profile: true, ..cfg.clone() };
+    let (run, _, mut built) = run_chaos_once(seed, stack, &cfg, &mut None);
+    let profile = built.sim.take_profile().expect("profiling enabled");
+    let names = crate::profile::node_names(&built.sim);
+    let label = format!("chaos {} seed {}", stack.slug(), seed);
+    let report = PerfReport::new(profile, label, cfg.workers.max(1), names);
+    (run, report)
+}
+
 fn run_chaos_once(
     seed: u64,
     stack: Stack,
@@ -354,6 +373,7 @@ fn run_chaos_once(
             fast_path: cfg.fast_path,
             local_repair: cfg.local_repair,
             workers: cfg.workers.max(1),
+            profile: cfg.profile,
             ..StackTuning::default()
         },
         cfg.scheduler,
@@ -439,8 +459,15 @@ pub fn chaos_bundle(
     tel_cfg: TelemetryConfig,
 ) -> (ChaosRun, TraceBundle) {
     let mut tel = Some(Telemetry::new(tel_cfg));
-    let (run, schedule, built) = run_chaos_once(seed, stack, cfg, &mut tel);
+    let (run, schedule, mut built) = run_chaos_once(seed, stack, cfg, &mut tel);
     let tel = tel.expect("telemetry preserved");
+    // When the config profiled the run, the bundle carries the perf
+    // report and Chrome trace alongside the replay artifacts.
+    let perf = built.sim.take_profile().map(|profile| {
+        let names = crate::profile::node_names(&built.sim);
+        let label = format!("chaos {} seed {}", stack.slug(), seed);
+        PerfReport::new(profile, label, cfg.workers.max(1), names)
+    });
     let sim = &built.sim;
     let name_of = |n: NodeId| sim.node_name(n).to_string();
 
@@ -483,6 +510,10 @@ pub fn chaos_bundle(
     b.add_file("series.jsonl", series_jsonl(tel.registry(), |i| name_of(NodeId(i))));
     b.add_file("hists.jsonl", hists_jsonl(&tel));
     b.add_file("capture.txt", capture_dump(sim, cfg.warmup, cfg.end_at(), 200));
+    if let Some(report) = &perf {
+        b.add_file("perf_report.json", report.to_json().render() + "\n");
+        b.add_file("trace.chrome.json", report.to_chrome_trace());
+    }
     (run, b)
 }
 
@@ -915,6 +946,10 @@ pub struct CampaignConfig {
     /// telemetry attached and a replay bundle is written under this
     /// directory (`chaos-<stack>-seed<N>/`).
     pub telemetry_out: Option<PathBuf>,
+    /// When set, every run executes with the engine profiler on (digests
+    /// unchanged) and writes `perf_report.json` + `trace.chrome.json`
+    /// under `<dir>/chaos-<stack>-seed<N>-perf/`.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -927,6 +962,7 @@ impl Default for CampaignConfig {
             chaos: ChaosConfig::default(),
             check_determinism: true,
             telemetry_out: None,
+            profile_out: None,
         }
     }
 }
@@ -957,8 +993,18 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
     let chaos = cfg.chaos.clone();
     let check = cfg.check_determinism;
     let out = cfg.telemetry_out.clone();
+    let profile_out = cfg.profile_out.clone();
     let runs = fan_out(jobs, cfg.threads, move |(stack, seed)| {
-        let mut run = run_chaos(seed, stack, &chaos);
+        let mut run = if let Some(dir) = &profile_out {
+            let (run, report) = run_chaos_profiled(seed, stack, &chaos);
+            let sub = dir.join(format!("chaos-{}-seed{}-perf", stack.slug(), seed));
+            if let Err(e) = crate::profile::write_profile_artifacts(&report, &sub) {
+                eprintln!("chaos: perf artifacts to {} failed: {e}", sub.display());
+            }
+            run
+        } else {
+            run_chaos(seed, stack, &chaos)
+        };
         if check {
             let again = run_chaos(seed, stack, &chaos);
             run.deterministic = run.digest == again.digest;

@@ -68,6 +68,13 @@ pub struct StackTuning {
     /// from [`Fabric::shard_map`]. Trace digests are bit-identical
     /// either way — the equivalence suite enforces it.
     pub workers: usize,
+    /// Engine runtime profiling ([`dcn_sim::profiler`]): per-shard
+    /// window accounting with barrier-stall attribution. Off by
+    /// default. Profiling reads only the host monotonic clock and
+    /// writes into pre-sized buffers, so trace digests are bit-identical
+    /// either way (the equivalence suite enforces it) and zero-alloc
+    /// forwarding still holds.
+    pub profile: bool,
 }
 
 impl Default for StackTuning {
@@ -80,6 +87,7 @@ impl Default for StackTuning {
             fast_path: true,
             local_repair: false,
             workers: 1,
+            profile: false,
         }
     }
 }
@@ -217,6 +225,9 @@ pub fn build_fabric_sim_cfg(
 ) -> BuiltSim {
     if tuning.workers > 1 {
         config.engine = dcn_sim::EngineKind::Sharded { workers: tuning.workers };
+    }
+    if tuning.profile {
+        config.profile = true;
     }
     let addr = Addressing::new(&fabric);
     let mut b = SimBuilder::with_config(seed, config);

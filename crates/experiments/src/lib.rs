@@ -29,13 +29,20 @@ pub mod fabric;
 pub mod figures;
 pub mod flows;
 pub mod parallel;
+pub mod profile;
 pub mod replicate;
 pub mod report;
 pub mod runspec;
 pub mod scenario;
 pub mod table;
 
-pub use chaos::{run_campaign, run_chaos, CampaignConfig, ChaosConfig, FaultSchedule};
+pub use chaos::{
+    run_campaign, run_chaos, run_chaos_profiled, CampaignConfig, ChaosConfig, FaultSchedule,
+};
+pub use profile::{
+    bundle_from_profiled, run_profiled, warn_if_oversubscribed, write_profile_artifacts,
+    ProfiledRun,
+};
 pub use fabric::{
     build_fabric_sim, build_four_tier_sim, build_sim, build_sim_full, build_sim_tuned, BuiltSim,
     Stack, StackTuning,

@@ -153,6 +153,15 @@ impl RunSpec {
         self
     }
 
+    /// Enable engine runtime profiling (per-shard window accounting,
+    /// barrier-stall attribution). Host-clock observation only: metrics
+    /// and trace digests are bit-identical either way — the equivalence
+    /// suite enforces it.
+    pub fn with_profile(mut self, on: bool) -> RunSpec {
+        self.tuning.profile = on;
+        self
+    }
+
     /// Run to completion and extract the paper's metrics.
     pub fn run(self) -> ScenarioResult {
         scenario::run(self)

@@ -282,6 +282,69 @@ fn parallel_digest_identical_on_bigger_fabric() {
     }
 }
 
+// ----------------------------------------------------------------------
+// Engine profiler: a pure host-clock observer, digests identical on/off
+// ----------------------------------------------------------------------
+
+/// The profiler reads `Instant` and fills pre-sized buffers; it never
+/// touches event content, ordering, or the simulated clock. A profiled
+/// run must therefore produce a bit-identical trace digest — on the
+/// sequential engine and on the sharded one.
+fn profiler_invisible(spec: RunSpec) {
+    let off = run_digest(spec);
+    assert_eq!(
+        off,
+        run_digest(spec.with_profile(true)),
+        "profiler changed the sequential digest for {spec:?}"
+    );
+    assert_eq!(
+        off,
+        run_digest(spec.with_profile(true).with_workers(2)),
+        "profiled sharded engine diverged for {spec:?}"
+    );
+}
+
+#[test]
+fn profiler_digest_identical_on_mrmtp_tc_cases() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        profiler_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+                .failing(tc)
+                .with_traffic(TrafficDir::NearToFar),
+        );
+    }
+}
+
+#[test]
+fn profiler_digest_identical_on_bgp_tc_cases() {
+    for tc in [FailureCase::Tc1, FailureCase::Tc2, FailureCase::Tc3, FailureCase::Tc4] {
+        profiler_invisible(
+            RunSpec::new(ClosParams::two_pod(), Stack::BgpEcmp)
+                .failing(tc)
+                .with_traffic(TrafficDir::FarToNear),
+        );
+    }
+}
+
+#[test]
+fn profiler_digest_identical_under_chaos() {
+    // Loss, corruption, jitter, flaps, and crashes on both engines: the
+    // profiler's window records must stay a read-only side channel.
+    for (stack, seed) in [(Stack::Mrmtp, 11u64), (Stack::BgpEcmp, 12)] {
+        let bare = run_chaos(seed, stack, &quick_chaos());
+        for workers in [1usize, 2] {
+            let cfg = ChaosConfig { profile: true, workers, ..quick_chaos() };
+            let profiled = run_chaos(seed, stack, &cfg);
+            assert_eq!(
+                bare.digest,
+                profiled.digest,
+                "{} chaos seed {seed}: profiler changed the digest at {workers} worker(s)",
+                stack.label(),
+            );
+        }
+    }
+}
+
 #[test]
 fn steady_state_digest_identical_without_failure() {
     let spec = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp);

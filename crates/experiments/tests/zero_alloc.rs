@@ -28,14 +28,16 @@ static ALLOC: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
 /// at steady state, run one more second, and return
 /// (forwarded packets, allocations inside forwarding scopes).
 fn soak(stack: Stack) -> (u64, u64) {
-    soak_with_workers(stack, 1)
+    soak_with_workers(stack, 1, false)
 }
 
 /// [`soak`] on the sharded parallel engine: forwarding scopes are
 /// per-thread, so router forwarding on worker threads is accounted
 /// exactly as on the main thread, while the engine's own shard
-/// setup/merge allocations stay outside every scope.
-fn soak_with_workers(stack: Stack, workers: usize) -> (u64, u64) {
+/// setup/merge allocations stay outside every scope. With `profile`
+/// the engine profiler records every window into pre-sized buffers —
+/// also outside every forwarding scope.
+fn soak_with_workers(stack: Stack, workers: usize, profile: bool) -> (u64, u64) {
     let params = ClosParams::two_pod();
     let fabric = Fabric::build(params);
     let addr = Addressing::new(&fabric);
@@ -55,7 +57,7 @@ fn soak_with_workers(stack: Stack, workers: usize) -> (u64, u64) {
         senders.push((fabric.server(0, t, 0), spec(fabric.tor(1, t))));
         senders.push((fabric.server(1, t, 0), spec(fabric.tor(0, t))));
     }
-    let tuning = StackTuning { workers, ..StackTuning::default() };
+    let tuning = StackTuning { workers, profile, ..StackTuning::default() };
     let mut built = build_fabric_sim(fabric, stack, 7, &senders, tuning);
     built.sim.run_until(warmup);
     alloc_track::reset();
@@ -152,12 +154,26 @@ fn mrmtp_parallel_transit_forwards_without_allocating() {
     // never touches the allocator. (The sequential soak above and this
     // one also forward the same packet count: digests are engine-blind.)
     let (seq_forwarded, _) = soak(Stack::Mrmtp);
-    let (forwarded, allocs) = soak_with_workers(Stack::Mrmtp, 2);
+    let (forwarded, allocs) = soak_with_workers(Stack::Mrmtp, 2, false);
     assert!(forwarded > 1_000, "soak too light to be meaningful: {forwarded} packets");
     assert_eq!(forwarded, seq_forwarded, "parallel soak diverged from sequential");
     assert_eq!(
         allocs, 0,
         "MR-MTP fast path allocated {allocs} times over {forwarded} parallel forwards"
+    );
+}
+
+#[test]
+fn mrmtp_profiled_transit_forwards_without_allocating() {
+    // The profiler must not spend the zero-alloc budget: window records
+    // land in buffers sized at shard setup, and every profiler touch
+    // happens at window boundaries — outside the forwarding scopes this
+    // counter charges. Zero allocations, profiled, on worker threads.
+    let (forwarded, allocs) = soak_with_workers(Stack::Mrmtp, 2, true);
+    assert!(forwarded > 1_000, "soak too light to be meaningful: {forwarded} packets");
+    assert_eq!(
+        allocs, 0,
+        "profiled MR-MTP fast path allocated {allocs} times over {forwarded} forwards"
     );
 }
 

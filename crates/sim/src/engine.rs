@@ -27,12 +27,14 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use dcn_wire::FrameBuf;
 
 use crate::event::{Event, EventKey, Scheduled, Scheduler, SchedulerKind};
 use crate::link::{Endpoint, Impairment, Link, LinkId, LinkSpec};
 use crate::node::{Action, Ctx, NodeId, PortId, PortView, Protocol};
+use crate::profiler::{EngineProfile, ShardProfile, WindowRecord};
 use crate::rng::DetRng;
 use crate::time::{Duration, Time, MICROS};
 use crate::trace::{Trace, TraceEvent};
@@ -124,6 +126,13 @@ pub struct SimConfig {
     pub scheduler: SchedulerKind,
     /// Execution engine (sequential reference or sharded parallel).
     pub engine: EngineKind,
+    /// Record an [`EngineProfile`] (per-shard window accounting,
+    /// barrier-stall attribution, scheduler occupancy — see
+    /// [`crate::profiler`]). Durations come from the host's monotonic
+    /// clock only, so the simulated run — trace, counters, digests — is
+    /// bit-identical with this on or off. Collect the result with
+    /// [`Sim::take_profile`].
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -134,6 +143,7 @@ impl Default for SimConfig {
             impairment: Impairment::none(),
             scheduler: SchedulerKind::default(),
             engine: EngineKind::default(),
+            profile: false,
         }
     }
 }
@@ -232,6 +242,10 @@ impl SimBuilder {
                 ]
             })
             .collect();
+        let profile = self.config.profile.then(|| Box::new(EngineProfile::new(nodes.len())));
+        let prof = profile
+            .as_ref()
+            .map(|ep| Box::new(ShardProfile::new(0, nodes.len(), 1, ep.epoch)));
         Sim {
             core: Core {
                 time: 0,
@@ -252,10 +266,12 @@ impl SimBuilder {
                 shard_of: Vec::new(),
                 my_shard: 0,
                 outbox: Vec::new(),
+                prof,
             },
             config: self.config,
             ext_counter: 0,
             partition: None,
+            profile,
         }
     }
 }
@@ -264,7 +280,7 @@ impl SimBuilder {
 /// produced while dispatching the event identified by `(time, key)`.
 /// The parallel merge concatenates shard trace segments in ascending
 /// `(time, key)` order — the sequential dispatch order.
-type TraceGroup = (Time, EventKey, u32);
+pub(crate) type TraceGroup = (Time, EventKey, u32);
 
 /// The dispatch core shared by both engines: everything event processing
 /// reads or writes. The sequential engine is one `Core` owning every
@@ -303,11 +319,19 @@ struct Core {
     /// Cross-shard events staged during the current window, one bucket
     /// per destination shard.
     outbox: Vec<Vec<(Time, EventKey, Event)>>,
+    /// Runtime profile of this core, when [`SimConfig::profile`] is set:
+    /// the sequential engine records into the master core's profile, a
+    /// shard records into its own and [`Sim::merge_shards`] folds it
+    /// back. Pure observer — dispatch never reads it.
+    prof: Option<Box<ShardProfile>>,
 }
 
 impl Core {
     /// Run until simulated time reaches `t` (inclusive of events at `t`).
     fn run_sequential(&mut self, t: Time) {
+        // When profiling, a sequential span is one execute-only window
+        // (there are no barriers to stall on).
+        let span = self.prof.as_ref().map(|_| (Instant::now(), self.events_processed, self.time));
         while let Some(next) = self.queue.peek_time() {
             if next > t {
                 break;
@@ -316,6 +340,20 @@ impl Core {
             self.dispatch(s);
         }
         self.time = self.time.max(t);
+        if let Some((t0, ev0, horizon)) = span {
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            let events = self.events_processed - ev0;
+            let prof = self.prof.as_mut().expect("profiling enabled");
+            prof.wall_ns += elapsed;
+            prof.record_window(WindowRecord {
+                start_ns: t0.duration_since(prof.epoch).as_nanos() as u64,
+                horizon,
+                window_end: t.saturating_add(1),
+                events,
+                execute_ns: elapsed,
+                ..WindowRecord::default()
+            });
+        }
     }
 
     /// Mint the key for an event created while dispatching at `node`.
@@ -335,6 +373,11 @@ impl Core {
             if let Some(dest) = event.node() {
                 let shard = self.shard_of[dest.index()];
                 if shard != self.my_shard {
+                    if let Some(prof) = &mut self.prof {
+                        // The cross-shard frame matrix: a plain counter
+                        // bump into a pre-sized vector (zero-alloc safe).
+                        prof.frames_to[shard as usize] += 1;
+                    }
                     self.outbox[shard as usize].push((time, key, event));
                     return;
                 }
@@ -367,6 +410,13 @@ impl Core {
         );
         let trace_before = self.trace.len();
         self.events_processed += 1;
+        if let Some(prof) = &mut self.prof {
+            // Hot-node attribution: every non-mirror event has a node.
+            // A counter bump into a pre-sized vector (zero-alloc safe).
+            if let Some(n) = event.node() {
+                prof.node_events[n.index()] += 1;
+            }
+        }
         match event {
             Event::Start { node } => {
                 self.with_proto(node, |proto, ctx| proto.on_start(ctx));
@@ -597,6 +647,10 @@ pub struct Sim {
     /// this sequence — and therefore the keys — is engine-independent.
     ext_counter: u64,
     partition: Option<PartitionPlan>,
+    /// Runtime profile accumulated across spans, when
+    /// [`SimConfig::profile`] is set. Sequential execution records into
+    /// the master core and is folded in by [`Sim::take_profile`].
+    profile: Option<Box<EngineProfile>>,
 }
 
 impl Sim {
@@ -730,6 +784,24 @@ impl Sim {
         self.config.engine
     }
 
+    /// Whether the engine is recording a runtime profile.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Consume the runtime profile accumulated so far (sequential
+    /// execution folds into shard 0, including the master queue's
+    /// occupancy stats). `None` unless [`SimConfig::profile`] was set;
+    /// profiling stops once taken.
+    pub fn take_profile(&mut self) -> Option<EngineProfile> {
+        let mut ep = *self.profile.take()?;
+        if let Some(mut master) = self.core.prof.take() {
+            master.sched.absorb(self.core.queue.stats());
+            ep.absorb_shard(*master);
+        }
+        Some(ep)
+    }
+
     /// Schedule an interface failure (the paper's failure-injection bash
     /// script). The owning node gets a carrier-down callback after the
     /// configured carrier latency; the remote node gets nothing.
@@ -837,6 +909,10 @@ impl Sim {
         }
         let shard_of = self.partition.as_ref().expect("installed").shard_of.clone();
         let trace_enabled = self.core.trace.is_enabled();
+        if let Some(ep) = self.profile.as_mut() {
+            ep.lookahead = Some(lookahead);
+            ep.spans += 1;
+        }
 
         let mut cores = self.build_shards(&shard_of, shards, trace_enabled);
         run_windows(&mut cores, target, lookahead);
@@ -909,6 +985,10 @@ impl Sim {
                 shard_of: shard_of.to_vec(),
                 my_shard: sh as u32,
                 outbox: (0..shards).map(|_| Vec::new()).collect(),
+                prof: self
+                    .profile
+                    .as_ref()
+                    .map(|ep| Box::new(ShardProfile::new(sh as u32, n_nodes, shards, ep.epoch))),
             })
             .collect()
     }
@@ -926,6 +1006,12 @@ impl Sim {
             self.core.frames_delivered += core.frames_delivered;
             self.core.frames_lost_to_impairment += core.frames_lost_to_impairment;
             self.core.frames_corrupted += core.frames_corrupted;
+        }
+        for core in &mut cores {
+            if let Some(mut prof) = core.prof.take() {
+                prof.sched.absorb(core.queue.stats());
+                self.profile.as_mut().expect("shards profile only when sim does").absorb_shard(*prof);
+            }
         }
         for core in &mut cores {
             debug_assert!(core.outbox.iter().all(Vec::is_empty), "undelivered cross-shard events");
@@ -1012,9 +1098,17 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
             let next_times = &next_times;
             let inboxes = &inboxes;
             scope.spawn(move || {
+                // Host-clock window profiling (see [`crate::profiler`]):
+                // timestamps bracket each phase of the protocol. Taken
+                // only when profiling; none of it feeds back into
+                // execution.
+                let profiling = core.prof.is_some();
+                let span_start = profiling.then(Instant::now);
                 loop {
+                    let t0 = profiling.then(Instant::now);
                     // (A) prior deposits are complete; absorb mine.
                     barrier.wait();
+                    let t1 = profiling.then(Instant::now);
                     {
                         let mut inbox = inboxes[sh].lock().expect("inbox poisoned");
                         for (time, key, event) in inbox.drain(..) {
@@ -1023,21 +1117,27 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
                     }
                     let next = core.queue.peek_time().unwrap_or(Time::MAX);
                     next_times[sh].store(next, Ordering::Relaxed);
+                    let t2 = profiling.then(Instant::now);
                     // (B) all reports in; everyone computes the same window.
                     barrier.wait();
+                    let t3 = profiling.then(Instant::now);
                     let horizon = next_times
                         .iter()
                         .map(|t| t.load(Ordering::Relaxed))
                         .min()
                         .expect("at least one shard");
                     if horizon > target {
+                        // The last round's barrier waits land in the
+                        // span's unattributed ("other") time.
                         break;
                     }
                     let window_end = horizon.saturating_add(lookahead).min(target.saturating_add(1));
+                    let ev0 = core.events_processed;
                     while core.queue.peek_time().is_some_and(|t| t < window_end) {
                         let s = core.queue.pop().expect("peeked");
                         core.dispatch(s);
                     }
+                    let t4 = profiling.then(Instant::now);
                     for (dst, inbox) in inboxes.iter().enumerate() {
                         if dst != sh && !core.outbox[dst].is_empty() {
                             let mut batch = std::mem::take(&mut core.outbox[dst]);
@@ -1045,8 +1145,29 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
                             core.outbox[dst] = batch; // keep the capacity
                         }
                     }
+                    if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) =
+                        (t0, t1, t2, t3, t4)
+                    {
+                        let t5 = Instant::now();
+                        let events = core.events_processed - ev0;
+                        let prof = core.prof.as_mut().expect("profiling on");
+                        prof.record_window(WindowRecord {
+                            start_ns: t0.duration_since(prof.epoch).as_nanos() as u64,
+                            horizon,
+                            window_end,
+                            events,
+                            barrier_a_ns: t1.duration_since(t0).as_nanos() as u64,
+                            drain_ns: t2.duration_since(t1).as_nanos() as u64,
+                            barrier_b_ns: t3.duration_since(t2).as_nanos() as u64,
+                            execute_ns: t4.duration_since(t3).as_nanos() as u64,
+                            deposit_ns: t5.duration_since(t4).as_nanos() as u64,
+                        });
+                    }
                 }
                 core.time = target;
+                if let (Some(start), Some(prof)) = (span_start, core.prof.as_mut()) {
+                    prof.wall_ns += start.elapsed().as_nanos() as u64;
+                }
             });
         }
     });
@@ -1057,17 +1178,36 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
 /// with the smallest `(time, key)` — the order the sequential engine
 /// would have dispatched in.
 fn merge_traces(master: &mut Trace, cores: Vec<Core>) {
-    struct Stream {
+    let streams: Vec<(Vec<TraceGroup>, Vec<TraceEvent>)> = cores
+        .into_iter()
+        .map(|mut core| (std::mem::take(&mut core.groups), core.trace.take_events()))
+        .collect();
+    merge_group_streams(streams, |ev| master.push(ev));
+}
+
+/// The k-way merge under [`merge_traces`], generic so its ordering
+/// contract is property-testable: each stream is a list of
+/// `(time, key, count)` group markers (ascending by `(time, key)`, as a
+/// shard records them) plus a flat event list the counts segment. Emit
+/// the segments of the globally smallest `(time, key)` head first; exact
+/// ties — impossible in real runs, where keys are globally unique — go
+/// to the lowest stream index, making the merge total and stable on any
+/// input.
+pub(crate) fn merge_group_streams<E>(
+    streams: Vec<(Vec<TraceGroup>, Vec<E>)>,
+    mut emit: impl FnMut(E),
+) {
+    struct Stream<E> {
         groups: std::vec::IntoIter<TraceGroup>,
-        events: std::vec::IntoIter<TraceEvent>,
+        events: std::vec::IntoIter<E>,
         head: Option<TraceGroup>,
     }
-    let mut streams: Vec<Stream> = cores
+    let mut streams: Vec<Stream<E>> = streams
         .into_iter()
-        .map(|mut core| {
-            let mut groups = std::mem::take(&mut core.groups).into_iter();
+        .map(|(groups, events)| {
+            let mut groups = groups.into_iter();
             let head = groups.next();
-            Stream { groups, events: core.trace.take_events().into_iter(), head }
+            Stream { groups, events: events.into_iter(), head }
         })
         .collect();
     loop {
@@ -1089,13 +1229,13 @@ fn merge_traces(master: &mut Trace, cores: Vec<Core>) {
         let Some(i) = best else { break };
         let (_, _, count) = streams[i].head.expect("chosen stream has a head");
         for _ in 0..count {
-            let ev = streams[i].events.next().expect("group count matches trace length");
-            master.push(ev);
+            let ev = streams[i].events.next().expect("group count matches stream length");
+            emit(ev);
         }
         streams[i].head = streams[i].groups.next();
     }
     for s in &mut streams {
-        debug_assert!(s.events.next().is_none(), "shard trace events not covered by groups");
+        debug_assert!(s.events.next().is_none(), "stream events not covered by groups");
     }
 }
 
@@ -1596,6 +1736,79 @@ mod tests {
         assert_eq!(reference, one);
     }
 
+    /// Resends every received frame back out its arrival port.
+    struct Bouncer;
+    impl Protocol for Bouncer {
+        fn on_start(&mut self, _: &mut Ctx<'_>) {}
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
+            ctx.send(port, frame.to_vec(), FrameClass::Data);
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn profiler_is_invisible_and_accounts_every_event() {
+        let run = |profile: bool, engine: EngineKind| {
+            let cfg = SimConfig { engine, profile, ..SimConfig::default() };
+            let mut b = SimBuilder::with_config(23, cfg);
+            let s0 = b.add_node("s0", Box::new(Sender));
+            let e0 = b.add_node("e0", Box::new(Bouncer));
+            let e1 = b.add_node("e1", Box::new(Echo::new()));
+            let s1 = b.add_node("s1", Box::new(Sender));
+            b.add_link(s0, e0, LinkSpec::default());
+            b.add_link(e0, e1, LinkSpec::default());
+            b.add_link(e1, s1, LinkSpec::default());
+            let mut sim = b.build();
+            // s0 alone on shard 0: its sends cross 0→1, the bounces
+            // cross back 1→0.
+            sim.set_partition(vec![0, 1, 1, 1]);
+            sim.schedule_port_down(3_500_000, e0, PortId(1));
+            sim.schedule_port_up(5_500_000, e0, PortId(1));
+            sim.run_until(10_500_000);
+            let prof = sim.take_profile();
+            (fingerprint(&sim), prof)
+        };
+        let (seq_off, no_prof) = run(false, EngineKind::Sequential);
+        assert!(no_prof.is_none(), "no profile unless requested");
+
+        let (seq_on, seq_prof) = run(true, EngineKind::Sequential);
+        assert_eq!(seq_off, seq_on, "sequential run must be bit-identical profiled");
+        let p = seq_prof.expect("profile recorded");
+        assert_eq!(p.total_events(), seq_off.0, "every dispatch attributed");
+        assert_eq!(p.shards.len(), 1);
+        let s = &p.shards[0];
+        assert!(s.windows_total >= 1 && s.wall_ns > 0 && s.execute_ns > 0);
+        assert!(s.sched.pushes > 0 && s.sched.max_pending > 0);
+        assert_eq!(s.node_events.iter().sum::<u64>(), seq_off.0);
+
+        let (sh_on, sh_prof) = run(true, EngineKind::Sharded { workers: 2 });
+        assert_eq!(seq_off, sh_on, "sharded run must be bit-identical profiled");
+        let p = sh_prof.expect("profile recorded");
+        assert_eq!(p.total_events(), seq_off.0);
+        assert!(p.shards.len() == 2 && p.spans >= 1);
+        assert_eq!(p.lookahead, Some(LinkSpec::default().serialization(MIN_WIRE_LEN)
+            + LinkSpec::default().propagation));
+        // Deliveries crossed the middle link both ways.
+        let m = p.frame_matrix();
+        assert!(m[0][1] > 0 && m[1][0] > 0, "cross-shard matrix populated: {m:?}");
+        for s in &p.shards {
+            assert!(s.windows_total > 0 && s.wall_ns > 0);
+            // Kept records and the histogram agree with the totals.
+            assert_eq!(s.window_hist.iter().sum::<u64>(), s.windows_total);
+            assert_eq!(s.windows.len() as u64 + s.windows_dropped, s.windows_total);
+        }
+        assert_eq!(
+            p.shards.iter().map(|s| s.node_events.iter().sum::<u64>()).sum::<u64>(),
+            seq_off.0
+        );
+    }
+
     #[test]
     fn lookahead_is_min_cross_shard_link_delay() {
         let mut b = SimBuilder::new(1);
@@ -1622,5 +1835,66 @@ mod tests {
         let mut sim = b.build();
         sim.set_partition(vec![0, 0]);
         assert_eq!(sim.lookahead(), Some(Time::MAX));
+    }
+}
+
+#[cfg(test)]
+mod merge_props {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The k-way shard-trace merge is total (every event emitted
+        /// exactly once) and stable (groups come out in `(time, key)`
+        /// order; exact collisions — across streams AND repeated within
+        /// a stream — break toward the lowest stream index, preserving
+        /// each stream's recorded order). Real runs never collide (keys
+        /// are globally unique); this pins the behavior for all inputs.
+        #[test]
+        fn kway_merge_is_total_and_stable(
+            raw in proptest::collection::vec(
+                proptest::collection::vec((0u64..16, 0u32..3, 0u64..3, 1u32..4), 0..12),
+                2..=8usize,
+            ),
+        ) {
+            type Stream = (Vec<TraceGroup>, Vec<(usize, usize, u32)>);
+            let mut streams: Vec<Stream> = Vec::new();
+            let mut all: Vec<(Time, EventKey, usize, usize, u32)> = Vec::new();
+            for (sh, groups) in raw.iter().enumerate() {
+                let mut gs: Vec<TraceGroup> = groups
+                    .iter()
+                    .map(|&(t, creator, counter, count)| {
+                        (t, EventKey { creator, counter }, count)
+                    })
+                    .collect();
+                // A shard records groups in dispatch order: ascending
+                // (time, key), collisions adjacent.
+                gs.sort_by_key(|&(t, k, _)| (t, k));
+                let mut events = Vec::new();
+                for (pos, &(t, k, count)) in gs.iter().enumerate() {
+                    all.push((t, k, sh, pos, count));
+                    for i in 0..count {
+                        events.push((sh, pos, i));
+                    }
+                }
+                streams.push((gs, events));
+            }
+            let mut emitted: Vec<(usize, usize, u32)> = Vec::new();
+            merge_group_streams(streams, |e| emitted.push(e));
+            // The merged order must be exactly a stable sort of every
+            // group by (time, key, stream): per-stream order was already
+            // (time, key, position), so the full key is total.
+            all.sort_by_key(|&(t, k, sh, pos, _)| (t, k, sh, pos));
+            let mut expect = Vec::new();
+            for &(_, _, sh, pos, count) in &all {
+                for i in 0..count {
+                    expect.push((sh, pos, i));
+                }
+            }
+            prop_assert_eq!(emitted, expect);
+        }
     }
 }

@@ -22,6 +22,7 @@ use dcn_wire::{FrameBuf, FrameMeta};
 
 use crate::link::LinkId;
 use crate::node::{NodeId, PortId};
+use crate::profiler::SchedulerStats;
 use crate::time::Time;
 use crate::wheel::TimerWheel;
 
@@ -144,11 +145,21 @@ pub enum SchedulerKind {
 #[derive(Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Scheduled>,
+    /// Occupancy counters for the engine profiler. The heap has no
+    /// slot/overflow split; every push counts as a slot hit so the two
+    /// backends report comparable totals.
+    stats: SchedulerStats,
 }
 
 impl EventQueue {
     pub fn push(&mut self, time: Time, key: EventKey, event: Event) {
         self.heap.push(Scheduled { time, key, event });
+        self.stats.pushes += 1;
+        self.stats.wheel_slot_hits += 1;
+        let pending = self.heap.len() as u64;
+        if pending > self.stats.max_pending {
+            self.stats.max_pending = pending;
+        }
     }
 
     pub fn pop(&mut self) -> Option<Scheduled> {
@@ -167,6 +178,11 @@ impl EventQueue {
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Occupancy counters accumulated since construction.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
     }
 }
 
@@ -214,6 +230,15 @@ impl Scheduler {
         match self {
             Scheduler::Heap(q) => q.len(),
             Scheduler::Wheel(w) => w.len(),
+        }
+    }
+
+    /// Occupancy counters of the active backend (see
+    /// [`crate::profiler::SchedulerStats`]).
+    pub fn stats(&self) -> SchedulerStats {
+        match self {
+            Scheduler::Heap(q) => q.stats(),
+            Scheduler::Wheel(w) => w.stats(),
         }
     }
 }

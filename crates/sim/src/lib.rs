@@ -36,6 +36,7 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod node;
+pub mod profiler;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -46,5 +47,6 @@ pub use engine::{EngineKind, Sim, SimBuilder, SimConfig};
 pub use event::{scheduler_stress, Event, EventKey, SchedulerKind};
 pub use link::{Impairment, LinkId, LinkSpec};
 pub use node::{Action, Ctx, NodeId, PortId, Protocol, StatsSnapshot};
+pub use profiler::{EngineProfile, SchedulerStats, ShardProfile, WindowRecord};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};
 pub use trace::{FrameClass, RouteChangeKind, SpanEvent, Trace, TraceEvent};

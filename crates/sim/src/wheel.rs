@@ -26,6 +26,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::event::{Event, EventKey, Scheduled};
+use crate::profiler::SchedulerStats;
 use crate::time::Time;
 
 /// log2 of the granule width in ns (2^10 ns ≈ 1.02 µs).
@@ -68,6 +69,12 @@ pub(crate) struct TimerWheel {
     ready: VecDeque<Scheduled>,
     /// Events in `levels` + `overflow` (excludes `ready`).
     bucketed: usize,
+    /// Occupancy counters for the engine profiler: how API-level pushes
+    /// split between level buckets (incl. the ready list) and the
+    /// overflow heap, plus the pending high-water mark. Internal cascade
+    /// re-inserts are not counted — each event is attributed once, where
+    /// it first landed.
+    stats: SchedulerStats,
 }
 
 impl Default for TimerWheel {
@@ -79,13 +86,23 @@ impl Default for TimerWheel {
             overflow: BinaryHeap::new(),
             ready: VecDeque::new(),
             bucketed: 0,
+            stats: SchedulerStats::default(),
         }
     }
 }
 
 impl TimerWheel {
     pub fn push(&mut self, time: Time, key: EventKey, event: Event) {
-        self.insert(Scheduled { time, key, event });
+        if self.insert(Scheduled { time, key, event }) {
+            self.stats.wheel_overflow_hits += 1;
+        } else {
+            self.stats.wheel_slot_hits += 1;
+        }
+        self.stats.pushes += 1;
+        let pending = self.len() as u64;
+        if pending > self.stats.max_pending {
+            self.stats.max_pending = pending;
+        }
     }
 
     pub fn pop(&mut self) -> Option<Scheduled> {
@@ -107,10 +124,18 @@ impl TimerWheel {
         self.len() == 0
     }
 
-    fn insert(&mut self, s: Scheduled) {
+    /// Occupancy counters accumulated since construction.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Place `s`; returns `true` when it landed in the overflow heap
+    /// (so `push` can attribute the insertion without re-deriving it).
+    fn insert(&mut self, s: Scheduled) -> bool {
         let g = granule(s.time);
         if g < self.cursor {
-            return self.insert_ready(s);
+            self.insert_ready(s);
+            return false;
         }
         let delta = g - self.cursor;
         for level in 0..LEVELS {
@@ -119,11 +144,12 @@ impl TimerWheel {
                 self.levels[level][slot].push(s);
                 self.occupancy[level] |= 1 << slot;
                 self.bucketed += 1;
-                return;
+                return false;
             }
         }
         self.overflow.push(s);
         self.bucketed += 1;
+        true
     }
 
     /// Ordered insert into the ready list (events scheduled at times the
@@ -349,6 +375,25 @@ mod tests {
         }
         let order: Vec<Time> = std::iter::from_fn(|| w.pop()).map(|s| s.time).collect();
         assert_eq!(order, vec![100, 101, 512, 900]);
+    }
+
+    #[test]
+    fn occupancy_stats_attribute_each_push_once() {
+        let mut w = KeyedWheel::new();
+        w.push(100, timer(0)); // level bucket
+        w.push((span(LEVELS - 1) + 7) << GRANULE_BITS, timer(1)); // overflow
+        let s = w.w.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.wheel_slot_hits, 1);
+        assert_eq!(s.wheel_overflow_hits, 1);
+        assert_eq!(s.max_pending, 2);
+        // Draining cascades overflow back through the wheel; that must
+        // not re-attribute the insertions.
+        while w.pop().is_some() {}
+        let s = w.w.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.wheel_slot_hits + s.wheel_overflow_hits, 2);
+        assert_eq!(s.max_pending, 2);
     }
 
     #[test]

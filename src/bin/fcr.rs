@@ -12,6 +12,7 @@
 //! fcr keepalive                    # Figs. 9–10 summary
 //! fcr bench --scale 2,4,8,16       # scaling + scheduler benchmarks
 //! fcr bench --traffic              # data-plane forwarding soak
+//! fcr profile mrmtp tc1 --workers 4  # engine stall breakdown + Chrome trace
 //! ```
 //!
 //! Stacks: `mrmtp`, `bgp`, `bgp-bfd`. Cases: `tc1`–`tc4`.
@@ -42,6 +43,17 @@ fn usage() -> ! {
          \x20                        sequential; digests are engine-blind)\n\
          \x20   --local-repair       enable in-data-plane local fast reroute\n\
          \x20   --telemetry-out DIR  also write the run's trace bundle under DIR\n\
+         \x20   --profile-out DIR    also profile the engine and write\n\
+         \x20                        perf_report.json + trace.chrome.json under DIR\n\
+         \x20 profile <stack> <tc>          engine runtime profile of one scenario:\n\
+         \x20                               per-shard stall breakdown, hot nodes,\n\
+         \x20                               scheduler occupancy\n\
+         \x20   --pods N             fabric size in PoDs (even, default 2)\n\
+         \x20   --seed N             seed (default 42)\n\
+         \x20   --workers N          shards for the parallel engine (default 1)\n\
+         \x20   --local-repair       enable in-data-plane local fast reroute\n\
+         \x20   --out DIR            write perf_report.json (perf_report/v1) and\n\
+         \x20                        trace.chrome.json (chrome://tracing / Perfetto)\n\
          \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
          \x20   --seed N             seed (default 42)\n\
          \x20   --workers N          shards for the parallel engine (default 1)\n\
@@ -72,6 +84,8 @@ fn usage() -> ! {
          \x20   --traffic-pairs N  cross-pod background flows per schedule (default 0)\n\
          \x20   --no-determinism skip the double-run digest comparison\n\
          \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
+         \x20   --profile-out DIR    profile every run (digests unchanged) and write\n\
+         \x20                        perf artifacts per (stack, seed) under DIR\n\
          \x20 bench [opts]                  scaling + scheduler benchmarks\n\
          \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16,32,64)\n\
          \x20   --workers LIST   worker counts swept at each PoD count of at\n\
@@ -83,7 +97,9 @@ fn usage() -> ! {
          \x20   --out FILE       write BENCH_scale.json (or BENCH_traffic.json\n\
          \x20                    with --traffic) here (default stdout only)\n\
          \x20   --baseline FILE  fail (exit 1) on >20% throughput regression\n\
-         \x20                    (--traffic also gates the loss-window probe)"
+         \x20                    (--traffic also gates the loss-window probe)\n\
+         \x20   --profile-out DIR  also write a full perf report + Chrome trace\n\
+         \x20                    of the largest scale row under DIR"
     );
     std::process::exit(2);
 }
@@ -103,19 +119,23 @@ fn parse_stack(s: &str) -> Stack {
 /// Flags shared by the single-run subcommands.
 struct RunFlags {
     telemetry_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
+    out: Option<PathBuf>,
     seed: Option<u64>,
     pods: Option<usize>,
     workers: usize,
     local_repair: bool,
 }
 
-/// Pull `--telemetry-out DIR`, `--seed N`, `--pods N`, `--workers N`
-/// and `--local-repair` out of `args`, returning the remaining
-/// positional arguments.
+/// Pull `--telemetry-out DIR`, `--profile-out DIR`, `--out DIR`,
+/// `--seed N`, `--pods N`, `--workers N` and `--local-repair` out of
+/// `args`, returning the remaining positional arguments.
 fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
     let mut positional = Vec::new();
     let mut flags = RunFlags {
         telemetry_out: None,
+        profile_out: None,
+        out: None,
         seed: None,
         pods: None,
         workers: 1,
@@ -127,6 +147,16 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
             "--telemetry-out" => {
                 let Some(dir) = args.get(i + 1) else { usage() };
                 flags.telemetry_out = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--profile-out" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                flags.profile_out = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--out" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                flags.out = Some(PathBuf::from(dir));
                 i += 2;
             }
             "--local-repair" => {
@@ -145,6 +175,7 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
             }
             "--workers" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
+                dcn_experiments::warn_if_oversubscribed(n);
                 flags.workers = n;
                 i += 2;
             }
@@ -212,20 +243,47 @@ fn main() {
                 .seeded(flags.seed.unwrap_or(seed))
                 .with_local_repair(flags.local_repair)
                 .with_workers(flags.workers);
-            let r = match flags.telemetry_out {
-                None => run(s),
-                Some(out) => {
-                    // Instrumented run: identical event processing, plus
-                    // a trace bundle on disk.
-                    let ir = dcn_experiments::run_instrumented(
-                        s.with_telemetry(dcn_telemetry::TelemetryConfig::default()),
-                    );
+            let r = if let Some(pdir) = flags.profile_out {
+                // Profiled run: host-clock observation only, digests and
+                // metrics identical to an unprofiled run.
+                let p = dcn_experiments::run_profiled(
+                    s.with_telemetry(dcn_telemetry::TelemetryConfig::default()),
+                );
+                eprint!("{}", p.report.render_text());
+                let sub = pdir.join(format!("profile-{}-{}", stack, tc.to_ascii_lowercase()));
+                match dcn_experiments::write_profile_artifacts(&p.report, &sub) {
+                    Ok(paths) => {
+                        for path in paths {
+                            eprintln!("wrote {}", path.display());
+                        }
+                    }
+                    Err(e) => eprintln!("profile write to {} failed: {e}", sub.display()),
+                }
+                if let Some(out) = flags.telemetry_out {
                     let sub = out.join(format!("scenario-{}-{}", stack, tc.to_ascii_lowercase()));
-                    match dcn_experiments::bundle_from_run(&ir, &s).write(&sub) {
+                    match dcn_experiments::bundle_from_profiled(&p, &s).write(&sub) {
                         Ok(_) => eprintln!("trace bundle written to {}", sub.display()),
                         Err(e) => eprintln!("bundle write to {} failed: {e}", sub.display()),
                     }
-                    ir.result
+                }
+                p.run.result
+            } else {
+                match flags.telemetry_out {
+                    None => run(s),
+                    Some(out) => {
+                        // Instrumented run: identical event processing, plus
+                        // a trace bundle on disk.
+                        let ir = dcn_experiments::run_instrumented(
+                            s.with_telemetry(dcn_telemetry::TelemetryConfig::default()),
+                        );
+                        let sub =
+                            out.join(format!("scenario-{}-{}", stack, tc.to_ascii_lowercase()));
+                        match dcn_experiments::bundle_from_run(&ir, &s).write(&sub) {
+                            Ok(_) => eprintln!("trace bundle written to {}", sub.display()),
+                            Err(e) => eprintln!("bundle write to {} failed: {e}", sub.display()),
+                        }
+                        ir.result
+                    }
                 }
             };
             println!("convergence_ms   {}", r.convergence_ms.map(|v| format!("{v:.1}")).unwrap_or("-".into()));
@@ -249,6 +307,31 @@ fn main() {
             println!("post-failure frame classes:");
             for (class, frames, bytes) in &r.breakdown {
                 println!("  {class:<10} {frames:>8} frames  {bytes:>10} B");
+            }
+        }
+        Some("profile") => {
+            let (pos, flags) = split_flags(&args[1..]);
+            let (Some(&stack), Some(&tc)) = (pos.first(), pos.get(1)) else { usage() };
+            let s = RunSpec::new(params_for(flags.pods), parse_stack(stack))
+                .failing(parse_tc(tc))
+                .with_traffic(TrafficDir::NearToFar)
+                .seeded(flags.seed.unwrap_or(seed))
+                .with_local_repair(flags.local_repair)
+                .with_workers(flags.workers);
+            let p = dcn_experiments::run_profiled(s);
+            print!("{}", p.report.render_text());
+            if let Some(dir) = flags.out {
+                match dcn_experiments::write_profile_artifacts(&p.report, &dir) {
+                    Ok(paths) => {
+                        for path in paths {
+                            eprintln!("wrote {}", path.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("profile write to {} failed: {e}", dir.display());
+                        std::process::exit(2);
+                    }
+                }
             }
         }
         Some("report") => {
@@ -338,7 +421,10 @@ fn main() {
                         cfg.chaos.impairment.corrupt_ppm =
                             val(i).parse().unwrap_or_else(|_| usage())
                     }
-                    "--workers" => cfg.chaos.workers = val(i).parse().unwrap_or_else(|_| usage()),
+                    "--workers" => {
+                        cfg.chaos.workers = val(i).parse().unwrap_or_else(|_| usage());
+                        dcn_experiments::warn_if_oversubscribed(cfg.chaos.workers);
+                    }
                     "--local-repair" => {
                         cfg.chaos.local_repair = true;
                         i += 1;
@@ -353,6 +439,7 @@ fn main() {
                         continue;
                     }
                     "--telemetry-out" => cfg.telemetry_out = Some(PathBuf::from(val(i))),
+                    "--profile-out" => cfg.profile_out = Some(PathBuf::from(val(i))),
                     _ => usage(),
                 }
                 i += 2;
@@ -399,6 +486,7 @@ fn main() {
             let mut traffic = false;
             let mut out: Option<PathBuf> = None;
             let mut baseline: Option<PathBuf> = None;
+            let mut profile_out: Option<PathBuf> = None;
             let mut i = 1;
             while i < args.len() {
                 let val = |i: usize| -> &str {
@@ -417,6 +505,9 @@ fn main() {
                             .split(',')
                             .map(|w| w.parse().unwrap_or_else(|_| usage()))
                             .collect();
+                        for &w in &workers {
+                            dcn_experiments::warn_if_oversubscribed(w);
+                        }
                         i += 2;
                     }
                     "--quick" => {
@@ -433,6 +524,10 @@ fn main() {
                     }
                     "--baseline" => {
                         baseline = Some(PathBuf::from(val(i)));
+                        i += 2;
+                    }
+                    "--profile-out" => {
+                        profile_out = Some(PathBuf::from(val(i)));
                         i += 2;
                     }
                     _ => usage(),
@@ -499,6 +594,30 @@ fn main() {
                     Err(e) => {
                         eprintln!("FAIL: {e}");
                         std::process::exit(1);
+                    }
+                }
+            }
+            if let Some(dir) = profile_out {
+                // Full perf artifacts for the heaviest configuration in
+                // the sweep: the point where stall attribution matters.
+                let top_pods = pods.iter().copied().max().unwrap_or(2);
+                let top_workers = workers.iter().copied().max().unwrap_or(1);
+                eprintln!("profiling {top_pods} PoDs at {top_workers} worker(s)…");
+                match bench::profile_scale_run(top_pods, top_workers, quick, seed) {
+                    Ok(perf) => match dcn_experiments::write_profile_artifacts(&perf, &dir) {
+                        Ok(paths) => {
+                            for path in paths {
+                                eprintln!("wrote {}", path.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("bench: profile write to {} failed: {e}", dir.display());
+                            std::process::exit(2);
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("bench: profile run failed: {e}");
+                        std::process::exit(2);
                     }
                 }
             }
