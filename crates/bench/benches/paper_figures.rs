@@ -109,7 +109,12 @@ fn fig9_keepalive(c: &mut Criterion) {
     let mut g = quick(c, "fig9_keepalive_steady_state");
     for stack in Stack::ALL {
         g.bench_function(stack.label(), |b| {
-            b.iter(|| dcn_experiments::scenario::run_steady_state(ClosParams::two_pod(), stack, 42))
+            b.iter(|| {
+                dcn_experiments::RunSpec::new(ClosParams::two_pod(), stack)
+                    .seeded(42)
+                    .timed(dcn_experiments::Timing::steady())
+                    .run()
+            })
         });
     }
     g.finish();

@@ -607,31 +607,41 @@ fn loss_window_probe(
 /// Run the traffic soak across `pods` for both data-plane stacks
 /// (MR-MTP and BGP/ECMP; BFD adds keepalive load, not forwarding work).
 pub fn run_traffic_bench(pods: &[usize], quick: bool, seed: u64) -> Result<TrafficReport, String> {
+    let combos: Vec<(usize, Stack)> = pods
+        .iter()
+        .flat_map(|&p| [(p, Stack::Mrmtp), (p, Stack::BgpEcmp)])
+        .collect();
+    // The loss-window probes count deterministic per-seed events, not
+    // rates, so they fan out through the shared campaign pool; the timed
+    // soaks stay serial — concurrent soaks would contend for cores and
+    // corrupt the CPU-time rates the committed baselines gate on.
+    let probes = crate::campaign::pool::fan_out(combos.clone(), 0, |(p, stack)| {
+        let (window_off, _) = loss_window_probe(p, stack, false, seed)?;
+        let (window_on, repaired_on) = loss_window_probe(p, stack, true, seed)?;
+        Ok::<_, String>((window_off, window_on, repaired_on))
+    });
     let mut points = Vec::new();
-    for &p in pods {
-        for stack in [Stack::Mrmtp, Stack::BgpEcmp] {
-            let (packets, fast_rate, allocs, fast_fwd) = soak_one(p, stack, true, quick, seed)?;
-            let (_, slow_rate, _, _) = soak_one(p, stack, false, quick, seed)?;
-            let (window_off, _) = loss_window_probe(p, stack, false, seed)?;
-            let (window_on, repaired_on) = loss_window_probe(p, stack, true, seed)?;
-            let allocs_per_packet = (alloc_track::counting_allocator_installed()
-                && fast_fwd > 0)
-                .then(|| allocs as f64 / fast_fwd as f64);
-            points.push(TrafficPoint {
-                pods: p,
-                stack,
-                flows: ClosParams::scaled(p)?.tors_per_pod * 2,
-                hops: Fabric::build(ClosParams::scaled(p)?).cross_pod_router_hops(),
-                packets,
-                pkts_per_sec_fast: fast_rate,
-                pkts_per_sec_slow: slow_rate,
-                speedup: fast_rate / slow_rate,
-                allocs_per_packet,
-                window_blackholed_off: window_off,
-                window_blackholed_on: window_on,
-                window_repaired_on: repaired_on,
-            });
-        }
+    for (&(p, stack), probe) in combos.iter().zip(probes) {
+        let (window_off, window_on, repaired_on) = probe?;
+        let (packets, fast_rate, allocs, fast_fwd) = soak_one(p, stack, true, quick, seed)?;
+        let (_, slow_rate, _, _) = soak_one(p, stack, false, quick, seed)?;
+        let allocs_per_packet = (alloc_track::counting_allocator_installed()
+            && fast_fwd > 0)
+            .then(|| allocs as f64 / fast_fwd as f64);
+        points.push(TrafficPoint {
+            pods: p,
+            stack,
+            flows: ClosParams::scaled(p)?.tors_per_pod * 2,
+            hops: Fabric::build(ClosParams::scaled(p)?).cross_pod_router_hops(),
+            packets,
+            pkts_per_sec_fast: fast_rate,
+            pkts_per_sec_slow: slow_rate,
+            speedup: fast_rate / slow_rate,
+            allocs_per_packet,
+            window_blackholed_off: window_off,
+            window_blackholed_on: window_on,
+            window_repaired_on: repaired_on,
+        });
     }
     Ok(TrafficReport {
         quick,

@@ -41,7 +41,7 @@ use dcn_wire::{ecmp_index, flow_hash, IpAddr4, IPPROTO_UDP};
 
 use crate::fabric::{build_fabric_sim_sched, BuiltSim, Stack, StackTuning};
 use crate::figures::Figure;
-use crate::parallel::fan_out;
+use crate::campaign::pool::fan_out;
 use crate::scenario::advance;
 
 /// Salt for the schedule-generation RNG stream (distinct from the

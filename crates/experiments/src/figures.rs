@@ -10,8 +10,14 @@ use dcn_topology::{
 use crate::fabric::{build_sim, Stack};
 use crate::parallel::run_matrix;
 use crate::runspec::RunSpec;
-use crate::scenario::{run_steady_state, ScenarioResult, TrafficDir};
+use crate::scenario::{ScenarioResult, Timing, TrafficDir};
 use crate::table;
+
+/// The steady-state run the keep-alive figures share (no failure, short
+/// measurement tail).
+fn steady_state(stack: Stack, seed: u64) -> ScenarioResult {
+    RunSpec::new(ClosParams::two_pod(), stack).seeded(seed).timed(Timing::steady()).run()
+}
 
 /// A printable result table.
 #[derive(Clone, Debug)]
@@ -141,7 +147,7 @@ pub fn fig_packet_loss(cells: &[MatrixCell], near: bool) -> Figure {
 pub fn fig9_keepalive(seed: u64) -> Figure {
     let mut rows = Vec::new();
     for stack in Stack::ALL {
-        let r = run_steady_state(ClosParams::two_pod(), stack, seed);
+        let r = steady_state(stack, seed);
         rows.push(vec![
             stack.label().to_string(),
             format!("{:.0}", r.keepalive.avg_frame_len),
@@ -386,7 +392,7 @@ pub fn fig1_stack_comparison(seed: u64) -> Figure {
             Stack::BgpEcmpBfd => "BGP, ECMP, BFD, TCP, UDP, IP",
         };
         let count = protocols.split(',').count();
-        let r = run_steady_state(ClosParams::two_pod(), stack, seed);
+        let r = steady_state(stack, seed);
         rows.push(vec![
             stack.label().to_string(),
             count.to_string(),

@@ -14,6 +14,10 @@
 //! * [`parallel::run_matrix`] — fan a scenario list out over worker
 //!   threads (the emulator itself is deterministic and single-threaded;
 //!   scenarios are embarrassingly parallel).
+//! * [`campaign`] — fleet-scale orchestration: a [`campaign::CampaignSpec`]
+//!   grid expanded over the shared work-stealing [`campaign::pool`],
+//!   results landing in an append-only store (`campaign/v1`) that
+//!   `fcr campaign diff` turns into a cross-revision regression gate.
 //! * [`replicate`] — the paper's multi-run averaging (mean [min–max]
 //!   across seeds).
 //! * [`ablations`] — quantify Slow-to-Accept, the loss hold-down, and
@@ -23,6 +27,7 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod campaign;
 pub mod chaos;
 pub mod extended_failures;
 pub mod fabric;
@@ -36,6 +41,7 @@ pub mod runspec;
 pub mod scenario;
 pub mod table;
 
+pub use campaign::CampaignSpec;
 pub use chaos::{
     run_campaign, run_chaos, run_chaos_profiled, CampaignConfig, ChaosConfig, FaultSchedule,
 };

@@ -2,56 +2,16 @@
 //!
 //! Each emulation run is deterministic and single-threaded; the
 //! experiment matrix (topology × stack × failure case × direction) is
-//! embarrassingly parallel. Jobs fan out over std scoped threads;
-//! results return in input order.
+//! embarrassingly parallel. The executor itself lives in
+//! [`crate::campaign::pool`] — one work-stealing fan-out shared by every
+//! measurement surface (matrices, chaos campaigns, replications, bench
+//! probes, campaign grids); this module keeps the [`RunSpec`]-typed
+//! entry points.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+pub use crate::campaign::pool::fan_out;
 
 use crate::runspec::RunSpec;
 use crate::scenario::{run, ScenarioResult};
-
-/// Fan `items` out over up to `threads` workers (0 = one per available
-/// CPU), applying `f` to each. Results are in the same order as the
-/// input regardless of which worker ran which item.
-pub fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop_front();
-                let Some((idx, item)) = job else { break };
-                let result = f(item);
-                results.lock().expect("results lock")[idx] = Some(result);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every item produced a result"))
-        .collect()
-}
 
 /// Run all specs, using up to `threads` workers (0 = one per
 /// available CPU). Results are in the same order as the input.
@@ -88,12 +48,5 @@ mod tests {
     #[test]
     fn empty_matrix_is_fine() {
         assert!(run_matrix(Vec::new()).is_empty());
-    }
-
-    #[test]
-    fn fan_out_preserves_input_order() {
-        let items: Vec<u64> = (0..64).collect();
-        let doubled = fan_out(items, 8, |x| x * 2);
-        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

@@ -76,8 +76,7 @@ pub fn run_replicated_instrumented(
     seeds: &[u64],
     dir: &Path,
 ) -> ReplicatedResult {
-    let mut raw = Vec::new();
-    for &seed in seeds {
+    let raw = crate::campaign::pool::fan_out(seeds.to_vec(), 0, |seed| {
         let sc = spec.seeded(seed);
         let ir = run_instrumented(sc);
         let tc = sc.failure.map(|tc| tc.label().to_ascii_lowercase()).unwrap_or_else(|| "steady".into());
@@ -86,8 +85,8 @@ pub fn run_replicated_instrumented(
             Ok(_) => eprintln!("replicate: bundle written to {}", sub.display()),
             Err(e) => eprintln!("replicate: bundle write to {} failed: {e}", sub.display()),
         }
-        raw.push(ir.result);
-    }
+        ir.result
+    });
     aggregate(raw)
 }
 

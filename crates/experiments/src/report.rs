@@ -24,12 +24,16 @@ pub struct Report {
 
 /// Run `stack` through failure case `tc` on the paper's 2-PoD fabric and
 /// assemble the convergence report.
+#[deprecated(
+    since = "0.9.0",
+    note = "use build_spec(RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed))"
+)]
 pub fn build(stack: Stack, tc: FailureCase, seed: u64) -> Report {
     build_spec(RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed))
 }
 
-/// [`build`] for a caller-assembled spec — the CLI uses this to thread
-/// knobs like `--local-repair` into the reported run.
+/// Assemble the convergence report for a caller-built spec — the CLI
+/// uses this to thread knobs like `--local-repair` into the reported run.
 pub fn build_spec(spec: RunSpec) -> Report {
     let run = run_instrumented(spec);
     let text = render(&run, &spec);
@@ -137,9 +141,13 @@ mod tests {
     use super::*;
     use dcn_sim::time::MILLIS;
 
+    fn build_tc(stack: Stack, tc: FailureCase, seed: u64) -> Report {
+        build_spec(RunSpec::new(ClosParams::two_pod(), stack).failing(tc).seeded(seed))
+    }
+
     #[test]
     fn mrmtp_tc1_report_storyboards_carrier_detection() {
-        let r = build(Stack::Mrmtp, FailureCase::Tc1, 42);
+        let r = build_tc(Stack::Mrmtp, FailureCase::Tc1, 42);
         // TC1: the ToR sees carrier-down, the spine times out.
         assert!(r.text.contains("carrier (local)"), "{}", r.text);
         assert!(r.text.contains("phases: detection"), "{}", r.text);
@@ -162,7 +170,7 @@ mod tests {
 
     #[test]
     fn bgp_bfd_tc2_report_shows_bfd_detection_and_fsm_table() {
-        let r = build(Stack::BgpEcmpBfd, FailureCase::Tc2, 42);
+        let r = build_tc(Stack::BgpEcmpBfd, FailureCase::Tc2, 42);
         // TC2: S1_1 sees carrier-down, the ToR detects via BFD timeout.
         assert!(r.text.contains("carrier (local)"), "{}", r.text);
         assert!(r.text.contains("timeout (inferred)"), "{}", r.text);

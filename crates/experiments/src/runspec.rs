@@ -162,6 +162,64 @@ impl RunSpec {
         self
     }
 
+    /// Canonical serialized form of the spec: a stable `k=v;k=v` string
+    /// over every field that can change what the simulation *does*.
+    ///
+    /// This is the results-store run key — two specs with equal keys are
+    /// the same experiment and must produce bit-identical trace digests.
+    /// Engine-only knobs the equivalence suite proves digest-invariant
+    /// (scheduler backend, sharded-engine workers, profiler) and the
+    /// read-only telemetry sink are deliberately *excluded*, so stores
+    /// recorded under different engine configurations diff cleanly
+    /// against each other.
+    pub fn key(&self) -> String {
+        let p = &self.params;
+        let dur = |d: Option<dcn_sim::time::Duration>| match d {
+            Some(d) => d.to_string(),
+            None => "-".into(),
+        };
+        format!(
+            "pods={}x{}x{}x{}x{};stack={};failure={};traffic={};interval={};seed={};\
+             timing={}/{}/{}/{};timers={};bgp_ka={};bgp_hold={};bfd_tx={};\
+             fast_path={};local_repair={}",
+            p.pods,
+            p.spines_per_pod,
+            p.tors_per_pod,
+            p.uplinks_per_spine,
+            p.servers_per_tor,
+            self.stack.slug(),
+            self.failure.map(|tc| tc.label().to_ascii_lowercase()).unwrap_or_else(|| "-".into()),
+            match self.traffic {
+                TrafficDir::None => "none",
+                TrafficDir::NearToFar => "near",
+                TrafficDir::FarToNear => "far",
+            },
+            dur(self.traffic_interval),
+            self.seed,
+            self.timing.warmup,
+            self.timing.traffic_lead,
+            self.timing.post_failure,
+            self.timing.drain,
+            // Timer-block overrides are rare (ablations); the Debug form
+            // is deterministic and `-` marks the paper defaults.
+            self.tuning.mrmtp_timers.map(|t| format!("{t:?}")).unwrap_or_else(|| "-".into()),
+            dur(self.tuning.bgp_keepalive),
+            dur(self.tuning.bgp_hold),
+            dur(self.tuning.bfd_tx_interval),
+            self.tuning.fast_path as u8,
+            self.tuning.local_repair as u8,
+        )
+    }
+
+    /// Hash of [`RunSpec::key`] — the store's compact run id. Stable for
+    /// a given build (same hasher discipline as the trace digest).
+    pub fn key_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.key().hash(&mut h);
+        h.finish()
+    }
+
     /// Run to completion and extract the paper's metrics.
     pub fn run(self) -> ScenarioResult {
         scenario::run(self)
@@ -195,6 +253,26 @@ mod tests {
         assert_eq!(spec.seed, 9);
         assert_eq!(spec.scheduler, SchedulerKind::Heap);
         assert!(spec.telemetry.is_some());
+    }
+
+    #[test]
+    fn key_distinguishes_experiments_but_not_engine_knobs() {
+        let base = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp).failing(FailureCase::Tc1);
+        // Engine-only knobs are digest-invariant and excluded from the key.
+        assert_eq!(base.key(), base.with_workers(4).key());
+        assert_eq!(base.key(), base.with_scheduler(SchedulerKind::Heap).key());
+        assert_eq!(base.key(), base.with_profile(true).key());
+        assert_eq!(base.key(), base.with_telemetry(TelemetryConfig::default()).key());
+        // Everything semantic changes it.
+        assert_ne!(base.key(), base.seeded(7).key());
+        assert_ne!(base.key(), base.failing(FailureCase::Tc2).key());
+        assert_ne!(base.key(), RunSpec::new(ClosParams::four_pod(), Stack::Mrmtp).failing(FailureCase::Tc1).key());
+        assert_ne!(base.key(), base.with_traffic(TrafficDir::NearToFar).key());
+        assert_ne!(base.key(), base.with_local_repair(true).key());
+        assert_ne!(base.key(), base.with_fast_path(false).key());
+        // The hash tracks the key.
+        assert_eq!(base.key_hash(), base.with_workers(2).key_hash());
+        assert_ne!(base.key_hash(), base.seeded(7).key_hash());
     }
 
     #[test]

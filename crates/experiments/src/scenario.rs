@@ -56,6 +56,30 @@ impl Default for Timing {
 }
 
 impl Timing {
+    /// The steady-state timeline: full warmup, then effectively no
+    /// measurement window (keep-alive analysis reads the warmup tail).
+    pub fn steady() -> Timing {
+        Timing {
+            warmup: secs(5),
+            traffic_lead: millis(1),
+            post_failure: millis(1),
+            drain: millis(1),
+        }
+    }
+
+    /// A shortened failure timeline for smoke runs (CI, `--quick`
+    /// campaigns): warmup still long enough for BGP session
+    /// establishment, post-failure window still covering the 3 s hold
+    /// timer, everything else trimmed.
+    pub fn quick() -> Timing {
+        Timing {
+            warmup: secs(3),
+            traffic_lead: millis(100),
+            post_failure: secs(4),
+            drain: millis(100),
+        }
+    }
+
     pub fn traffic_start(&self) -> Time {
         self.warmup
     }
@@ -273,18 +297,21 @@ pub fn run_digest(spec: impl Into<RunSpec>) -> u64 {
     crate::chaos::trace_digest(&built.sim)
 }
 
+/// [`run`] handing back the finished simulation alongside the metrics —
+/// the campaign orchestrator uses this to extract the trace digest,
+/// storyboard and engine profile from a single run without re-executing.
+pub fn run_with_sim(spec: impl Into<RunSpec>) -> (ScenarioResult, BuiltSim) {
+    run_inner(&spec.into(), &mut None)
+}
+
 /// Convenience: a quick steady-state run (no failure) for keep-alive
 /// analysis, with a shorter timeline.
+#[deprecated(
+    since = "0.9.0",
+    note = "use RunSpec::new(params, stack).seeded(seed).timed(Timing::steady()).run()"
+)]
 pub fn run_steady_state(params: ClosParams, stack: Stack, seed: u64) -> ScenarioResult {
-    RunSpec::new(params, stack)
-        .seeded(seed)
-        .timed(Timing {
-            warmup: secs(5),
-            traffic_lead: millis(1),
-            post_failure: millis(1),
-            drain: millis(1),
-        })
-        .run()
+    RunSpec::new(params, stack).seeded(seed).timed(Timing::steady()).run()
 }
 
 #[cfg(test)]
@@ -357,7 +384,10 @@ mod tests {
 
     #[test]
     fn steady_state_has_keepalives_but_no_updates() {
-        let r = run_steady_state(ClosParams::two_pod(), Stack::Mrmtp, 3);
+        let r = RunSpec::new(ClosParams::two_pod(), Stack::Mrmtp)
+            .seeded(3)
+            .timed(Timing::steady())
+            .run();
         assert!(r.keepalive.frames > 100);
         assert_eq!(r.keepalive.avg_frame_len, 60.0, "1-byte hellos padded to 60");
         assert!(r.convergence_ms.is_none());

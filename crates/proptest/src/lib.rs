@@ -12,6 +12,7 @@
 use std::ops::{Range, RangeFrom, RangeInclusive};
 
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy, TestCaseError,
@@ -318,6 +319,50 @@ pub mod collection {
             let span = self.size.max_inclusive - self.size.min + 1;
             let len = self.size.min + rng.below(span as u128) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform draw from a fixed set of values.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u128) as usize].clone()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` a quarter of the time, `Some(inner draw)` otherwise —
+    /// the real crate's default `Some` probability is 0.75 too.
+    pub struct OfStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
         }
     }
 }

@@ -98,18 +98,34 @@ impl ClosParams {
         self.num_tors() * self.servers_per_tor
     }
 
-    /// Validate structural constraints.
+    /// Validate structural constraints. Rejections name the offending
+    /// parameter, its value, and the allowed range.
     pub fn validate(&self) -> Result<(), String> {
         if self.pods < 2 {
-            return Err("need at least 2 PoDs".into());
+            return Err(format!(
+                "pods = {} is below the folded-Clos minimum (allowed: pods >= 2)",
+                self.pods
+            ));
         }
-        if self.spines_per_pod == 0 || self.tors_per_pod == 0 || self.uplinks_per_spine == 0 {
-            return Err("spines, ToRs and uplinks must be nonzero".into());
+        for (name, value) in [
+            ("spines_per_pod", self.spines_per_pod),
+            ("tors_per_pod", self.tors_per_pod),
+            ("uplinks_per_spine", self.uplinks_per_spine),
+        ] {
+            if value == 0 {
+                return Err(format!("{name} = 0 leaves a disconnected tier (allowed: {name} >= 1)"));
+            }
         }
         // ToR VIDs are derived from the third subnet octet and must stay
         // unique within one byte, starting at 11.
         if 11 + self.num_tors() > 255 {
-            return Err("too many ToRs for one-byte VID derivation".into());
+            return Err(format!(
+                "pods * tors_per_pod = {} * {} = {} ToRs overflows one-byte VID \
+                 derivation (VIDs 11..=255 allow at most 244 ToRs)",
+                self.pods,
+                self.tors_per_pod,
+                self.num_tors()
+            ));
         }
         Ok(())
     }
@@ -749,6 +765,32 @@ mod tests {
         let too_many = ClosParams { pods: 200, tors_per_pod: 2, ..ClosParams::two_pod() };
         assert!(too_many.validate().is_err());
         assert!(ClosParams::scaled(8).is_ok());
+    }
+
+    #[test]
+    fn validation_errors_name_the_parameter_and_range() {
+        // Every rejection path names the offending parameter, its value,
+        // and the allowed range — not just a bare complaint.
+        let err = ClosParams { pods: 1, ..ClosParams::two_pod() }.validate().unwrap_err();
+        assert!(err.contains("pods = 1") && err.contains("pods >= 2"), "got: {err}");
+        for (name, p) in [
+            ("spines_per_pod", ClosParams { spines_per_pod: 0, ..ClosParams::two_pod() }),
+            ("tors_per_pod", ClosParams { tors_per_pod: 0, ..ClosParams::two_pod() }),
+            ("uplinks_per_spine", ClosParams { uplinks_per_spine: 0, ..ClosParams::two_pod() }),
+        ] {
+            let err = p.validate().unwrap_err();
+            assert!(
+                err.contains(&format!("{name} = 0")) && err.contains(&format!("{name} >= 1")),
+                "{name}: got: {err}"
+            );
+        }
+        let err = ClosParams { pods: 200, tors_per_pod: 2, ..ClosParams::two_pod() }
+            .validate()
+            .unwrap_err();
+        assert!(
+            err.contains("200 * 2 = 400 ToRs") && err.contains("at most 244"),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::path::PathBuf;
 
+use dcn_experiments::campaign::{self, CampaignSpec};
 use dcn_experiments::{ablations, bench, figures, run, RunSpec, Stack, TrafficDir};
 use dcn_topology::{ClosParams, FailureCase};
 
@@ -86,6 +87,21 @@ fn usage() -> ! {
          \x20   --telemetry-out DIR  write a replay bundle for every violating seed\n\
          \x20   --profile-out DIR    profile every run (digests unchanged) and write\n\
          \x20                        perf artifacts per (stack, seed) under DIR\n\
+         \x20 campaign run <spec>           expand a campaign grid (spec JSON file, or\n\
+         \x20                               'default' for 2,4-PoD x mrmtp,bgp x tc1,tc2\n\
+         \x20                               x 3 seeds) across cores into a results store\n\
+         \x20   --out DIR            store directory (required; must be fresh)\n\
+         \x20   --threads N          campaign worker threads (default: all cores)\n\
+         \x20   --seeds N            override the spec's seeds-per-point count\n\
+         \x20   --quick              shortened per-run timeline (CI smoke)\n\
+         \x20   --profile            profile every run (digests unchanged) and\n\
+         \x20                        record stall breakdowns in the store\n\
+         \x20 campaign report <store>       summary table of one results store\n\
+         \x20 campaign diff <a> <b>         compare two stores run by run: any digest\n\
+         \x20                               mismatch or >threshold metric drift fails\n\
+         \x20                               (exit 1); coverage changes are reported\n\
+         \x20   --threshold PCT      relative metric-drift tolerance in percent\n\
+         \x20                        (default 5; digests are compared exactly)\n\
          \x20 bench [opts]                  scaling + scheduler benchmarks\n\
          \x20   --scale LIST     comma list of PoD counts (default 2,4,8,16,32,64)\n\
          \x20   --workers LIST   worker counts swept at each PoD count of at\n\
@@ -474,6 +490,140 @@ fn main() {
                 std::process::exit(1);
             }
             println!("OK: all invariants held across every seed");
+        }
+        Some("campaign") => {
+            let action = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            match action {
+                "run" => {
+                    let mut spec_arg: Option<String> = None;
+                    let mut out: Option<PathBuf> = None;
+                    let mut threads = 0usize;
+                    let mut seeds: Option<u64> = None;
+                    let mut quick = false;
+                    let mut profile = false;
+                    let mut i = 2;
+                    while i < args.len() {
+                        let val = |i: usize| -> &str {
+                            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+                        };
+                        match args[i].as_str() {
+                            "--out" => {
+                                out = Some(PathBuf::from(val(i)));
+                                i += 2;
+                            }
+                            "--threads" => {
+                                threads = val(i).parse().unwrap_or_else(|_| usage());
+                                dcn_experiments::warn_if_oversubscribed(threads);
+                                i += 2;
+                            }
+                            "--seeds" => {
+                                seeds = Some(val(i).parse().unwrap_or_else(|_| usage()));
+                                i += 2;
+                            }
+                            "--quick" => {
+                                quick = true;
+                                i += 1;
+                            }
+                            "--profile" => {
+                                profile = true;
+                                i += 1;
+                            }
+                            a if spec_arg.is_none() && !a.starts_with("--") => {
+                                spec_arg = Some(a.to_string());
+                                i += 1;
+                            }
+                            _ => usage(),
+                        }
+                    }
+                    let Some(out) = out else {
+                        eprintln!("campaign run: --out DIR is required");
+                        std::process::exit(2);
+                    };
+                    let mut spec = match spec_arg.as_deref() {
+                        None | Some("default") => CampaignSpec::default(),
+                        Some(path) => {
+                            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                                eprintln!("campaign: read spec {path}: {e}");
+                                std::process::exit(2);
+                            });
+                            CampaignSpec::parse(&text).unwrap_or_else(|e| {
+                                eprintln!("campaign: {e}");
+                                std::process::exit(2);
+                            })
+                        }
+                    };
+                    if let Some(n) = seeds {
+                        spec.seeds = n;
+                    }
+                    spec.quick |= quick;
+                    eprintln!(
+                        "campaign {:?}: {} run(s) fanning out over {}…",
+                        spec.name,
+                        spec.total_runs(),
+                        if threads == 0 { "all cores".to_string() } else { format!("{threads} thread(s)") },
+                    );
+                    match campaign::run_to_store(&spec, &out, threads, profile) {
+                        Ok((store, records)) => {
+                            println!("{}", campaign::summary(&records).render());
+                            eprintln!("{} record(s) appended to {}", records.len(), store.dir().display());
+                        }
+                        Err(e) => {
+                            eprintln!("campaign: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "report" => {
+                    let Some(dir) = args.get(2) else { usage() };
+                    let store = campaign::store::Store::open(&PathBuf::from(dir)).unwrap_or_else(|e| {
+                        eprintln!("campaign: {e}");
+                        std::process::exit(2);
+                    });
+                    let records = store.records().unwrap_or_else(|e| {
+                        eprintln!("campaign: {e}");
+                        std::process::exit(2);
+                    });
+                    let name = store
+                        .index()
+                        .ok()
+                        .and_then(|ix| ix.get("name").and_then(|n| n.as_str().map(str::to_string)))
+                        .unwrap_or_default();
+                    eprintln!("store {:?}: {} record(s)", name, records.len());
+                    println!("{}", campaign::summary(&records).render());
+                }
+                "diff" => {
+                    let (Some(a), Some(b)) = (args.get(2), args.get(3)) else { usage() };
+                    let mut threshold = 0.05;
+                    let mut i = 4;
+                    while i < args.len() {
+                        match args[i].as_str() {
+                            "--threshold" => {
+                                let pct: f64 = args
+                                    .get(i + 1)
+                                    .and_then(|s| s.parse().ok())
+                                    .unwrap_or_else(|| usage());
+                                threshold = pct / 100.0;
+                                i += 2;
+                            }
+                            _ => usage(),
+                        }
+                    }
+                    let open_latest = |dir: &String| {
+                        campaign::store::Store::open(&PathBuf::from(dir))
+                            .and_then(|s| s.latest())
+                            .unwrap_or_else(|e| {
+                                eprintln!("campaign: {e}");
+                                std::process::exit(2);
+                            })
+                    };
+                    let report = campaign::diff::diff(&open_latest(a), &open_latest(b), threshold);
+                    print!("{}", report.render());
+                    if report.has_drift() {
+                        std::process::exit(1);
+                    }
+                }
+                _ => usage(),
+            }
         }
         Some("keepalive") => {
             println!("{}", figures::fig9_keepalive(seed).render());

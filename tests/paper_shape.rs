@@ -158,12 +158,15 @@ fn fig8_loss_far_sender_flips_the_asymmetry() {
 
 #[test]
 fn fig9_keepalive_frame_sizes_match_captures() {
-    use dcn_experiments::scenario::run_steady_state;
-    let mtp = run_steady_state(ClosParams::two_pod(), Stack::Mrmtp, 5).keepalive;
+    use dcn_experiments::Timing;
+    let steady = |stack| {
+        RunSpec::new(ClosParams::two_pod(), stack).seeded(5).timed(Timing::steady()).run()
+    };
+    let mtp = steady(Stack::Mrmtp).keepalive;
     assert_eq!(mtp.avg_frame_len, 60.0, "1-byte hello in a minimum frame");
-    let bgp = run_steady_state(ClosParams::two_pod(), Stack::BgpEcmp, 5).keepalive;
+    let bgp = steady(Stack::BgpEcmp).keepalive;
     assert_eq!(bgp.avg_frame_len, 85.0, "Fig. 9's 85-byte BGP keepalive");
-    let bfd = run_steady_state(ClosParams::two_pod(), Stack::BgpEcmpBfd, 5).keepalive;
+    let bfd = steady(Stack::BgpEcmpBfd).keepalive;
     // Mixed 66-byte BFD (10/s) and 85-byte BGP (1/s) frames.
     assert!(
         (66.0..70.0).contains(&bfd.avg_frame_len),
