@@ -1,0 +1,8 @@
+#[test]
+fn stress_two_worker_stealing() {
+    for round in 0..20000 {
+        let items: Vec<u64> = (0..16).collect();
+        let out = dcn_experiments::campaign::pool::fan_out(items, 2, |x| x);
+        assert_eq!(out.len(), 16, "round {round}");
+    }
+}
