@@ -7,16 +7,22 @@
 //!   time, throughput (events/sec and events/sec/node) and peak RSS —
 //!   plus, at 16+ PoDs, the same fabric on the sharded parallel engine
 //!   at each requested worker count, with the parallel-over-sequential
-//!   speedup. Every row runs with the engine profiler on and embeds its
-//!   stall breakdown (execute/barrier/drain/deposit/other as % of wall),
-//!   so a bad speedup is attributable at a glance. Emitted as
-//!   `BENCH_scale.json` (`schema: "bench_scale/v3"`, which also records
-//!   the host's core count so single-core runs are not misread as
-//!   parallel regressions; v2 baselines still gate — [`check_regression`]
-//!   keys on field names, not the schema string). Peak RSS is sampled
-//!   per row: the kernel's VmHWM watermark is reset before each row, so
-//!   a big fabric earlier in the sweep cannot inflate a small one's
-//!   number.
+//!   speedup. Every row reports throughput on **both bases** —
+//!   `events_per_sec_wall` (elapsed time; what a parallel engine is
+//!   for) and `events_per_sec_cpu` (CPU seconds summed over threads;
+//!   insensitive to machine-sharing noise) — and `speedup` is always
+//!   wall-over-wall. Earlier schemas mixed the bases within one column
+//!   (sequential rows CPU, parallel rows wall), which made parallel
+//!   rows incomparable with their own speedup basis. Every row runs
+//!   with the engine profiler on and embeds its stall breakdown
+//!   (execute/barrier/drain/deposit/other as % of wall), so a bad
+//!   speedup is attributable at a glance. Emitted as `BENCH_scale.json`
+//!   (`schema: "bench_scale/v4"`, which also records the host's core
+//!   count so single-core runs are not misread as parallel regressions;
+//!   v2/v3 baselines still gate — [`check_regression`] keys on field
+//!   names, not the schema string). Peak RSS is sampled per row: the
+//!   kernel's VmHWM watermark is reset before each row, so a big fabric
+//!   earlier in the sweep cannot inflate a small one's number.
 //! * **Scheduler microbench** — the pop-then-re-arm stress loop from
 //!   `dcn_sim::scheduler_stress`, run on both backends, reported as a
 //!   wheel-over-heap speedup.
@@ -61,20 +67,29 @@ pub struct ScalePoint {
     /// Events processed by the engine over the measured window.
     pub events: u64,
     pub wall_ms: f64,
-    pub events_per_sec: f64,
-    /// Throughput normalized by fabric size. A droop here at fixed
-    /// workers as pods grow is a cache-locality signal; a droop in raw
-    /// `events_per_sec` alone can just be a bigger fabric.
+    /// Events per elapsed second — the basis that parallelism can
+    /// improve, and the numerator/denominator of every `speedup`.
+    pub events_per_sec_wall: f64,
+    /// Events per CPU second summed over worker threads — insensitive
+    /// to machine-sharing noise, so the regression gate keys on it. On
+    /// the sequential engine the two bases coincide (modulo scheduler
+    /// noise); a perfectly-scaling parallel run burns the same CPU
+    /// seconds as the sequential one while the wall rate multiplies.
+    pub events_per_sec_cpu: f64,
+    /// CPU-basis throughput normalized by fabric size. A droop here at
+    /// fixed workers as pods grow is a cache-locality signal; a droop
+    /// in the raw rate alone can just be a bigger fabric.
     pub events_per_node: f64,
     /// Peak resident set (VmHWM) over this row only, in KiB: the
     /// watermark is reset (via `/proc/self/clear_refs`) before each row.
     /// Zero on platforms without the proc filesystem; on kernels that
     /// refuse the reset it degrades to the process-lifetime peak.
     pub peak_rss_kb: u64,
-    /// `events_per_sec` over the same fabric's 1-worker rate (1.0 for
-    /// the 1-worker row itself). Only meaningful when `cores` in the
-    /// report exceeds the worker count — on a single-core host the
-    /// sharded engine can only show its overhead.
+    /// `events_per_sec_wall` over the same fabric's 1-worker wall rate
+    /// (1.0 for the 1-worker row itself) — wall-over-wall, never mixed
+    /// bases. Only meaningful when `cores` in the report exceeds the
+    /// worker count — on a single-core host the sharded engine can only
+    /// show its overhead.
     pub speedup: f64,
     /// Barrier windows executed in one rep (engine profiler).
     pub windows: u64,
@@ -243,14 +258,15 @@ pub fn bench_one_scale(
     let profile = profile.expect("profiling was enabled");
     let breakdown = dcn_telemetry::stall_breakdown_of(&profile);
     let windows = profile.shards.iter().map(|s| s.windows_total).sum();
-    // Parallel rates are measured against wall time — the point of the
-    // sharded engine is elapsed-time speedup, and CPU time sums over
-    // worker threads (a perfectly-scaling run burns the same CPU
-    // seconds). The sequential rows keep the CPU-time basis that the
-    // historical v1 baselines used, so the regression gate stays
-    // insensitive to machine-sharing noise where it can be.
-    let denom = if workers > 1 { wall } else { cpu };
-    let events_per_sec = (reps as u64 * events) as f64 / denom;
+    // Both bases, every row: wall for speedups (the thing parallelism
+    // buys), CPU for the regression gate (insensitive to machine
+    // sharing). Earlier versions picked one basis per row — CPU for
+    // sequential, wall for parallel — which made a parallel row's
+    // throughput incomparable with the sequential rate its own speedup
+    // divided by.
+    let total = (reps as u64 * events) as f64;
+    let events_per_sec_wall = total / wall.max(1e-9);
+    let events_per_sec_cpu = total / cpu;
     Ok(ScalePoint {
         pods,
         nodes,
@@ -258,8 +274,9 @@ pub fn bench_one_scale(
         workers: workers.max(1),
         events,
         wall_ms: wall / reps as f64 * 1e3,
-        events_per_sec,
-        events_per_node: events_per_sec / nodes.max(1) as f64,
+        events_per_sec_wall,
+        events_per_sec_cpu,
+        events_per_node: events_per_sec_cpu / nodes.max(1) as f64,
         peak_rss_kb: peak_rss_kb(),
         speedup: 1.0, // filled in by `run_bench` against the 1-worker row
         windows,
@@ -314,12 +331,13 @@ pub fn run_bench(
     let mut scale = Vec::with_capacity(pods.len());
     for &p in pods {
         let base = bench_one_scale(p, 1, quick, seed)?;
-        let base_rate = base.events_per_sec;
+        // Wall-over-wall: the sequential row's wall rate is the basis.
+        let base_rate = base.events_per_sec_wall;
         scale.push(base);
         if p >= WORKER_SWEEP_MIN_PODS {
             for &w in workers.iter().filter(|&&w| w > 1) {
                 let mut point = bench_one_scale(p, w, quick, seed)?;
-                point.speedup = point.events_per_sec / base_rate;
+                point.speedup = point.events_per_sec_wall / base_rate;
                 scale.push(point);
             }
         }
@@ -335,12 +353,14 @@ pub fn run_bench(
 
 impl BenchReport {
     /// Serialize to the committed `BENCH_scale.json` schema
-    /// (`bench_scale/v3`; see EXPERIMENTS.md). v2 baselines still gate:
-    /// [`check_regression`] reads fields by name and ignores the schema
-    /// string.
+    /// (`bench_scale/v4`; see EXPERIMENTS.md). v4 reports both
+    /// throughput bases per row; the legacy `events_per_sec` key is
+    /// kept as an alias of the CPU basis so older tooling and v2/v3
+    /// baselines still gate — [`check_regression`] reads fields by name
+    /// and ignores the schema string.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("bench_scale/v3")),
+            ("schema", Json::str("bench_scale/v4")),
             ("quick", Json::Bool(self.quick)),
             ("cores", Json::UInt(self.cores as u64)),
             (
@@ -366,7 +386,10 @@ impl BenchReport {
                                 ("workers", Json::UInt(p.workers as u64)),
                                 ("events", Json::UInt(p.events)),
                                 ("wall_ms", Json::Float(p.wall_ms)),
-                                ("events_per_sec", Json::Float(p.events_per_sec)),
+                                ("events_per_sec_wall", Json::Float(p.events_per_sec_wall)),
+                                ("events_per_sec_cpu", Json::Float(p.events_per_sec_cpu)),
+                                // Legacy alias (CPU basis) for pre-v4 readers.
+                                ("events_per_sec", Json::Float(p.events_per_sec_cpu)),
                                 ("events_per_node", Json::Float(p.events_per_node)),
                                 ("peak_rss_kb", Json::UInt(p.peak_rss_kb)),
                                 ("speedup", Json::Float(p.speedup)),
@@ -394,18 +417,19 @@ impl BenchReport {
         ));
         out.push_str(&format!("host cores: {}\n", self.cores));
         out.push_str(
-            "pods  nodes  links  wrk      events   wall_ms   events/sec  ev/s/node  peak_rss_kb  speedup  exec%  barr%  other%\n",
+            "pods  nodes  links  wrk      events   wall_ms  ev/s(wall)   ev/s(cpu)  ev/s/node  peak_rss_kb  speedup  exec%  barr%  other%\n",
         );
         for p in &self.scale {
             out.push_str(&format!(
-                "{:>4}  {:>5}  {:>5}  {:>3}  {:>10}  {:>8.1}  {:>11.0}  {:>9.0}  {:>11}  {:>6.2}x  {:>5.1}  {:>5.1}  {:>6.1}\n",
+                "{:>4}  {:>5}  {:>5}  {:>3}  {:>10}  {:>8.1}  {:>10.0}  {:>10.0}  {:>9.0}  {:>11}  {:>6.2}x  {:>5.1}  {:>5.1}  {:>6.1}\n",
                 p.pods,
                 p.nodes,
                 p.links,
                 p.workers,
                 p.events,
                 p.wall_ms,
-                p.events_per_sec,
+                p.events_per_sec_wall,
+                p.events_per_sec_cpu,
                 p.events_per_node,
                 p.peak_rss_kb,
                 p.speedup,
@@ -799,12 +823,14 @@ pub fn check_traffic_regression(
 }
 
 /// Compare a fresh report against a committed baseline (`BENCH_scale.json`
-/// contents). Fails if events/sec at any matching (PoD count, workers)
-/// row dropped by more than `tolerance` (0.20 = 20%) — parallel rows
-/// gate exactly like sequential ones — or the scheduler microbench
-/// speedup fell below 1.0. Rows present on only one side are skipped —
-/// the sweep list may grow over time. Baseline rows without a `workers`
-/// field (the v1 schema) are treated as sequential (workers = 1).
+/// contents). Fails if CPU-basis events/sec at any matching (PoD count,
+/// workers) row dropped by more than `tolerance` (0.20 = 20%) —
+/// parallel rows gate exactly like sequential ones — or the scheduler
+/// microbench speedup fell below 1.0. Rows present on only one side are
+/// skipped — the sweep list may grow over time. Baseline rows without a
+/// `workers` field (the v1 schema) are treated as sequential
+/// (workers = 1); baselines without `events_per_sec_cpu` (pre-v4) gate
+/// through their legacy `events_per_sec` column.
 pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f64) -> Result<(), String> {
     let base = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
     let scale = base
@@ -819,15 +845,16 @@ pub fn check_regression(current: &BenchReport, baseline_json: &str, tolerance: f
             continue;
         };
         let base_eps = b
-            .get("events_per_sec")
+            .get("events_per_sec_cpu")
+            .or_else(|| b.get("events_per_sec"))
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("baseline {} pods missing events_per_sec", point.pods))?;
-        if point.events_per_sec < base_eps * (1.0 - tolerance) {
+        if point.events_per_sec_cpu < base_eps * (1.0 - tolerance) {
             return Err(format!(
-                "regression at {} pods / {} workers: {:.0} events/sec vs baseline {:.0} (>{:.0}% drop)",
+                "regression at {} pods / {} workers: {:.0} events/sec (cpu) vs baseline {:.0} (>{:.0}% drop)",
                 point.pods,
                 point.workers,
-                point.events_per_sec,
+                point.events_per_sec_cpu,
                 base_eps,
                 tolerance * 100.0,
             ));
@@ -857,8 +884,14 @@ mod tests {
         assert_eq!(p.workers, 1);
         assert!(p.nodes > 0 && p.links > 0);
         assert!(p.events > 0, "engine processed no events");
-        assert!(p.events_per_sec > 0.0);
+        assert!(p.events_per_sec_wall > 0.0);
+        assert!(p.events_per_sec_cpu > 0.0);
         assert!(p.events_per_node > 0.0);
+        // CPU seconds can't exceed wall on a sequential row, so the wall
+        // rate can't exceed the CPU rate (equal when never descheduled)
+        // — modulo the 10ms USER_HZ tick quantization of /proc readings,
+        // worth a few percent over a ~0.25s measured window.
+        assert!(p.events_per_sec_wall <= p.events_per_sec_cpu * 1.10);
         assert_eq!(p.speedup, 1.0, "the sequential row is its own speedup basis");
         assert!(report.micro.heap_events_per_sec > 0.0);
         assert!(report.micro.wheel_events_per_sec > 0.0);
@@ -872,7 +905,7 @@ mod tests {
         // JSON round-trips through the schema.
         let rendered = report.to_json().render();
         let parsed = Json::parse(&rendered).expect("self-rendered JSON parses");
-        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v3"));
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("bench_scale/v4"));
         assert!(parsed.get("cores").and_then(|c| c.as_u64()).is_some());
         assert_eq!(
             parsed.get("scale").and_then(|s| s.as_arr()).map(|a| a.len()),
@@ -880,6 +913,13 @@ mod tests {
         );
         let row = &parsed.get("scale").and_then(|s| s.as_arr()).unwrap()[0];
         assert_eq!(row.get("workers").and_then(|w| w.as_u64()), Some(1));
+        assert!(row.get("events_per_sec_wall").and_then(|v| v.as_f64()).is_some());
+        assert!(row.get("events_per_sec_cpu").and_then(|v| v.as_f64()).is_some());
+        // The legacy key aliases the CPU basis for pre-v4 readers.
+        assert_eq!(
+            row.get("events_per_sec").and_then(|v| v.as_f64()),
+            row.get("events_per_sec_cpu").and_then(|v| v.as_f64()),
+        );
         assert!(row.get("events_per_node").and_then(|v| v.as_f64()).is_some());
         assert!(row.get("speedup").and_then(|v| v.as_f64()).is_some());
         assert!(row.get("barrier_pct").and_then(|v| v.as_f64()).is_some());
@@ -887,17 +927,19 @@ mod tests {
         // A report never regresses against itself...
         check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
 
-        // ...and a v2 baseline (no breakdown fields, old schema string)
-        // still gates: the checker keys on field names only.
-        let v2 = rendered.replace("bench_scale/v3", "bench_scale/v2").replace(
-            "\"barrier_pct\"",
-            "\"barrier_pct_v2_absent\"",
-        );
+        // ...and a v2 baseline (no breakdown fields, no dual-basis
+        // columns, old schema string) still gates through the legacy
+        // `events_per_sec` key: the checker keys on field names only.
+        let v2 = rendered
+            .replace("bench_scale/v4", "bench_scale/v2")
+            .replace("\"barrier_pct\"", "\"barrier_pct_v2_absent\"")
+            .replace("\"events_per_sec_wall\"", "\"events_per_sec_wall_v2_absent\"")
+            .replace("\"events_per_sec_cpu\"", "\"events_per_sec_cpu_v2_absent\"");
         check_regression(&report, &v2, 0.20).expect("v2 baseline still gates");
 
         // ...but does against an inflated baseline.
         let mut inflated = report.clone();
-        inflated.scale[0].events_per_sec *= 10.0;
+        inflated.scale[0].events_per_sec_cpu *= 10.0;
         let inflated_json = inflated.to_json().render();
         assert!(check_regression(&report, &inflated_json, 0.20).is_err());
     }
@@ -917,7 +959,7 @@ mod tests {
 
         let mut report = small.clone();
         let mut par = bench_one_scale(2, 2, true, 7).expect("parallel row runs");
-        par.speedup = par.events_per_sec / report.scale[0].events_per_sec;
+        par.speedup = par.events_per_sec_wall / report.scale[0].events_per_sec_wall;
         report.scale.push(par);
         let rendered = report.to_json().render();
         check_regression(&report, &rendered, 0.20).expect("self-baseline passes");
@@ -925,7 +967,7 @@ mod tests {
         // Inflate only the parallel baseline row: the gate must trip on
         // it even though the sequential row is untouched.
         let mut inflated = report.clone();
-        inflated.scale[1].events_per_sec *= 10.0;
+        inflated.scale[1].events_per_sec_cpu *= 10.0;
         let err = check_regression(&report, &inflated.to_json().render(), 0.20)
             .expect_err("inflated parallel baseline must trip the gate");
         assert!(err.contains("2 workers"), "gate should name the parallel row: {err}");

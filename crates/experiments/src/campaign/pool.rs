@@ -64,8 +64,14 @@ where
             let f = &f;
             scope.spawn(move || loop {
                 // Own work first (front), then steal from the back of
-                // the longest other deque.
-                let job = deques[w].lock().expect("deque lock").pop_front().or_else(|| {
+                // the longest other deque. The own-deque pop must be a
+                // separate statement: chaining `.or_else` onto it keeps
+                // the MutexGuard temporary alive through the steal
+                // (temporaries drop at statement end), and two workers
+                // going empty together then lock their own deque and
+                // wait on each other's — an ABBA deadlock.
+                let own = deques[w].lock().expect("deque lock").pop_front();
+                let job = own.or_else(|| {
                     let victim = (0..workers)
                         .filter(|&v| v != w)
                         .max_by_key(|&v| deques[v].lock().expect("deque lock").len())?;

@@ -107,6 +107,10 @@ pub struct ChaosConfig {
     /// digests are bit-identical with it on or off; the equivalence
     /// suite enforces it.
     pub profile: bool,
+    /// Adaptive window batching on the sharded engine. On by default;
+    /// per-seed digests are bit-identical with it on or off — the
+    /// equivalence suite runs chaos seeds both ways.
+    pub batch_windows: bool,
 }
 
 impl Default for ChaosConfig {
@@ -140,6 +144,7 @@ impl Default for ChaosConfig {
             traffic_pairs: 0,
             workers: 1,
             profile: false,
+            batch_windows: true,
         }
     }
 }
@@ -374,6 +379,7 @@ fn run_chaos_once(
             local_repair: cfg.local_repair,
             workers: cfg.workers.max(1),
             profile: cfg.profile,
+            batch_windows: cfg.batch_windows,
             ..StackTuning::default()
         },
         cfg.scheduler,

@@ -75,6 +75,13 @@ pub struct StackTuning {
     /// either way (the equivalence suite enforces it) and zero-alloc
     /// forwarding still holds.
     pub profile: bool,
+    /// Adaptive window batching on the sharded engine
+    /// ([`dcn_sim::SimConfig::batch_windows`]): fuse barrier rounds when
+    /// the published next-event times prove them safe. On by default;
+    /// trace digests are bit-identical either way — the equivalence
+    /// suite runs both settings — so turning it off only serves
+    /// barrier-overhead measurements.
+    pub batch_windows: bool,
 }
 
 impl Default for StackTuning {
@@ -88,6 +95,7 @@ impl Default for StackTuning {
             local_repair: false,
             workers: 1,
             profile: false,
+            batch_windows: true,
         }
     }
 }
@@ -229,6 +237,7 @@ pub fn build_fabric_sim_cfg(
     if tuning.profile {
         config.profile = true;
     }
+    config.batch_windows = tuning.batch_windows;
     let addr = Addressing::new(&fabric);
     let mut b = SimBuilder::with_config(seed, config);
     for (i, node) in fabric.nodes.iter().enumerate() {

@@ -1,6 +1,6 @@
 //! Profiled experiment runs: a [`RunSpec`] executed with the engine
 //! profiler on, packaged as a [`dcn_telemetry::PerfReport`] and written
-//! to disk as `perf_report.json` (the `perf_report/v1` schema) plus
+//! to disk as `perf_report.json` (the `perf_report/v2` schema) plus
 //! `trace.chrome.json` (loadable in `chrome://tracing` / Perfetto).
 //!
 //! Profiling is a pure host-clock observation: the run's metrics and
@@ -61,6 +61,15 @@ pub fn run_profiled(spec: RunSpec) -> ProfiledRun {
     );
     let report = PerfReport::new(profile, label, spec.tuning.workers, names);
     ProfiledRun { run, report }
+}
+
+/// The same scenario profiled once per entry of `workers`, for
+/// side-by-side stall comparison (`fcr profile --compare 1,2,4`). Each
+/// run is complete and independent — digests are engine-blind, so the
+/// only thing that varies between columns is where the wall time went.
+/// Render the reports with [`dcn_telemetry::render_comparison`].
+pub fn run_compare(spec: RunSpec, workers: &[usize]) -> Vec<ProfiledRun> {
+    workers.iter().map(|&w| run_profiled(spec.with_workers(w))).collect()
 }
 
 /// [`bundle_from_run`] plus the perf artifacts: the replay bundle of a
@@ -142,12 +151,31 @@ mod tests {
         assert_eq!(written.len(), 2);
         let report = std::fs::read_to_string(dir.join("perf_report.json")).unwrap();
         let doc = Json::parse(report.trim()).unwrap();
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("perf_report/v1"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("perf_report/v2"));
         assert_eq!(doc.get("engine").unwrap().as_str(), Some("sequential"));
         let trace = std::fs::read_to_string(dir.join("trace.chrome.json")).unwrap();
         let tdoc = Json::parse(trace.trim()).unwrap();
         assert!(!tdoc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_runs_one_report_per_worker_count() {
+        let runs = run_compare(quick_spec(1), &[1, 2]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].report.workers, 1);
+        assert_eq!(runs[1].report.workers, 2);
+        assert_eq!(runs[0].report.engine(), "sequential");
+        assert_eq!(runs[1].report.engine(), "sharded");
+        // Same scenario: identical metrics, only the stall profile moves.
+        assert_eq!(
+            runs[0].run.result.convergence_ms,
+            runs[1].run.result.convergence_ms
+        );
+        let text = dcn_telemetry::render_comparison(
+            &runs.iter().map(|p| p.report.clone()).collect::<Vec<_>>(),
+        );
+        assert!(text.contains("w=1") && text.contains("w=2") && text.contains("delta"), "{text}");
     }
 
     #[test]

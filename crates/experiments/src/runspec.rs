@@ -162,6 +162,15 @@ impl RunSpec {
         self
     }
 
+    /// Enable or disable adaptive window batching on the sharded engine
+    /// (on by default). An engine-only knob: trace digests are
+    /// bit-identical either way — the equivalence suite runs both — so
+    /// like `with_workers` it is excluded from [`RunSpec::key`].
+    pub fn with_batching(mut self, on: bool) -> RunSpec {
+        self.tuning.batch_windows = on;
+        self
+    }
+
     /// Canonical serialized form of the spec: a stable `k=v;k=v` string
     /// over every field that can change what the simulation *does*.
     ///
@@ -262,6 +271,7 @@ mod tests {
         assert_eq!(base.key(), base.with_workers(4).key());
         assert_eq!(base.key(), base.with_scheduler(SchedulerKind::Heap).key());
         assert_eq!(base.key(), base.with_profile(true).key());
+        assert_eq!(base.key(), base.with_batching(false).key());
         assert_eq!(base.key(), base.with_telemetry(TelemetryConfig::default()).key());
         // Everything semantic changes it.
         assert_ne!(base.key(), base.seeded(7).key());

@@ -204,12 +204,14 @@ fn local_repair_off_matches_pre_change_golden_digests() {
 
 fn parallel_invisible(spec: RunSpec) {
     let sequential = run_digest(spec);
-    for workers in [2usize, 4] {
-        let parallel = run_digest(spec.with_workers(workers));
-        assert_eq!(
-            sequential, parallel,
-            "sharded engine ({workers} workers) diverged for {spec:?}"
-        );
+    for workers in [2usize, 4, 8] {
+        for batching in [true, false] {
+            let parallel = run_digest(spec.with_workers(workers).with_batching(batching));
+            assert_eq!(
+                sequential, parallel,
+                "sharded engine ({workers} workers, batching {batching}) diverged for {spec:?}"
+            );
+        }
     }
 }
 
@@ -250,14 +252,17 @@ fn parallel_digest_identical_under_chaos() {
         (Stack::BgpEcmp, 13),
     ] {
         let sequential = run_chaos(seed, stack, &quick_chaos());
-        for workers in [2usize, 4] {
-            let cfg = ChaosConfig { workers, ..quick_chaos() };
-            let parallel = run_chaos(seed, stack, &cfg);
-            assert_eq!(
-                sequential.digest, parallel.digest,
-                "{} chaos seed {seed}: sharded engine ({workers} workers) diverged",
-                stack.label(),
-            );
+        for workers in [2usize, 4, 8] {
+            for batch_windows in [true, false] {
+                let cfg = ChaosConfig { workers, batch_windows, ..quick_chaos() };
+                let parallel = run_chaos(seed, stack, &cfg);
+                assert_eq!(
+                    sequential.digest, parallel.digest,
+                    "{} chaos seed {seed}: sharded engine ({workers} workers, \
+                     batching {batch_windows}) diverged",
+                    stack.label(),
+                );
+            }
         }
     }
 }
@@ -265,7 +270,8 @@ fn parallel_digest_identical_under_chaos() {
 #[test]
 fn parallel_digest_identical_on_bigger_fabric() {
     // An 8-PoD fabric exercises many-shard partitions (spine shard + 7
-    // PoD shards at workers=8) rather than the 2-PoD minimum.
+    // PoD shards at workers=8) rather than the 2-PoD minimum, and at
+    // workers=12 the spine tier itself splits across several shards.
     let spec = RunSpec::new(
         ClosParams::scaled(8).expect("8 PoDs is a valid scaled shape"),
         Stack::Mrmtp,
@@ -273,12 +279,15 @@ fn parallel_digest_identical_on_bigger_fabric() {
     .failing(FailureCase::Tc3)
     .with_traffic(TrafficDir::NearToFar);
     let sequential = run_digest(spec);
-    for workers in [4usize, 8] {
-        assert_eq!(
-            sequential,
-            run_digest(spec.with_workers(workers)),
-            "sharded engine diverged on the 8-PoD fabric at {workers} workers"
-        );
+    for workers in [4usize, 8, 12] {
+        for batching in [true, false] {
+            assert_eq!(
+                sequential,
+                run_digest(spec.with_workers(workers).with_batching(batching)),
+                "sharded engine diverged on the 8-PoD fabric at {workers} workers \
+                 (batching {batching})"
+            );
+        }
     }
 }
 

@@ -1,13 +1,17 @@
-//! Property tests for the sharded engine's partitioning layer: every
-//! node lands in exactly one shard, shard ids are dense, the spine
-//! layers stay in the dedicated shard 0, and the conservative lookahead
-//! really is a lower bound on every cross-shard link's delivery delay
-//! (serialization of a minimum-size frame plus propagation — queueing
-//! and jitter only add to it).
+//! Property tests for the sharded engine's partitioning layer and its
+//! adaptive window batching: every node lands in exactly one shard,
+//! shard ids are dense, the spine layers fill the leading spine shards
+//! (splitting across several once workers exceed the PoD count), the
+//! conservative lookahead really is a lower bound on every cross-shard
+//! link's delivery delay (serialization of a minimum-size frame plus
+//! propagation — queueing and jitter only add to it), and the batched
+//! per-shard window bound never admits a cross-shard event inside the
+//! span a shard executes without a barrier.
 
 use dcn_experiments::{build_fabric_sim, Stack, StackTuning};
-use dcn_sim::engine::MIN_WIRE_LEN;
+use dcn_sim::engine::{window_bounds, MIN_WIRE_LEN};
 use dcn_sim::link::LinkId;
+use dcn_sim::Time;
 use dcn_topology::{ClosParams, Fabric, Role};
 use proptest::prelude::*;
 
@@ -15,12 +19,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// The map from [`Fabric::shard_map`] assigns every node exactly one
-    /// shard, uses dense ids 0..=max, and puts all fabric-wide spines in
-    /// shard 0 whenever PoD shards exist.
+    /// shard, uses dense ids 0..=max, keeps the fabric-wide spines in
+    /// the leading spine shards (several of them once `workers` exceeds
+    /// the PoD count, balanced to within one node), and keeps PoD nodes
+    /// out of them.
     #[test]
     fn shard_map_covers_every_node_exactly_once(
         pods_half in 1usize..9,
-        workers in 0usize..12,
+        workers in 0usize..24,
     ) {
         let params = ClosParams::scaled(pods_half * 2).expect("even PoD count");
         let fabric = Fabric::build(params);
@@ -35,16 +41,32 @@ proptest! {
             seen[s as usize] = true;
         }
         prop_assert!(seen.iter().all(|&s| s), "shard ids must be dense");
-        let expected = 1 + params.pods.min(workers.saturating_sub(1));
         if workers > 1 {
-            prop_assert_eq!(shards, expected);
+            let spine_count = fabric
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.role, Role::TopSpine { .. } | Role::ZoneSpine { .. }))
+                .count();
+            let pod_shards = params.pods.min(workers - 1);
+            let spine_shards = (workers - pod_shards).clamp(1, spine_count);
+            prop_assert_eq!(shards, spine_shards + pod_shards);
+            let mut spine_load = vec![0usize; spine_shards];
             for (i, node) in fabric.nodes.iter().enumerate() {
                 if matches!(node.role, Role::TopSpine { .. } | Role::ZoneSpine { .. }) {
-                    prop_assert_eq!(map[i], 0, "spines live in the dedicated shard");
+                    prop_assert!(
+                        (map[i] as usize) < spine_shards,
+                        "spines live in the leading spine shards"
+                    );
+                    spine_load[map[i] as usize] += 1;
                 } else {
-                    prop_assert!(map[i] > 0, "PoD nodes stay out of the spine shard");
+                    prop_assert!(
+                        (map[i] as usize) >= spine_shards,
+                        "PoD nodes stay out of the spine shards"
+                    );
                 }
             }
+            let (lo, hi) = (spine_load.iter().min().unwrap(), spine_load.iter().max().unwrap());
+            prop_assert!(hi - lo <= 1, "spine shards stay balanced: {spine_load:?}");
         } else {
             prop_assert_eq!(shards, 1);
         }
@@ -56,7 +78,10 @@ proptest! {
     #[test]
     fn cross_shard_links_never_beat_the_lookahead(
         pods_half in 1usize..5,
-        workers in 2usize..7,
+        // Up to 15 workers so the spine tier splits across shards
+        // (workers > pods + 1) and spine↔spine boundaries, were any to
+        // exist, would be caught here too.
+        workers in 2usize..16,
     ) {
         let params = ClosParams::scaled(pods_half * 2).expect("even PoD count");
         let built = build_fabric_sim(
@@ -85,5 +110,63 @@ proptest! {
         // and the lookahead must be exactly the tightest of them.
         prop_assert!(crossings > 0);
         prop_assert!(lookahead > 0 && lookahead < dcn_sim::Time::MAX);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Adaptive window batching: the horizon rule
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The safety property of [`window_bounds`]: whatever span a shard
+    /// is granted, no cross-shard event can arrive inside it. A
+    /// cross-shard event reaching shard `d` travels ≥1 hops of ≥ `la`
+    /// each, so the earliest arrival is `next_s + la` for a one-hop
+    /// chain from `s ≠ d` and `next_d + 2·la` for anything that bounces
+    /// off `d`'s own output — the batched bound must stay at or below
+    /// both, while never shrinking the unbatched window and never
+    /// overrunning the stop target by more than the inclusive-end +1.
+    #[test]
+    fn batched_window_admits_no_cross_shard_event(
+        next in proptest::collection::vec(0u64..1_000_000_000_000, 2..9),
+        la in 1u64..10_000_000,
+        target in 0u64..1_000_000_000_000,
+    ) {
+        let horizon: Time = *next.iter().min().unwrap();
+        for shard in 0..next.len() {
+            let batched = window_bounds(shard, &next, la, target, true);
+            let plain = window_bounds(shard, &next, la, target, false);
+            // Unanimous stop: both modes agree, and exactly when every
+            // shard has published a next-event time past the target.
+            prop_assert_eq!(batched.is_none(), horizon > target);
+            prop_assert_eq!(plain.is_none(), horizon > target);
+            let Some((h, end)) = batched else { continue };
+            let (ph, pend) = plain.unwrap();
+            prop_assert_eq!(h, horizon);
+            prop_assert_eq!(ph, horizon);
+            // Batching only ever widens the window, never past the
+            // inclusive stop bound.
+            prop_assert!(end >= pend, "batched span shrank: {end} < {pend}");
+            prop_assert!(end <= target.saturating_add(1));
+            // One-hop rule: every other shard's earliest cross-shard
+            // effect lands at or after this shard's span end.
+            for (s, &t) in next.iter().enumerate() {
+                if s != shard {
+                    prop_assert!(
+                        t.saturating_add(la) >= end,
+                        "shard {s} (next {t}) could inject before {end}"
+                    );
+                }
+            }
+            // Bounce rule: the shard's own output can return through a
+            // peer no earlier than two lookaheads after its next event.
+            prop_assert!(next[shard].saturating_add(2 * la) >= end);
+            // With uniform lookahead the bound fuses at most two
+            // windows: K ∈ {1, 2}.
+            let k = (end - h).div_ceil(la).max(1);
+            prop_assert!(k <= 2, "K = {k} exceeds the uniform-lookahead maximum");
+        }
     }
 }

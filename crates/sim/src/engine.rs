@@ -26,7 +26,6 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 use dcn_wire::FrameBuf;
@@ -36,6 +35,7 @@ use crate::link::{Endpoint, Impairment, Link, LinkId, LinkSpec};
 use crate::node::{Action, Ctx, NodeId, PortId, PortView, Protocol};
 use crate::profiler::{EngineProfile, ShardProfile, WindowRecord};
 use crate::rng::DetRng;
+use crate::sync::{BarrierSense, SpinBarrier, SpscQueue, DEFAULT_SPIN};
 use crate::time::{Duration, Time, MICROS};
 use crate::trace::{Trace, TraceEvent};
 
@@ -133,6 +133,14 @@ pub struct SimConfig {
     /// bit-identical with this on or off. Collect the result with
     /// [`Sim::take_profile`].
     pub profile: bool,
+    /// Adaptive window batching on the sharded engine: after every round
+    /// of next-event-time reports, a shard may run past the horizon right
+    /// up to one lookahead beyond the *other* shards' earliest pending
+    /// event (see [`window_bounds`]), fusing what would have been K
+    /// barrier rounds into one. On by default; trace digests are
+    /// bit-identical either way (the equivalence suite runs both), so
+    /// turning it off is only useful for overhead measurements.
+    pub batch_windows: bool,
 }
 
 impl Default for SimConfig {
@@ -144,6 +152,7 @@ impl Default for SimConfig {
             scheduler: SchedulerKind::default(),
             engine: EngineKind::default(),
             profile: false,
+            batch_windows: true,
         }
     }
 }
@@ -350,6 +359,7 @@ impl Core {
                 horizon,
                 window_end: t.saturating_add(1),
                 events,
+                k: 1,
                 execute_ns: elapsed,
                 ..WindowRecord::default()
             });
@@ -915,7 +925,7 @@ impl Sim {
         }
 
         let mut cores = self.build_shards(&shard_of, shards, trace_enabled);
-        run_windows(&mut cores, target, lookahead);
+        run_windows(&mut cores, target, lookahead, self.config.batch_windows);
         self.merge_shards(cores, &shard_of, trace_enabled);
         self.core.time = target;
     }
@@ -1067,36 +1077,109 @@ fn lookahead_of(links: &[Link], shard_of: &[u32]) -> Duration {
     min
 }
 
+/// The window one shard may execute after a round of next-event-time
+/// reports, or `None` when the global horizon is past `target` and every
+/// shard stops. Pure — every shard computes it from the same published
+/// `next_times`, so the stop decision is unanimous by construction.
+///
+/// Unbatched (`batching == false`), the window is the PR 7 protocol
+/// verbatim: `[T, T + L)` with `T = min(next_times)` and `L` the
+/// conservative lookahead, identical for every shard.
+///
+/// Batched, shard `d` may instead run to
+///
+/// ```text
+/// bound_d = min( min over other shards s of next_times[s],
+///                next_times[d] + L ) + L
+/// ```
+///
+/// — the earliest instant anything can *ever* reach `d` from this point
+/// on. An event reaches `d` along a chain of `k >= 1` cross-shard hops
+/// starting from some shard's currently pending work, and each hop adds
+/// at least one lookahead: one hop from `s != d` gives
+/// `next_times[s] + L`; two hops bouncing `d`'s own output off a peer
+/// give `next_times[d] + 2L`; longer chains only add more `L`. The
+/// minimum over all chains is exactly `bound_d`, so `d` executing right
+/// up to (exclusive) that bound can never pass an in-flight event — in
+/// this round or any later one. The second term is what makes the bound
+/// sound across rounds: without it, a shard racing `K` lookaheads ahead
+/// of an idle fleet could have its own output echo back (via a peer
+/// woken next round) *inside* the span it already executed.
+///
+/// When `d` holds the globally earliest work and every other shard is
+/// idle at least one lookahead out, the bound fuses two lookahead
+/// windows into one barrier round (`K = 2` — the uniform-lookahead
+/// optimum, since `d`'s own send at the horizon can bounce back at
+/// `horizon + 2L`). When any other shard is close, it degenerates to
+/// `T + L`: the automatic K=1 fallback.
+///
+/// Both bounds are clamped to `target + 1` (events *at* `target`
+/// included, later ones left for the next span).
+pub fn window_bounds(
+    shard: usize,
+    next_times: &[Time],
+    lookahead: Duration,
+    target: Time,
+    batching: bool,
+) -> Option<(Time, Time)> {
+    let horizon = next_times.iter().copied().min().expect("at least one shard");
+    if horizon > target {
+        return None;
+    }
+    let base = if batching {
+        let others = next_times
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != shard)
+            .map(|(_, &t)| t)
+            .min()
+            .unwrap_or(Time::MAX);
+        others.min(next_times[shard].saturating_add(lookahead))
+    } else {
+        horizon
+    };
+    let end = base.saturating_add(lookahead).min(target.saturating_add(1));
+    Some((horizon, end))
+}
+
 /// Advance all shards to `target` through lookahead-bounded windows.
 ///
-/// Each round (all shards in lockstep, two barriers):
+/// Each round (all shards in lockstep, two [`SpinBarrier`] waits):
 /// 1. **Barrier A** — every deposit from the previous window is visible;
-///    each shard drains its inbox into its local queue, then publishes
-///    the time of its next pending event.
+///    each shard drains its per-sender [`SpscQueue`] channels into its
+///    local queue, then publishes the time of its next pending event.
 /// 2. **Barrier B** — every report is visible; each shard independently
 ///    computes the same global horizon `T = min(reports)`. If `T` is past
-///    `target`, all stop. Otherwise all process their local events in
-///    `[T, min(T + lookahead, target + 1))`, staging cross-shard
-///    deliveries in outboxes, and deposit those into the destination
-///    inboxes before looping back to barrier A.
+///    `target`, all stop. Otherwise each processes its local events up to
+///    its [`window_bounds`] — `T + lookahead`, or with batching the
+///    adaptive multiple of it — staging cross-shard deliveries in
+///    outboxes, and deposits those into the destination channels before
+///    looping back to barrier A.
 ///
-/// Any event a shard creates for another shard arrives at or after
-/// `T + lookahead` — at or after the window end — so deposits are always
-/// for a *future* window and never reorder the present one. Deposit
-/// order into an inbox is nondeterministic, but the receiver's queue
-/// re-sorts by `(time, key)`, which is globally unique and
-/// engine-independent.
-fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
+/// Any event a shard creates for another shard arrives at or after the
+/// receiver's window end — so deposits are always for a *future* window
+/// and never reorder the present one. Deposit order across senders is
+/// nondeterministic, but the receiver's queue re-sorts by `(time, key)`,
+/// which is globally unique and engine-independent.
+fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration, batching: bool) {
     let shards = cores.len();
-    let barrier = Barrier::new(shards);
+    // Spinning at a barrier only pays while every shard owns a core;
+    // oversubscribed, a spinner just burns the timeslice the straggler
+    // needs, so park immediately.
+    let spin = std::thread::available_parallelism()
+        .map(|p| if p.get() >= shards { DEFAULT_SPIN } else { 0 })
+        .unwrap_or(0);
+    let barrier = SpinBarrier::with_spin(shards, spin);
     let next_times: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
-    let inboxes: Vec<Mutex<Vec<(Time, EventKey, Event)>>> =
-        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    // One SPSC channel per (sender, receiver) pair, receiver-major so a
+    // shard drains a contiguous row: `channels[dst * shards + src]`.
+    let channels: Vec<SpscQueue<(Time, EventKey, Event)>> =
+        (0..shards * shards).map(|_| SpscQueue::new()).collect();
     std::thread::scope(|scope| {
         for (sh, core) in cores.iter_mut().enumerate() {
             let barrier = &barrier;
             let next_times = &next_times;
-            let inboxes = &inboxes;
+            let channels = &channels;
             scope.spawn(move || {
                 // Host-clock window profiling (see [`crate::profiler`]):
                 // timestamps bracket each phase of the protocol. Taken
@@ -1104,45 +1187,46 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
                 // execution.
                 let profiling = core.prof.is_some();
                 let span_start = profiling.then(Instant::now);
+                let mut sense = BarrierSense::default();
+                let mut published: Vec<Time> = vec![0; shards];
                 loop {
                     let t0 = profiling.then(Instant::now);
                     // (A) prior deposits are complete; absorb mine.
-                    barrier.wait();
+                    barrier.wait(&mut sense);
                     let t1 = profiling.then(Instant::now);
-                    {
-                        let mut inbox = inboxes[sh].lock().expect("inbox poisoned");
-                        for (time, key, event) in inbox.drain(..) {
-                            core.queue.push(time, key, event);
-                        }
+                    for src in 0..shards {
+                        channels[sh * shards + src].drain(|batch| {
+                            for (time, key, event) in batch {
+                                core.queue.push(time, key, event);
+                            }
+                        });
                     }
                     let next = core.queue.peek_time().unwrap_or(Time::MAX);
                     next_times[sh].store(next, Ordering::Relaxed);
                     let t2 = profiling.then(Instant::now);
                     // (B) all reports in; everyone computes the same window.
-                    barrier.wait();
+                    barrier.wait(&mut sense);
                     let t3 = profiling.then(Instant::now);
-                    let horizon = next_times
-                        .iter()
-                        .map(|t| t.load(Ordering::Relaxed))
-                        .min()
-                        .expect("at least one shard");
-                    if horizon > target {
+                    for (slot, t) in published.iter_mut().zip(next_times.iter()) {
+                        *slot = t.load(Ordering::Relaxed);
+                    }
+                    let Some((horizon, window_end)) =
+                        window_bounds(sh, &published, lookahead, target, batching)
+                    else {
                         // The last round's barrier waits land in the
                         // span's unattributed ("other") time.
                         break;
-                    }
-                    let window_end = horizon.saturating_add(lookahead).min(target.saturating_add(1));
+                    };
                     let ev0 = core.events_processed;
                     while core.queue.peek_time().is_some_and(|t| t < window_end) {
                         let s = core.queue.pop().expect("peeked");
                         core.dispatch(s);
                     }
                     let t4 = profiling.then(Instant::now);
-                    for (dst, inbox) in inboxes.iter().enumerate() {
+                    for dst in 0..shards {
                         if dst != sh && !core.outbox[dst].is_empty() {
-                            let mut batch = std::mem::take(&mut core.outbox[dst]);
-                            inbox.lock().expect("inbox poisoned").append(&mut batch);
-                            core.outbox[dst] = batch; // keep the capacity
+                            channels[dst * shards + sh]
+                                .push(std::mem::take(&mut core.outbox[dst]));
                         }
                     }
                     if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) =
@@ -1156,6 +1240,7 @@ fn run_windows(cores: &mut [Core], target: Time, lookahead: Duration) {
                             horizon,
                             window_end,
                             events,
+                            k: (window_end - horizon).div_ceil(lookahead).max(1),
                             barrier_a_ns: t1.duration_since(t0).as_nanos() as u64,
                             drain_ns: t2.duration_since(t1).as_nanos() as u64,
                             barrier_b_ns: t3.duration_since(t2).as_nanos() as u64,

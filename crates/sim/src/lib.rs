@@ -38,6 +38,7 @@ pub mod link;
 pub mod node;
 pub mod profiler;
 pub mod rng;
+pub mod sync;
 pub mod time;
 pub mod trace;
 pub mod wheel;
@@ -48,5 +49,6 @@ pub use event::{scheduler_stress, Event, EventKey, SchedulerKind};
 pub use link::{Impairment, LinkId, LinkSpec};
 pub use node::{Action, Ctx, NodeId, PortId, Protocol, StatsSnapshot};
 pub use profiler::{EngineProfile, SchedulerStats, ShardProfile, WindowRecord};
+pub use sync::{BarrierSense, SpinBarrier, SpscQueue};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECONDS};
 pub use trace::{FrameClass, RouteChangeKind, SpanEvent, Trace, TraceEvent};

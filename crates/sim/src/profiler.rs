@@ -52,6 +52,12 @@ pub struct WindowRecord {
     pub window_end: u64,
     /// Events this shard dispatched inside the window.
     pub events: u64,
+    /// Lookahead windows this barrier round fused for this shard
+    /// (`ceil((window_end - horizon) / lookahead)`): 1 is the unbatched
+    /// PR 7 protocol, anything larger is adaptive window batching
+    /// skipping rounds the shard would have crossed idle. 0 only in
+    /// hand-built records.
+    pub k: u64,
     /// Host time spent blocked on barrier A (deposit visibility).
     pub barrier_a_ns: u64,
     /// Host time draining the inbox into the local queue.
@@ -112,6 +118,12 @@ pub struct ShardProfile {
     pub windows_dropped: u64,
     /// Total barrier windows (sequential: one per `run_until` span).
     pub windows_total: u64,
+    /// Barrier rounds where adaptive batching fused more than one
+    /// lookahead window for this shard ([`WindowRecord::k`] > 1).
+    pub windows_batched: u64,
+    /// Sum of [`WindowRecord::k`] — `k_sum / windows_total` is the mean
+    /// batching factor; with batching off it equals `windows_total`.
+    pub k_sum: u64,
     /// Events dispatched.
     pub events: u64,
     /// Host ns executing events.
@@ -148,6 +160,8 @@ impl ShardProfile {
             windows: Vec::with_capacity(256),
             windows_dropped: 0,
             windows_total: 0,
+            windows_batched: 0,
+            k_sum: 0,
             events: 0,
             execute_ns: 0,
             barrier_ns: 0,
@@ -165,6 +179,8 @@ impl ShardProfile {
     /// while under [`WINDOW_KEEP`].
     pub fn record_window(&mut self, rec: WindowRecord) {
         self.windows_total += 1;
+        self.windows_batched += (rec.k > 1) as u64;
+        self.k_sum += rec.k;
         self.events += rec.events;
         self.execute_ns += rec.execute_ns;
         self.barrier_ns += rec.barrier_a_ns + rec.barrier_b_ns;
@@ -194,6 +210,8 @@ impl ShardProfile {
         }
         self.windows_dropped += other.windows_dropped;
         self.windows_total += other.windows_total;
+        self.windows_batched += other.windows_batched;
+        self.k_sum += other.k_sum;
         self.events += other.events;
         self.execute_ns += other.execute_ns;
         self.barrier_ns += other.barrier_ns;
@@ -213,6 +231,16 @@ impl ShardProfile {
             *a += b;
         }
         self.sched.absorb(other.sched);
+    }
+
+    /// Mean batching factor: lookahead windows fused per barrier round
+    /// (1.0 with batching off or before any round completed).
+    pub fn k_mean(&self) -> f64 {
+        if self.windows_total == 0 {
+            1.0
+        } else {
+            self.k_sum as f64 / self.windows_total as f64
+        }
     }
 
     /// Host ns not attributed to any phase (loop overhead, horizon
@@ -338,6 +366,23 @@ mod tests {
         assert_eq!(p.window_hist[WINDOW_HIST_BUCKETS - 1], 2); // tail
         assert_eq!(p.windows_total, 7);
         assert_eq!(p.windows.len(), 7);
+    }
+
+    #[test]
+    fn batched_windows_counted_and_k_summed() {
+        let mut p = ShardProfile::new(0, 1, 1, Instant::now());
+        for k in [1u64, 1, 4, 2, 1] {
+            p.record_window(WindowRecord { k, ..WindowRecord::default() });
+        }
+        assert_eq!(p.windows_total, 5);
+        assert_eq!(p.windows_batched, 2); // the k=4 and k=2 rounds
+        assert_eq!(p.k_sum, 9);
+        assert!((p.k_mean() - 1.8).abs() < 1e-12);
+        let mut other = ShardProfile::new(0, 1, 1, p.epoch);
+        other.record_window(WindowRecord { k: 3, ..WindowRecord::default() });
+        p.absorb(other);
+        assert_eq!(p.windows_batched, 3);
+        assert_eq!(p.k_sum, 12);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property tests for the barrier-lean synchronization primitives in
+//! `dcn_sim::sync`, stressing randomized shapes under real
+//! `std::thread` interleavings:
+//!
+//! * [`SpinBarrier`] — arbitrary participant counts, round counts, and
+//!   spin budgets (including 0, the pure park/unpark path) must keep
+//!   every thread in lockstep with exactly one leader per phase and no
+//!   lost wakeups.
+//! * [`SpscQueue`] — arbitrary batch partitions of a sequence must come
+//!   out in exact FIFO order, single-threaded and with the consumer
+//!   racing the producer.
+//!
+//! Deterministic single-shape versions of these checks live in the
+//! module's unit tests; this suite owns the randomized shapes.
+
+use dcn_sim::{BarrierSense, SpinBarrier, SpscQueue};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads each add their round number to a shared sum between two
+    /// barrier phases. Any thread racing a phase ahead — a lost wakeup,
+    /// sense confusion, a leaked arrival count — makes some thread
+    /// observe a sum that is not exactly `round · N(N+1)/2`'s running
+    /// total. Exercised across participant counts, round counts, and
+    /// spin budgets straddling the park threshold.
+    #[test]
+    fn barrier_lockstep_under_random_shapes(
+        threads in 1usize..6,
+        rounds in 1u64..60,
+        spin in prop_oneof![Just(0u32), 1u32..64, Just(dcn_sim::sync::DEFAULT_SPIN)],
+    ) {
+        let barrier = SpinBarrier::with_spin(threads, spin);
+        let sum = AtomicU64::new(0);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut sense = BarrierSense::default();
+                    for round in 0..rounds {
+                        if barrier.wait(&mut sense) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                        sum.fetch_add(round, Ordering::Relaxed);
+                        if barrier.wait(&mut sense) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let expect = (round + 1) * round / 2 * threads as u64;
+                        assert_eq!(sum.load(Ordering::Relaxed), expect, "round {round}");
+                    }
+                });
+            }
+        });
+        // Exactly one leader per phase, two phases per round.
+        prop_assert_eq!(leaders.load(Ordering::Relaxed), 2 * rounds);
+    }
+
+    /// Splitting `0..n` into arbitrary batches (empties included — the
+    /// queue drops them) and draining at arbitrary points must always
+    /// reproduce the exact sequence: FIFO across batches, order kept
+    /// within each batch, nothing lost, nothing duplicated.
+    #[test]
+    fn spsc_preserves_order_across_arbitrary_batching(
+        sizes in proptest::collection::vec(0usize..12, 1..40),
+        drain_every in 1usize..8,
+    ) {
+        let q = SpscQueue::new();
+        let mut out: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        let mut nonempty_pushed = 0usize;
+        let mut drained_batches = 0usize;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let batch: Vec<u64> = (next..next + sz as u64).collect();
+            next += sz as u64;
+            nonempty_pushed += usize::from(sz > 0);
+            q.push(batch);
+            if i % drain_every == drain_every - 1 {
+                drained_batches += q.drain(|b| out.extend(b));
+            }
+        }
+        drained_batches += q.drain(|b| out.extend(b));
+        prop_assert_eq!(drained_batches, nonempty_pushed, "empty batches are dropped");
+        prop_assert!(q.is_empty());
+        let expect: Vec<u64> = (0..next).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// One producer thread pushes the whole sequence in random batch
+    /// sizes while the consumer drains as fast as it can: the consumer
+    /// must see `0, 1, 2, …` with no gap, reorder, or duplicate — the
+    /// exact guarantee the engine's cross-shard channels rely on.
+    #[test]
+    fn spsc_fifo_survives_a_racing_consumer(
+        sizes in proptest::collection::vec(1usize..8, 1..60),
+    ) {
+        let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+        let q = Arc::new(SpscQueue::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            let sizes = sizes.clone();
+            std::thread::spawn(move || {
+                let mut next = 0u64;
+                for sz in sizes {
+                    let batch: Vec<u64> = (next..next + sz as u64).collect();
+                    next += sz as u64;
+                    q.push(batch);
+                }
+            })
+        };
+        let mut seen = 0u64;
+        while seen < total {
+            q.drain(|batch| {
+                for v in batch {
+                    assert_eq!(v, seen, "FIFO violated under concurrency");
+                    seen += 1;
+                }
+            });
+            std::hint::spin_loop();
+        }
+        producer.join().expect("producer panicked");
+        prop_assert!(q.is_empty());
+    }
+}

@@ -6,11 +6,17 @@
 //! * [`PerfReport::render_text`] — a terminal stall-breakdown table
 //!   (per-shard execute/barrier/drain/deposit/other as % of that
 //!   shard's wall time, hottest nodes, scheduler occupancy).
-//! * [`PerfReport::to_json`] — the `perf_report/v1` schema, consumed by
-//!   CI and by `fcr bench`'s embedded breakdowns.
+//! * [`PerfReport::to_json`] — the `perf_report/v2` schema, consumed by
+//!   CI and by `fcr bench`'s embedded breakdowns (v2 added the adaptive
+//!   window-batching counters: per-shard `windows_batched`, `k_sum`,
+//!   `k_mean`).
 //! * [`PerfReport::to_chrome_trace`] — Chrome trace-event JSON loadable
 //!   in `chrome://tracing` or Perfetto: one track per shard, one
 //!   duration event per window phase.
+//!
+//! [`render_comparison`] lines several reports of the same scenario up
+//! side by side (one column per worker count) for `fcr profile
+//! --compare`.
 //!
 //! Durations come from the host monotonic clock (see
 //! `dcn_sim::profiler`); nothing here feeds back into the simulation.
@@ -142,16 +148,19 @@ impl PerfReport {
         }
         let _ = writeln!(
             out,
-            "{:>5} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>10}",
-            "shard", "events", "windows", "exec%", "barr%", "drain%", "dep%", "other%", "wall"
+            "{:>5} {:>10} {:>8} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>10}",
+            "shard", "events", "windows", "batch%", "meanK", "exec%", "barr%", "drain%", "dep%",
+            "other%", "wall"
         );
         for s in &p.shards {
             let _ = writeln!(
                 out,
-                "{:>5} {:>10} {:>8} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>10}",
+                "{:>5} {:>10} {:>8} {:>7.1} {:>6.2} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>10}",
                 s.shard,
                 s.events,
                 s.windows_total,
+                pct(s.windows_batched, s.windows_total),
+                s.k_mean(),
                 pct(s.execute_ns, s.wall_ns),
                 pct(s.barrier_ns, s.wall_ns),
                 pct(s.drain_ns, s.wall_ns),
@@ -217,6 +226,9 @@ impl PerfReport {
             ("shard", Json::UInt(s.shard as u64)),
             ("events", Json::UInt(s.events)),
             ("windows", Json::UInt(s.windows_total)),
+            ("windows_batched", Json::UInt(s.windows_batched)),
+            ("k_sum", Json::UInt(s.k_sum)),
+            ("k_mean", Json::Float(s.k_mean())),
             ("windows_dropped", Json::UInt(s.windows_dropped)),
             ("execute_ns", Json::UInt(s.execute_ns)),
             ("barrier_ns", Json::UInt(s.barrier_ns)),
@@ -241,12 +253,13 @@ impl PerfReport {
         ])
     }
 
-    /// The `perf_report/v1` JSON document.
+    /// The `perf_report/v2` JSON document (v2 added the window-batching
+    /// counters).
     pub fn to_json(&self) -> Json {
         let p = &self.profile;
         let hist = p.window_hist();
         Json::obj(vec![
-            ("schema", Json::str("perf_report/v1")),
+            ("schema", Json::str("perf_report/v2")),
             ("label", Json::str(self.label.clone())),
             ("engine", Json::str(self.engine())),
             ("workers", Json::UInt(self.workers as u64)),
@@ -341,8 +354,8 @@ impl PerfReport {
                     if name == "execute" {
                         let _ = write!(
                             line,
-                            ",\"args\":{{\"events\":{},\"horizon\":{},\"window_end\":{}}}",
-                            w.events, w.horizon, w.window_end
+                            ",\"args\":{{\"events\":{},\"horizon\":{},\"window_end\":{},\"k\":{}}}",
+                            w.events, w.horizon, w.window_end, w.k
                         );
                     }
                     line.push('}');
@@ -354,6 +367,97 @@ impl PerfReport {
         out.push_str("\n]}\n");
         out
     }
+}
+
+/// Side-by-side stall comparison of several reports of the *same*
+/// scenario — one column per report (labeled by its worker count), one
+/// row per aggregate metric, plus a delta column (last minus first) when
+/// at least two reports are given. Backs `fcr profile --compare`.
+pub fn render_comparison(reports: &[PerfReport]) -> String {
+    let mut out = String::new();
+    if reports.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "perf compare: {} (cores {})",
+        reports[0].label, reports[0].cores
+    );
+    struct Row {
+        name: &'static str,
+        unit: &'static str,
+        values: Vec<f64>,
+    }
+    let agg = |f: &dyn Fn(&PerfReport) -> f64| reports.iter().map(f).collect::<Vec<f64>>();
+    let rows = [
+        Row { name: "events", unit: "", values: agg(&|r| r.profile().total_events() as f64) },
+        Row {
+            name: "windows",
+            unit: "",
+            values: agg(&|r| r.profile().shards.iter().map(|s| s.windows_total).sum::<u64>() as f64),
+        },
+        Row {
+            name: "batched",
+            unit: "%",
+            values: agg(&|r| {
+                let p = r.profile();
+                pct(
+                    p.shards.iter().map(|s| s.windows_batched).sum(),
+                    p.shards.iter().map(|s| s.windows_total).sum(),
+                )
+            }),
+        },
+        Row {
+            name: "mean K",
+            unit: "",
+            values: agg(&|r| {
+                let p = r.profile();
+                let (k, w): (u64, u64) = (
+                    p.shards.iter().map(|s| s.k_sum).sum(),
+                    p.shards.iter().map(|s| s.windows_total).sum(),
+                );
+                if w == 0 { 1.0 } else { k as f64 / w as f64 }
+            }),
+        },
+        Row { name: "execute", unit: "%", values: agg(&|r| r.stall_breakdown().execute_pct) },
+        Row { name: "barrier", unit: "%", values: agg(&|r| r.stall_breakdown().barrier_pct) },
+        Row { name: "drain", unit: "%", values: agg(&|r| r.stall_breakdown().drain_pct) },
+        Row { name: "deposit", unit: "%", values: agg(&|r| r.stall_breakdown().deposit_pct) },
+        Row { name: "other", unit: "%", values: agg(&|r| r.stall_breakdown().other_pct) },
+        Row {
+            name: "wall",
+            unit: "ms",
+            values: agg(&|r| r.profile().max_wall_ns() as f64 / 1e6),
+        },
+    ];
+    let _ = write!(out, "{:>10}", "metric");
+    for r in reports {
+        let _ = write!(out, " {:>12}", format!("w={}", r.workers));
+    }
+    if reports.len() >= 2 {
+        let _ = write!(out, " {:>12}", "delta");
+    }
+    out.push('\n');
+    for row in &rows {
+        let _ = write!(out, "{:>10}", row.name);
+        let integral = row.unit.is_empty() && row.name != "mean K";
+        let fmt = |v: f64| {
+            if integral {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.2}{}", row.unit)
+            }
+        };
+        for v in &row.values {
+            let _ = write!(out, " {:>12}", fmt(*v));
+        }
+        if row.values.len() >= 2 {
+            let d = row.values[row.values.len() - 1] - row.values[0];
+            let _ = write!(out, " {:>12}", format!("{}{}", if d >= 0.0 { "+" } else { "" }, fmt(d)));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -369,6 +473,7 @@ mod tests {
             start_ns: 1_000,
             horizon: 5_000,
             window_end: 6_000,
+            k: 2,
             events: 4,
             barrier_a_ns: 100,
             drain_ns: 50,
@@ -388,6 +493,7 @@ mod tests {
             start_ns: 1_200,
             horizon: 5_000,
             window_end: 6_000,
+            k: 1,
             events: 2,
             execute_ns: 300,
             ..Default::default()
@@ -407,7 +513,7 @@ mod tests {
     fn json_export_round_trips_with_schema_and_sane_percentages() {
         let report = toy_report();
         let doc = Json::parse(&report.to_json().render()).unwrap();
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("perf_report/v1"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("perf_report/v2"));
         assert_eq!(doc.get("engine").unwrap().as_str(), Some("sharded"));
         assert_eq!(doc.get("workers").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("events").unwrap().as_u64(), Some(6));
@@ -415,6 +521,13 @@ mod tests {
         assert!(doc.get("cores").unwrap().as_u64().is_some());
         let shards = doc.get("shards").unwrap().as_arr().unwrap();
         assert_eq!(shards.len(), 2);
+        // v2 batching counters: shard 0 recorded one fused round (k=2),
+        // shard 1 one plain round.
+        assert_eq!(shards[0].get("windows_batched").unwrap().as_u64(), Some(1));
+        assert_eq!(shards[0].get("k_sum").unwrap().as_u64(), Some(2));
+        assert_eq!(shards[0].get("k_mean").unwrap().as_f64(), Some(2.0));
+        assert_eq!(shards[1].get("windows_batched").unwrap().as_u64(), Some(0));
+        assert_eq!(shards[1].get("k_mean").unwrap().as_f64(), Some(1.0));
         for sh in shards {
             let total: f64 = ["execute_pct", "barrier_pct", "drain_pct", "deposit_pct", "other_pct"]
                 .iter()
@@ -466,6 +579,7 @@ mod tests {
             shard0[3].get("args").unwrap().get("events").unwrap().as_u64(),
             Some(4)
         );
+        assert_eq!(shard0[3].get("args").unwrap().get("k").unwrap().as_u64(), Some(2));
     }
 
     #[test]
@@ -478,6 +592,37 @@ mod tests {
         assert!(text.contains("scheduler: 10 pushes"));
         // One row per shard plus the header.
         assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(['0', '1'])).count(), 2);
+    }
+
+    #[test]
+    fn text_report_shows_batching_columns() {
+        let text = toy_report().render_text();
+        let header = text.lines().nth(2).expect("column header line");
+        assert!(header.contains("batch%") && header.contains("meanK"), "{header}");
+        // Shard 0: 1 of 1 windows batched at k=2.
+        let row0 = text.lines().nth(3).unwrap();
+        assert!(row0.contains("100.0") && row0.contains("2.00"), "{row0}");
+    }
+
+    #[test]
+    fn comparison_lines_reports_up_with_deltas() {
+        let a = toy_report();
+        let mut b = toy_report();
+        b.workers = 4;
+        let text = render_comparison(&[a, b]);
+        assert!(text.starts_with("perf compare: toy run"));
+        let header = text.lines().nth(1).unwrap();
+        assert!(
+            header.contains("w=2") && header.contains("w=4") && header.contains("delta"),
+            "{header}"
+        );
+        for metric in ["events", "windows", "batched", "mean K", "barrier", "wall"] {
+            assert!(text.contains(metric), "missing row {metric}");
+        }
+        // Identical profiles: every delta is +0-something.
+        let events_row = text.lines().find(|l| l.trim_start().starts_with("events")).unwrap();
+        assert!(events_row.trim_end().ends_with("+0"), "{events_row}");
+        assert!(render_comparison(&[]).is_empty());
     }
 
     #[test]

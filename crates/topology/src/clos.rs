@@ -606,15 +606,23 @@ impl Fabric {
     }
 
     /// Node→shard map for the sharded parallel engine, sized for
-    /// `workers` threads: shard 0 holds the fabric-wide spine layers
-    /// (top spines, and zone spines in four-tier fabrics) — the shared
-    /// crossroads every PoD talks through — while PoDs (each ToR/PoD
-    /// spine/server subtree) are dealt round-robin across the remaining
-    /// `workers - 1` shards, keeping the dense intra-PoD mesh (the
-    /// ToR↔spine links carrying most events) inside one shard. Every
-    /// cross-shard link is then a PoD-spine↔top-tier uplink or a
-    /// PoD-to-PoD pairing, whose propagation delay bounds the engine's
-    /// conservative lookahead.
+    /// `workers` threads: the fabric-wide spine layers (top spines, and
+    /// zone spines in four-tier fabrics) — the shared crossroads every
+    /// PoD talks through — occupy the leading shard(s), while PoDs (each
+    /// ToR/PoD spine/server subtree) are dealt round-robin across the
+    /// remaining shards, keeping the dense intra-PoD mesh (the ToR↔spine
+    /// links carrying most events) inside one shard.
+    ///
+    /// Normally one shard holds the whole spine layer. But when `workers`
+    /// exceeds the PoD shard groups plus that one spine shard, the spare
+    /// workers would idle — and the profiler shows the spine shard as the
+    /// critical path at high worker counts — so the spine layer is itself
+    /// partitioned round-robin across the spare shards (shards
+    /// `0..spine_shards`). Spine nodes never link to each other within a
+    /// tier, so splitting them adds no cross-shard link class that could
+    /// shrink the engine's conservative lookahead: every cross-shard link
+    /// remains an inter-tier uplink, whose serialization + propagation
+    /// delay bounds the lookahead exactly as with one spine shard.
     ///
     /// `workers <= 1` (or a single PoD) collapses to one shard.
     pub fn shard_map(&self, workers: usize) -> Vec<u32> {
@@ -622,13 +630,24 @@ impl Fabric {
         if pod_shards == 0 {
             return vec![0; self.nodes.len()];
         }
+        let spine_count = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.role, Role::TopSpine { .. } | Role::ZoneSpine { .. }))
+            .count();
+        let spine_shards = workers.saturating_sub(pod_shards).clamp(1, spine_count.max(1)) as u32;
+        let mut spine_seq = 0u32;
         self.nodes
             .iter()
             .map(|n| match n.role {
-                Role::TopSpine { .. } | Role::ZoneSpine { .. } => 0,
+                Role::TopSpine { .. } | Role::ZoneSpine { .. } => {
+                    let s = spine_seq % spine_shards;
+                    spine_seq += 1;
+                    s
+                }
                 Role::Tor { pod, .. }
                 | Role::PodSpine { pod, .. }
-                | Role::Server { pod, .. } => 1 + (pod % pod_shards) as u32,
+                | Role::Server { pod, .. } => spine_shards + (pod % pod_shards) as u32,
             })
             .collect()
     }
@@ -830,7 +849,8 @@ mod tests {
         let f = Fabric::build(ClosParams::scaled(8).unwrap());
         let map = f.shard_map(4);
         assert_eq!(map.len(), f.nodes.len());
-        // Spines share shard 0; PoDs round-robin over shards 1..=3.
+        // Workers <= pod groups + 1: spines share shard 0, PoDs
+        // round-robin over shards 1..=3.
         for k in 0..f.top_spine_count() {
             assert_eq!(map[f.top_spine(k)], 0);
         }
@@ -843,9 +863,36 @@ mod tests {
         // Degenerate worker counts collapse to one shard.
         assert!(f.shard_map(1).iter().all(|&s| s == 0));
         assert!(f.shard_map(0).iter().all(|&s| s == 0));
-        // More workers than PoDs: one PoD per shard, ids stay dense.
-        let wide = f.shard_map(64);
-        assert_eq!(*wide.iter().max().unwrap(), 8);
+    }
+
+    #[test]
+    fn shard_map_splits_spines_when_workers_exceed_pod_groups() {
+        let f = Fabric::build(ClosParams::scaled(8).unwrap());
+        let tops = f.top_spine_count();
+        // workers = pods + 2: one spare worker beyond one-shard-per-PoD
+        // plus a spine shard, so the spine layer splits in two.
+        let map = f.shard_map(10);
+        let spine_shards: std::collections::BTreeSet<u32> =
+            (0..tops).map(|k| map[f.top_spine(k)]).collect();
+        assert_eq!(spine_shards, [0u32, 1].into_iter().collect());
+        // Round-robin balance: shard populations differ by at most one.
+        let per_shard = [
+            (0..tops).filter(|&k| map[f.top_spine(k)] == 0).count(),
+            (0..tops).filter(|&k| map[f.top_spine(k)] == 1).count(),
+        ];
+        assert!(per_shard[0].abs_diff(per_shard[1]) <= 1, "{per_shard:?}");
+        // PoDs follow after the spine shards, one shard each, ids dense.
+        for p in 0..8 {
+            assert_eq!(map[f.tor(p, 0)], 2 + p as u32);
+            assert_eq!(map[f.pod_spine(p, 0)], 2 + p as u32);
+        }
+        assert_eq!(*map.iter().max().unwrap(), 9);
+        // Spine shards never exceed the spine population even with an
+        // absurd worker count.
+        let wide = f.shard_map(1000);
+        let wide_spines: std::collections::BTreeSet<u32> =
+            (0..tops).map(|k| wide[f.top_spine(k)]).collect();
+        assert_eq!(wide_spines.len(), tops);
     }
 
     #[test]

@@ -52,9 +52,12 @@ fn usage() -> ! {
          \x20   --pods N             fabric size in PoDs (even, default 2)\n\
          \x20   --seed N             seed (default 42)\n\
          \x20   --workers N          shards for the parallel engine (default 1)\n\
+         \x20   --compare A,B[,..]   profile once per worker count and print the\n\
+         \x20                        stall tables side by side with deltas\n\
          \x20   --local-repair       enable in-data-plane local fast reroute\n\
-         \x20   --out DIR            write perf_report.json (perf_report/v1) and\n\
-         \x20                        trace.chrome.json (chrome://tracing / Perfetto)\n\
+         \x20   --out DIR            write perf_report.json (perf_report/v2) and\n\
+         \x20                        trace.chrome.json (chrome://tracing / Perfetto;\n\
+         \x20                        one w<N>/ subdir each with --compare)\n\
          \x20 report <stack> <tc>           convergence storyboard + per-router counters\n\
          \x20   --seed N             seed (default 42)\n\
          \x20   --workers N          shards for the parallel engine (default 1)\n\
@@ -141,6 +144,7 @@ struct RunFlags {
     pods: Option<usize>,
     workers: usize,
     local_repair: bool,
+    compare: Option<Vec<usize>>,
 }
 
 /// Pull `--telemetry-out DIR`, `--profile-out DIR`, `--out DIR`,
@@ -156,6 +160,7 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
         pods: None,
         workers: 1,
         local_repair: false,
+        compare: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +198,15 @@ fn split_flags(args: &[String]) -> (Vec<&str>, RunFlags) {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else { usage() };
                 dcn_experiments::warn_if_oversubscribed(n);
                 flags.workers = n;
+                i += 2;
+            }
+            "--compare" => {
+                let list: Option<Vec<usize>> = args
+                    .get(i + 1)
+                    .map(|s| s.split(',').map(|w| w.trim().parse().ok().filter(|&w| w > 0)))
+                    .and_then(|it| it.collect());
+                let Some(list) = list.filter(|l| !l.is_empty()) else { usage() };
+                flags.compare = Some(list);
                 i += 2;
             }
             a => {
@@ -334,6 +348,31 @@ fn main() {
                 .seeded(flags.seed.unwrap_or(seed))
                 .with_local_repair(flags.local_repair)
                 .with_workers(flags.workers);
+            if let Some(worker_list) = &flags.compare {
+                for &w in worker_list {
+                    dcn_experiments::warn_if_oversubscribed(w);
+                }
+                let runs = dcn_experiments::run_compare(s, worker_list);
+                let reports: Vec<_> = runs.iter().map(|p| p.report.clone()).collect();
+                print!("{}", dcn_telemetry::render_comparison(&reports));
+                if let Some(dir) = flags.out {
+                    for p in &runs {
+                        let sub = dir.join(format!("w{}", p.report.workers));
+                        match dcn_experiments::write_profile_artifacts(&p.report, &sub) {
+                            Ok(paths) => {
+                                for path in paths {
+                                    eprintln!("wrote {}", path.display());
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("profile write to {} failed: {e}", sub.display());
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
+                return;
+            }
             let p = dcn_experiments::run_profiled(s);
             print!("{}", p.report.render_text());
             if let Some(dir) = flags.out {
